@@ -1,0 +1,81 @@
+//! E2 — name-space operations (paper §2, §3): lookup scaling, inheritance
+//! walks, override hits, registration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paramecium::core::directory::{NameSpace, NsEntry};
+use paramecium::prelude::*;
+
+fn populated(size: usize) -> std::sync::Arc<NameSpace> {
+    let ns = NameSpace::root();
+    for i in 0..size {
+        ns.register(
+            &format!("/svc/dir{}/obj{i}", i % 16),
+            NsEntry {
+                obj: ObjectBuilder::new("x").build(),
+                home: KERNEL_DOMAIN,
+            },
+        )
+        .unwrap();
+    }
+    ns
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_namespace");
+    for size in [10usize, 100, 1_000, 10_000] {
+        let ns = populated(size);
+        let probe = format!("/svc/dir{}/obj{}", (size / 2) % 16, size / 2);
+        g.bench_with_input(BenchmarkId::new("lookup_local", size), &size, |b, _| {
+            b.iter(|| ns.lookup(std::hint::black_box(&probe)).unwrap())
+        });
+
+        let mut deep = ns.clone();
+        for _ in 0..8 {
+            deep = NameSpace::child_of(&deep, []);
+        }
+        g.bench_with_input(BenchmarkId::new("lookup_inherit8", size), &size, |b, _| {
+            b.iter(|| deep.lookup(std::hint::black_box(&probe)).unwrap())
+        });
+
+        let over = NameSpace::child_of(
+            &ns,
+            [(probe.clone(), NsEntry { obj: ObjectBuilder::new("o").build(), home: KERNEL_DOMAIN })],
+        );
+        g.bench_with_input(BenchmarkId::new("lookup_override", size), &size, |b, _| {
+            b.iter(|| over.lookup(std::hint::black_box(&probe)).unwrap())
+        });
+    }
+
+    // Register + unregister cycle.
+    let ns = populated(1000);
+    let mut k = 0u64;
+    g.bench_function("register_unregister", |b| {
+        b.iter(|| {
+            k += 1;
+            let path = format!("/tmp/obj{k}");
+            ns.register(
+                &path,
+                NsEntry { obj: ObjectBuilder::new("t").build(), home: KERNEL_DOMAIN },
+            )
+            .unwrap();
+            ns.unregister(&path).unwrap();
+        })
+    });
+
+    // Interposition (replace) on a hot path.
+    let ns = populated(100);
+    let path = "/svc/dir0/obj0";
+    g.bench_function("replace", |b| {
+        b.iter(|| {
+            ns.replace(
+                path,
+                NsEntry { obj: ObjectBuilder::new("agent").build(), home: KERNEL_DOMAIN },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

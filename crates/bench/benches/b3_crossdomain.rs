@@ -1,0 +1,43 @@
+//! E3 — cross-domain invocation via proxies vs same-domain calls, and the
+//! marshalling cost as a function of argument size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paramecium::prelude::*;
+use paramecium_bench::world_with_echo;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_crossdomain");
+
+    let (world, app) = world_with_echo();
+    let n = &world.nucleus;
+    let same = n.bind(KERNEL_DOMAIN, "/svc/echo").unwrap();
+    let cross = n.bind(app, "/svc/echo").unwrap();
+
+    let small = [Value::Bytes(bytes::Bytes::from_static(b"x"))];
+    g.bench_function("same_domain_direct", |b| {
+        b.iter(|| same.invoke("echo", "echo", std::hint::black_box(&small)).unwrap())
+    });
+    g.bench_function("cross_domain_proxy", |b| {
+        b.iter(|| cross.invoke("echo", "echo", std::hint::black_box(&small)).unwrap())
+    });
+
+    for size in [0usize, 64, 1024, 4096] {
+        let args = [Value::Bytes(bytes::Bytes::from(vec![0u8; size]))];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("proxy_arg_bytes", size), &size, |b, _| {
+            b.iter(|| cross.invoke("echo", "echo", std::hint::black_box(&args)).unwrap())
+        });
+    }
+
+    // Bind cost: fabricating a proxy per bind.
+    g.bench_function("bind_cross_domain", |b| {
+        b.iter(|| n.bind(app, "/svc/echo").unwrap())
+    });
+    g.bench_function("bind_same_domain", |b| {
+        b.iter(|| n.bind(KERNEL_DOMAIN, "/svc/echo").unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

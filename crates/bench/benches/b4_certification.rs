@@ -1,0 +1,74 @@
+//! E4 — load-time certification vs run-time software protection: load
+//! costs (signature check vs verify vs rewrite) and run costs per regime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paramecium::cert::CertifyMethod;
+use paramecium::prelude::*;
+use paramecium::sfi::{interp::Interp, sandbox::sandbox_rewrite, verifier, workloads};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_certification");
+
+    // Load-time costs, per mechanism, over a fixed component.
+    let program = workloads::checksum_loop(1024, 16);
+    let image = program.encode();
+    g.bench_function("load_sfi_rewrite", |b| {
+        b.iter(|| sandbox_rewrite(std::hint::black_box(&program)))
+    });
+    let verifiable = workloads::checksum_loop_verified(1024, 16);
+    g.bench_function("load_verify", |b| {
+        b.iter(|| verifier::verify(std::hint::black_box(&verifiable)).unwrap())
+    });
+    // Certificate validation with a real RSA verify (cache disabled).
+    let world = World::boot();
+    let cert = world
+        .root
+        .certify("c", &image, vec![Right::RunKernel], CertifyMethod::Administrator)
+        .unwrap();
+    world.nucleus.certsvc.install(cert, vec![]);
+    world.nucleus.certsvc.set_cache_enabled(false);
+    g.bench_function("load_cert_validate", |b| {
+        b.iter(|| {
+            world
+                .nucleus
+                .certsvc
+                .validate_for(std::hint::black_box(&image), Right::RunKernel)
+                .unwrap()
+        })
+    });
+    world.nucleus.certsvc.set_cache_enabled(true);
+    world
+        .nucleus
+        .certsvc
+        .validate_for(&image, Right::RunKernel)
+        .unwrap();
+    g.bench_function("load_cert_validate_cached", |b| {
+        b.iter(|| {
+            world
+                .nucleus
+                .certsvc
+                .validate_for(std::hint::black_box(&image), Right::RunKernel)
+                .unwrap()
+        })
+    });
+
+    // Run-time costs per regime (interpreter wall time per execution).
+    for iters in [1u32, 16, 128] {
+        let native = workloads::checksum_loop(1024, iters);
+        let (sandboxed, _) = sandbox_rewrite(&native);
+        let verified = workloads::checksum_loop_verified(1024, iters);
+        g.bench_with_input(BenchmarkId::new("run_certified_native", iters), &iters, |b, _| {
+            b.iter(|| Interp::new(&native).run(u64::MAX).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("run_verified", iters), &iters, |b, _| {
+            b.iter(|| Interp::new(&verified).run(u64::MAX).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("run_sfi", iters), &iters, |b, _| {
+            b.iter(|| Interp::new(&sandboxed).run(u64::MAX).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E5 — interrupt handling: raw call-backs vs proto-thread pop-ups vs
+//! eager thread creation.
+
+use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    Arc,
+};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paramecium::core::events::EventService;
+use paramecium::machine::trap::{Trap, TrapKind};
+use paramecium::prelude::*;
+use paramecium::threads::popup::PopupFactory;
+
+fn setup(mode: PopupMode) -> (Arc<PopupEngine>, Scheduler, Arc<EventService>, Arc<parking_lot::Mutex<Machine>>) {
+    let machine = Arc::new(parking_lot::Mutex::new(Machine::new()));
+    let scheduler = Scheduler::new(machine.clone());
+    let engine = PopupEngine::new(scheduler.clone(), mode);
+    let events = Arc::new(EventService::new());
+    let hits = Arc::new(AtomicU64::new(0));
+    let factory: PopupFactory = Arc::new(move |_| {
+        let h = hits.clone();
+        Box::new(move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+            Step::Done
+        })
+    });
+    engine
+        .attach(&events, TrapKind::Breakpoint.vector(), KERNEL_DOMAIN, factory)
+        .unwrap();
+    (engine, scheduler, events, machine)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_popup");
+    let trap = Trap::exception(TrapKind::Breakpoint);
+
+    // Raw call-back: event service only.
+    {
+        let machine = Arc::new(parking_lot::Mutex::new(Machine::new()));
+        let events = EventService::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        events
+            .register(trap.vector, KERNEL_DOMAIN, Arc::new(move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        g.bench_function("raw_callback", |b| {
+            b.iter(|| events.deliver(&machine, std::hint::black_box(&trap)))
+        });
+    }
+
+    {
+        let (_engine, _sched, events, machine) = setup(PopupMode::Proto);
+        g.bench_function("proto_fast_path", |b| {
+            b.iter(|| events.deliver(&machine, std::hint::black_box(&trap)))
+        });
+    }
+
+    {
+        let (_engine, sched, events, machine) = setup(PopupMode::Eager);
+        g.bench_function("eager_thread", |b| {
+            b.iter(|| {
+                events.deliver(&machine, std::hint::black_box(&trap));
+                sched.run_until_idle(4);
+                sched.reap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E6 — interposing monitor overhead on the network receive path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paramecium::machine::dev::Nic;
+use paramecium::netstack::{install_driver, make_network_monitor};
+use paramecium::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_interpose");
+    for monitors in 0..=4usize {
+        let world = World::boot();
+        let n = &world.nucleus;
+        install_driver(n, KERNEL_DOMAIN).unwrap();
+        for _ in 0..monitors {
+            let target = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
+            let (agent, _) = make_network_monitor(target);
+            n.interpose(KERNEL_DOMAIN, "/shared/network", agent).unwrap();
+        }
+        let dev = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
+        let machine = n.machine().clone();
+        g.bench_with_input(BenchmarkId::new("recv_monitored", monitors), &monitors, |b, _| {
+            b.iter(|| {
+                {
+                    let mut m = machine.lock();
+                    m.device_mut::<Nic>("nic").unwrap().inject_rx(vec![0u8; 512]);
+                }
+                dev.invoke("netdev", "recv", &[]).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E7 — filter placement: same packet filter in the kernel domain
+//! (direct), in a user domain (proxy per packet), and as certified /
+//! verified / sandboxed bytecode in the kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paramecium::cert::CertifyMethod;
+use paramecium::machine::dev::Nic;
+use paramecium::netstack::{
+    filter::{adapt_bytecode_filter, udp_port_filter_program},
+    install_driver, make_native_port_filter, make_udp_stack, wire,
+};
+use paramecium::prelude::*;
+
+const MY_IP: u32 = 0x0A00_0001;
+const MY_MAC: wire::Mac = [2, 0, 0, 0, 0, 1];
+
+struct Setup {
+    world: World,
+    stack: ObjRef,
+    frame: Vec<u8>,
+}
+
+fn setup(which: &str) -> Setup {
+    let world = World::boot();
+    let n = &world.nucleus;
+    install_driver(n, KERNEL_DOMAIN).unwrap();
+    let dev = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
+    let stack = make_udp_stack(dev, MY_IP, MY_MAC);
+    stack.invoke("udp", "bind", &[Value::Int(53)]).unwrap();
+    let filter = match which {
+        "kernel_native" => {
+            let f = make_native_port_filter(53);
+            n.register(KERNEL_DOMAIN, "/kernel/filter", f).unwrap();
+            n.bind(KERNEL_DOMAIN, "/kernel/filter").unwrap()
+        }
+        "user_native" => {
+            let app = n.create_domain("app", KERNEL_DOMAIN, []).unwrap();
+            let f = make_native_port_filter(53);
+            n.register_shared(app.id, "/app/filter", f).unwrap();
+            n.bind(KERNEL_DOMAIN, "/app/filter").unwrap()
+        }
+        "kernel_certified" => {
+            let image = n
+                .repository
+                .add_bytecode("f", &udp_port_filter_program(53));
+            let cert = world
+                .root
+                .certify("f", &image, vec![Right::RunKernel], CertifyMethod::Administrator)
+                .unwrap();
+            n.certsvc.install(cert, vec![]);
+            n.load("f", &LoadOptions::kernel("/kernel/f").strict()).unwrap();
+            adapt_bytecode_filter(n.bind(KERNEL_DOMAIN, "/kernel/f").unwrap())
+        }
+        "kernel_sandboxed" => {
+            n.repository.add_bytecode("f", &udp_port_filter_program(53));
+            n.load("f", &LoadOptions::kernel("/kernel/f").sandboxed()).unwrap();
+            adapt_bytecode_filter(n.bind(KERNEL_DOMAIN, "/kernel/f").unwrap())
+        }
+        _ => unreachable!(),
+    };
+    stack.invoke("udp", "set_filter", &[Value::Handle(filter)]).unwrap();
+    let frame = wire::build_udp_frame(
+        [9; 6], MY_MAC, 0x0A00_0002, MY_IP, 4444, 53, &[0xAB; 64],
+    );
+    Setup { world, stack, frame }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_placement");
+    for which in ["kernel_native", "user_native", "kernel_certified", "kernel_sandboxed"] {
+        let s = setup(which);
+        let machine = s.world.nucleus.machine().clone();
+        g.bench_function(which, |b| {
+            b.iter(|| {
+                {
+                    let mut m = machine.lock();
+                    m.device_mut::<Nic>("nic").unwrap().inject_rx(s.frame.clone());
+                }
+                s.stack.invoke("udp", "pump", &[]).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

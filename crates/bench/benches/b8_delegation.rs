@@ -1,0 +1,59 @@
+//! E8 — delegation-chain validation cost vs depth, and the escape-hatch
+//! policy walk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paramecium::cert::{
+    validate_chain, AdminCertifier, Authority, CertificationPolicy, CertifyMethod,
+    CompilerCertifier, ProverCertifier,
+};
+use paramecium::prelude::*;
+use paramecium::sfi::workloads;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_delegation");
+    g.sample_size(20); // RSA verifies are slow; keep runs bounded.
+    let mut rng = StdRng::seed_from_u64(77);
+    let root = Authority::new("root", &mut rng, 512);
+
+    for depth in [0usize, 1, 2, 4, 8] {
+        let mut chain = Vec::new();
+        let mut prev = root.clone();
+        for i in 0..depth {
+            let next = Authority::new(format!("l{i}"), &mut rng, 512);
+            chain.push(
+                prev.delegate(format!("l{i}"), next.public(), vec![Right::RunKernel])
+                    .unwrap(),
+            );
+            prev = next;
+        }
+        let cert = prev
+            .certify("c", b"image", vec![Right::RunKernel], CertifyMethod::Administrator)
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("validate_chain", depth), &depth, |b, _| {
+            b.iter(|| validate_chain(root.public(), &chain, &cert).unwrap())
+        });
+    }
+
+    // Escape-hatch walks.
+    let honest = workloads::checksum_loop(64, 4).encode();
+    let policy = CertificationPolicy::standard(
+        &root,
+        CompilerCertifier::new(Authority::new("compiler", &mut rng, 512)),
+        ProverCertifier::new(Authority::new("prover", &mut rng, 512), 2_000),
+        AdminCertifier::new(Authority::new("admin", &mut rng, 512), &[&honest]),
+        vec![Right::RunKernel],
+    )
+    .unwrap();
+    let verifiable = workloads::alu_loop(8).encode();
+    g.bench_function("policy_first_signs", |b| {
+        b.iter(|| policy.certify("v", &verifiable, &[Right::RunKernel]).unwrap())
+    });
+    g.bench_function("policy_escape_hatch_to_admin", |b| {
+        b.iter(|| policy.certify("h", &honest, &[Right::RunKernel]).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

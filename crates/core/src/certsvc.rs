@@ -1,0 +1,137 @@
+//! The certification service.
+//!
+//! "Objects can be associated with a certificate that is validated by the
+//! certification service before mapping it into a protection domain. The
+//! certification service uses a message digest function, public key
+//! cryptography, and a trusted certification agent to validate
+//! credentials." (paper, section 3).
+//!
+//! Validation performs real SHA-256 + RSA work (from
+//! `paramecium-crypto`); simulated time is charged per signature check so
+//! the load-time cost is visible on the same cycle axis as everything
+//! else.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use paramecium_cert::{
+    certificate::{Certificate, DelegationCert, Right},
+    store::{CertStore, StoreStats},
+};
+use paramecium_machine::{cost::Cycles, Machine};
+
+use crate::{CoreResult};
+
+/// Default cost of one RSA signature verification, in simulated cycles.
+/// (A 512–1024-bit modular exponentiation with e = 65537 on early-90s
+/// hardware was on the order of a millisecond — ~10⁵ cycles.)
+pub const DEFAULT_SIG_CHECK_COST: Cycles = 100_000;
+
+/// Cost of digesting one byte of component image (SHA-256 is a few cycles
+/// per byte on simple hardware).
+pub const DIGEST_COST_PER_BYTE_NUM: Cycles = 3;
+
+/// The certification service.
+pub struct CertService {
+    machine: Arc<Mutex<Machine>>,
+    store: Mutex<CertStore>,
+    /// Simulated cycles charged per signature verification.
+    pub sig_check_cost: Cycles,
+}
+
+impl CertService {
+    /// Creates the service trusting `store`'s root key.
+    pub fn new(machine: Arc<Mutex<Machine>>, store: CertStore) -> Self {
+        CertService {
+            machine,
+            store: Mutex::new(store),
+            sig_check_cost: DEFAULT_SIG_CHECK_COST,
+        }
+    }
+
+    /// Installs a certificate and its delegation chain.
+    pub fn install(&self, cert: Certificate, chain: Vec<DelegationCert>) {
+        self.store.lock().install(cert, chain);
+    }
+
+    /// Enables or disables the validation cache (ablation knob).
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        self.store.lock().set_cache_enabled(enabled);
+    }
+
+    /// Validates `image` for `right`, charging digest and signature costs
+    /// to simulated time. This is the load-time check.
+    pub fn validate_for(&self, image: &[u8], right: Right) -> CoreResult<Certificate> {
+        let before = self.store.lock().stats();
+        let result = self.store.lock().validate_for(image, right);
+        let after = self.store.lock().stats();
+        let mut m = self.machine.lock();
+        // Digesting the image happens on every validation (cached or not —
+        // the digest is how we look the certificate up).
+        m.charge((image.len() as Cycles * DIGEST_COST_PER_BYTE_NUM).max(1));
+        let new_checks = after.signature_checks - before.signature_checks;
+        m.charge(new_checks * self.sig_check_cost);
+        Ok(result?)
+    }
+
+    /// True if the store has a certificate for this image (no validation,
+    /// no cost).
+    pub fn is_certified(&self, image: &[u8]) -> bool {
+        self.store.lock().lookup(image).is_some()
+    }
+
+    /// Store statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.store.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramecium_cert::{authority::Authority, certificate::CertifyMethod};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn service_with(image: &[u8], rights: Vec<Right>) -> CertService {
+        let root = Authority::new("root", &mut StdRng::seed_from_u64(1), 512);
+        let cert = root
+            .certify("c", image, rights, CertifyMethod::Administrator)
+            .unwrap();
+        let store = CertStore::new(root.public().clone());
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let svc = CertService::new(machine, store);
+        svc.install(cert, vec![]);
+        svc
+    }
+
+    #[test]
+    fn validation_charges_cycles() {
+        let image = b"component image";
+        let svc = service_with(image, vec![Right::RunKernel]);
+        let before = svc.machine.lock().now();
+        svc.validate_for(image, Right::RunKernel).unwrap();
+        let elapsed = svc.machine.lock().now() - before;
+        // One signature check plus digesting.
+        assert!(elapsed >= DEFAULT_SIG_CHECK_COST);
+    }
+
+    #[test]
+    fn cached_validation_is_much_cheaper() {
+        let image = b"component image";
+        let svc = service_with(image, vec![Right::RunKernel]);
+        svc.validate_for(image, Right::RunKernel).unwrap();
+        let before = svc.machine.lock().now();
+        svc.validate_for(image, Right::RunKernel).unwrap();
+        let cached = svc.machine.lock().now() - before;
+        assert!(cached < DEFAULT_SIG_CHECK_COST);
+        assert_eq!(svc.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn uncertified_image_fails() {
+        let svc = service_with(b"known", vec![Right::RunKernel]);
+        assert!(!svc.is_certified(b"unknown"));
+        assert!(svc.validate_for(b"unknown", Right::RunKernel).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! The component repository.
+//!
+//! "The Paramecium system architecture consists of a nucleus and a
+//! repository of system components." (paper, section 3). Objects are
+//! "usually loaded dynamically on demand" from here.
+//!
+//! Two component kinds exist:
+//!
+//! - **Native** components are implemented in Rust (drivers, protocol
+//!   layers, thread packages — the trusted toolbox). Their *image* is a
+//!   declared identity byte string; certificates digest that.
+//! - **Bytecode** components are downloadable code (the [`paramecium_sfi`]
+//!   instruction set). Their image is the encoded program, so certifying,
+//!   sandboxing and verifying all operate on the exact bytes that run.
+
+use std::{collections::BTreeMap, sync::Arc};
+
+use parking_lot::RwLock;
+
+use paramecium_obj::{ObjRef, ObjResult};
+use paramecium_sfi::bytecode::Program;
+
+use crate::{CoreError, CoreResult};
+
+/// Constructor for a native component instance.
+pub type NativeFactory = Arc<dyn Fn() -> ObjResult<ObjRef> + Send + Sync>;
+
+/// A stored component.
+#[derive(Clone)]
+pub enum ComponentKind {
+    /// A Rust-implemented component.
+    Native {
+        /// Identity bytes certificates digest (name + version + build id).
+        image: Vec<u8>,
+        /// Instantiates the component object.
+        factory: NativeFactory,
+    },
+    /// A downloadable bytecode component.
+    Bytecode {
+        /// The encoded program (see [`Program::encode`]).
+        image: Vec<u8>,
+    },
+}
+
+impl ComponentKind {
+    /// The certifiable image bytes.
+    pub fn image(&self) -> &[u8] {
+        match self {
+            ComponentKind::Native { image, .. } => image,
+            ComponentKind::Bytecode { image } => image,
+        }
+    }
+}
+
+impl std::fmt::Debug for ComponentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComponentKind::Native { image, .. } => f
+                .debug_struct("Native")
+                .field("image_len", &image.len())
+                .finish(),
+            ComponentKind::Bytecode { image } => f
+                .debug_struct("Bytecode")
+                .field("image_len", &image.len())
+                .finish(),
+        }
+    }
+}
+
+/// The repository: named components.
+#[derive(Default)]
+pub struct Repository {
+    components: RwLock<BTreeMap<String, ComponentKind>>,
+}
+
+impl Repository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    /// Registers a native component under `name`.
+    ///
+    /// The `version` string becomes part of the certifiable image, so
+    /// re-versioning a component invalidates old certificates.
+    pub fn add_native(
+        &self,
+        name: impl Into<String>,
+        version: &str,
+        factory: NativeFactory,
+    ) -> Vec<u8> {
+        let name = name.into();
+        let image = format!("native:{name}:{version}").into_bytes();
+        self.components.write().insert(
+            name,
+            ComponentKind::Native {
+                image: image.clone(),
+                factory,
+            },
+        );
+        image
+    }
+
+    /// Registers a bytecode component under `name`. Returns its image.
+    pub fn add_bytecode(&self, name: impl Into<String>, program: &Program) -> Vec<u8> {
+        let image = program.encode();
+        self.components
+            .write()
+            .insert(name.into(), ComponentKind::Bytecode { image: image.clone() });
+        image
+    }
+
+    /// Fetches a component.
+    pub fn get(&self, name: &str) -> CoreResult<ComponentKind> {
+        self.components
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::NoSuchComponent(name.to_owned()))
+    }
+
+    /// The certifiable image of a component.
+    pub fn image_of(&self, name: &str) -> CoreResult<Vec<u8>> {
+        Ok(self.get(name)?.image().to_vec())
+    }
+
+    /// Removes a component, returning whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.components.write().remove(name).is_some()
+    }
+
+    /// Lists all component names.
+    pub fn list(&self) -> Vec<String> {
+        self.components.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramecium_obj::ObjectBuilder;
+    use paramecium_sfi::workloads;
+
+    #[test]
+    fn native_roundtrip() {
+        let repo = Repository::new();
+        let image = repo.add_native("nic-driver", "1.0", Arc::new(|| {
+            Ok(ObjectBuilder::new("nic-driver").build())
+        }));
+        assert_eq!(repo.image_of("nic-driver").unwrap(), image);
+        match repo.get("nic-driver").unwrap() {
+            ComponentKind::Native { factory, .. } => {
+                let obj = factory().unwrap();
+                assert_eq!(obj.class(), "nic-driver");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bytecode_roundtrip() {
+        let repo = Repository::new();
+        let p = workloads::alu_loop(4);
+        let image = repo.add_bytecode("alu", &p);
+        assert_eq!(Program::decode(&image).unwrap(), p);
+        assert!(matches!(repo.get("alu").unwrap(), ComponentKind::Bytecode { .. }));
+    }
+
+    #[test]
+    fn version_changes_image() {
+        let repo = Repository::new();
+        let f: NativeFactory = Arc::new(|| Ok(ObjectBuilder::new("x").build()));
+        let v1 = repo.add_native("x", "1.0", f.clone());
+        let v2 = repo.add_native("x", "1.1", f);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn missing_component_is_an_error() {
+        let repo = Repository::new();
+        assert!(matches!(
+            repo.get("ghost"),
+            Err(CoreError::NoSuchComponent(_))
+        ));
+        assert!(!repo.remove("ghost"));
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let repo = Repository::new();
+        repo.add_bytecode("zeta", &workloads::alu_loop(1));
+        repo.add_bytecode("alpha", &workloads::alu_loop(1));
+        assert_eq!(repo.list(), vec!["alpha", "zeta"]);
+    }
+}

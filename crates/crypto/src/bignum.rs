@@ -1,0 +1,715 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! A minimal big-integer implementation sufficient for RSA: little-endian
+//! `u64` limbs, schoolbook multiplication, Knuth Algorithm D division,
+//! square-and-multiply modular exponentiation, and the extended Euclidean
+//! algorithm for modular inverses.
+//!
+//! The representation invariant is that `limbs` never has trailing zero
+//! limbs (so `Ubig::zero()` has an empty limb vector), which makes
+//! comparison by limb count correct.
+
+use std::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Ubig {
+    /// Little-endian 64-bit limbs with no trailing zeros.
+    limbs: Vec<u64>,
+}
+
+impl Ubig {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Ubig { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Ubig { limbs: vec![1] }
+    }
+
+    /// Builds from little-endian limbs, normalising trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Ubig { limbs }
+    }
+
+    /// Exposes the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Builds from a big-endian byte string (as found in keys and
+    /// signatures). Leading zero bytes are permitted.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut cur: u64 = 0;
+        let mut nbits = 0;
+        for &b in bytes.iter().rev() {
+            cur |= u64::from(b) << nbits;
+            nbits += 8;
+            if nbits == 64 {
+                limbs.push(cur);
+                cur = 0;
+                nbits = 0;
+            }
+        }
+        if nbits > 0 {
+            limbs.push(cur);
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Serialises to a big-endian byte string with no leading zeros
+    /// (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let skip = (limb.leading_zeros() / 8) as usize;
+                out.extend_from_slice(&bytes[skip.min(7)..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serialises to exactly `len` big-endian bytes, left-padded with
+    /// zeros. Returns `None` if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Option<Vec<u8>> {
+        let raw = self.to_bytes_be();
+        if raw.len() > len {
+            return None;
+        }
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        Some(out)
+    }
+
+    /// True if the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// True if the value is even (0 is even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() as u32 * 64 - top.leading_zeros(),
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        match self.limbs.get(limb) {
+            Some(l) => (l >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// The low 64 bits of the value.
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Ubig) -> Ubig {
+        let (big, small) = if self.limbs.len() >= other.limbs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = Vec::with_capacity(big.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..big.limbs.len() {
+            let b = small.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = big.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Ubig::from_limbs(out)
+    }
+
+    /// Adds a small value.
+    pub fn add_u64(&self, v: u64) -> Ubig {
+        self.add(&Ubig::from(v))
+    }
+
+    /// Subtraction; returns `None` on underflow.
+    pub fn checked_sub(&self, other: &Ubig) -> Option<Ubig> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0, "underflow despite ordering check");
+        Some(Ubig::from_limbs(out))
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`. Use [`Ubig::checked_sub`] when underflow is
+    /// possible.
+    pub fn sub(&self, other: &Ubig) -> Ubig {
+        self.checked_sub(other).expect("Ubig::sub underflow")
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &Ubig) -> Ubig {
+        if self.is_zero() || other.is_zero() {
+            return Ubig::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = u128::from(a) * u128::from(b) + u128::from(out[i + j]) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = u128::from(out[k]) + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        Ubig::from_limbs(out)
+    }
+
+    /// Left shift by `s` bits.
+    pub fn shl_bits(&self, s: u32) -> Ubig {
+        if self.is_zero() || s == 0 {
+            let mut v = self.clone();
+            if s > 0 {
+                v = Ubig::zero();
+                // Unreachable: is_zero() handled above; kept for clarity.
+            }
+            return v;
+        }
+        let limb_shift = (s / 64) as usize;
+        let bit_shift = s % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        Ubig::from_limbs(out)
+    }
+
+    /// Right shift by `s` bits.
+    pub fn shr_bits(&self, s: u32) -> Ubig {
+        let limb_shift = (s / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Ubig::zero();
+        }
+        let bit_shift = s % 64;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return Ubig::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let lo = src[i] >> bit_shift;
+            let hi = src.get(i + 1).map_or(0, |n| n << (64 - bit_shift));
+            out.push(lo | hi);
+        }
+        Ubig::from_limbs(out)
+    }
+
+    /// Division with remainder: returns `(quotient, remainder)`.
+    ///
+    /// Implements Knuth's Algorithm D with `u64` limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divrem(&self, divisor: &Ubig) -> (Ubig, Ubig) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Ubig::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0];
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut rem: u128 = 0;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | u128::from(self.limbs[i]);
+                q[i] = (cur / u128::from(d)) as u64;
+                rem = cur % u128::from(d);
+            }
+            return (Ubig::from_limbs(q), Ubig::from(rem as u64));
+        }
+
+        // Normalise so the divisor's top limb has its high bit set.
+        let s = divisor.limbs.last().expect("nonzero").leading_zeros();
+        let v = divisor.shl_bits(s);
+        let mut u = self.shl_bits(s).limbs;
+        let n = v.limbs.len();
+        let m = u.len() - n;
+        u.push(0); // Extra high limb u[m+n].
+
+        const B: u128 = 1 << 64;
+        let vn1 = u128::from(v.limbs[n - 1]);
+        let vn2 = u128::from(v.limbs[n - 2]);
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            let top = (u128::from(u[j + n]) << 64) | u128::from(u[j + n - 1]);
+            let mut qhat = top / vn1;
+            let mut rhat = top % vn1;
+            // Correct qhat down to at most one off.
+            while qhat >= B
+                || qhat * vn2 > ((rhat << 64) | u128::from(u[j + n - 2]))
+            {
+                qhat -= 1;
+                rhat += vn1;
+                if rhat >= B {
+                    break;
+                }
+            }
+            // Multiply-and-subtract u[j..=j+n] -= qhat * v.
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let p = qhat * u128::from(v.limbs[i]) + carry;
+                carry = p >> 64;
+                let d = i128::from(u[j + i]) - i128::from(p as u64) - borrow;
+                u[j + i] = d as u64;
+                borrow = i128::from(d < 0);
+            }
+            let d = i128::from(u[j + n]) - (carry as i128) - borrow;
+            u[j + n] = d as u64;
+
+            let mut qj = qhat as u64;
+            if d < 0 {
+                // qhat was one too large: add the divisor back.
+                qj -= 1;
+                let mut carry2: u128 = 0;
+                for i in 0..n {
+                    let t = u128::from(u[j + i]) + u128::from(v.limbs[i]) + carry2;
+                    u[j + i] = t as u64;
+                    carry2 = t >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry2 as u64);
+            }
+            q[j] = qj;
+        }
+
+        let r = Ubig::from_limbs(u[..n].to_vec()).shr_bits(s);
+        (Ubig::from_limbs(q), r)
+    }
+
+    /// Remainder of division.
+    pub fn rem(&self, modulus: &Ubig) -> Ubig {
+        self.divrem(modulus).1
+    }
+
+    /// Modular multiplication `self * other mod m`.
+    pub fn modmul(&self, other: &Ubig, m: &Ubig) -> Ubig {
+        self.mul(other).rem(m)
+    }
+
+    /// Modular exponentiation `self^exp mod m` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &Ubig, m: &Ubig) -> Ubig {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return Ubig::zero();
+        }
+        let mut base = self.rem(m);
+        let mut result = Ubig::one();
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.modmul(&base, m);
+            }
+            if i + 1 < exp.bit_len() {
+                base = base.modmul(&base, m);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &Ubig) -> Ubig {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse: the `x` with `self * x ≡ 1 (mod m)`, if it exists.
+    pub fn modinv(&self, m: &Ubig) -> Option<Ubig> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        // Extended Euclid with signed Bezout coefficients for `self`.
+        let (mut old_r, mut r) = (self.rem(m), m.clone());
+        let (mut old_t, mut t) = (Signed::pos(Ubig::one()), Signed::pos(Ubig::zero()));
+        while !r.is_zero() {
+            let (q, rem) = old_r.divrem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            let qt = t.mul_ubig(&q);
+            let new_t = old_t.sub(&qt);
+            old_t = std::mem::replace(&mut t, new_t);
+        }
+        if !old_r.is_one() {
+            return None;
+        }
+        Some(old_t.rem_positive(m))
+    }
+}
+
+/// A signed big integer used internally by the extended Euclidean
+/// algorithm.
+#[derive(Clone, Debug)]
+struct Signed {
+    neg: bool,
+    mag: Ubig,
+}
+
+impl Signed {
+    fn pos(mag: Ubig) -> Self {
+        Signed { neg: false, mag }
+    }
+
+    fn mul_ubig(&self, v: &Ubig) -> Signed {
+        Signed {
+            neg: self.neg && !v.is_zero(),
+            mag: self.mag.mul(v),
+        }
+    }
+
+    fn sub(&self, other: &Signed) -> Signed {
+        match (self.neg, other.neg) {
+            // a - (-b) = a + b ; (-a) - b = -(a + b)
+            (false, true) => Signed { neg: false, mag: self.mag.add(&other.mag) },
+            (true, false) => Signed { neg: true, mag: self.mag.add(&other.mag) },
+            // Same sign: compare magnitudes.
+            (sn, _) => {
+                if self.mag >= other.mag {
+                    Signed { neg: sn, mag: self.mag.sub(&other.mag) }
+                } else {
+                    Signed { neg: !sn, mag: other.mag.sub(&self.mag) }
+                }
+            }
+        }
+    }
+
+    /// Reduces into `[0, m)`.
+    fn rem_positive(&self, m: &Ubig) -> Ubig {
+        let r = self.mag.rem(m);
+        if self.neg && !r.is_zero() {
+            m.sub(&r)
+        } else {
+            r
+        }
+    }
+}
+
+impl From<u64> for Ubig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Ubig::zero()
+        } else {
+            Ubig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for Ubig {
+    fn from(v: u128) -> Self {
+        Ubig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl PartialOrd for Ubig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ubig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl std::fmt::Display for Ubig {
+    /// Formats as lowercase hex (the natural base for fingerprints).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0x0");
+        }
+        write!(f, "0x{:x}", self.limbs.last().expect("nonzero"))?;
+        for l in self.limbs.iter().rev().skip(1) {
+            write!(f, "{l:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    fn construction_normalises() {
+        assert_eq!(Ubig::from_limbs(vec![0, 0, 0]), Ubig::zero());
+        assert_eq!(Ubig::from_limbs(vec![5, 0]), Ubig::from(5u64));
+        assert!(Ubig::zero().is_zero());
+        assert!(Ubig::one().is_one());
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        for v in [0u128, 1, 255, 256, u128::from(u64::MAX), u128::MAX] {
+            let b = big(v);
+            assert_eq!(Ubig::from_bytes_be(&b.to_bytes_be()), b);
+        }
+        // Leading zeros are accepted on input and never produced on output.
+        assert_eq!(Ubig::from_bytes_be(&[0, 0, 1, 2]), big(0x0102));
+        assert_eq!(big(0x0102).to_bytes_be(), vec![1, 2]);
+        assert_eq!(Ubig::zero().to_bytes_be(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn padded_bytes() {
+        assert_eq!(big(0x0102).to_bytes_be_padded(4), Some(vec![0, 0, 1, 2]));
+        assert_eq!(big(0x010203).to_bytes_be_padded(2), None);
+        assert_eq!(Ubig::zero().to_bytes_be_padded(2), Some(vec![0, 0]));
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let v = big(0b1011);
+        assert_eq!(v.bit_len(), 4);
+        assert!(v.bit(0) && v.bit(1) && !v.bit(2) && v.bit(3) && !v.bit(64));
+        assert_eq!(Ubig::zero().bit_len(), 0);
+        assert_eq!(big(1u128 << 100).bit_len(), 101);
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert_eq!(big(3).add(&big(4)), big(7));
+        let max = Ubig::from(u64::MAX);
+        assert_eq!(max.add(&Ubig::one()), big(1u128 << 64));
+        assert_eq!(big(1u128 << 64).sub(&Ubig::one()), Ubig::from(u64::MAX));
+        assert_eq!(big(5).checked_sub(&big(9)), None);
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(big(0).mul(&big(100)), big(0));
+        assert_eq!(big(7).mul(&big(6)), big(42));
+        let a = Ubig::from(u64::MAX);
+        assert_eq!(a.mul(&a), big((u128::from(u64::MAX)) * u128::from(u64::MAX)));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(big(1).shl_bits(64), big(1u128 << 64));
+        assert_eq!(big(1u128 << 64).shr_bits(64), big(1));
+        assert_eq!(big(0b1010).shl_bits(3), big(0b1010000));
+        assert_eq!(big(0b1010000).shr_bits(3), big(0b1010));
+        assert_eq!(big(5).shr_bits(200), Ubig::zero());
+    }
+
+    #[test]
+    fn divrem_small_divisor() {
+        let (q, r) = big(1000).divrem(&big(7));
+        assert_eq!((q, r), (big(142), big(6)));
+        let (q, r) = big(5).divrem(&big(9));
+        assert_eq!((q, r), (Ubig::zero(), big(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(1).divrem(&Ubig::zero());
+    }
+
+    #[test]
+    fn modpow_small() {
+        // 4^13 mod 497 = 445 (classic example).
+        assert_eq!(big(4).modpow(&big(13), &big(497)), big(445));
+        assert_eq!(big(7).modpow(&Ubig::zero(), &big(13)), Ubig::one());
+        assert_eq!(big(7).modpow(&big(5), &Ubig::one()), Ubig::zero());
+    }
+
+    #[test]
+    fn modinv_small() {
+        // 3 * 4 = 12 ≡ 1 (mod 11).
+        assert_eq!(big(3).modinv(&big(11)), Some(big(4)));
+        // gcd(4, 8) != 1 → no inverse.
+        assert_eq!(big(4).modinv(&big(8)), None);
+        assert_eq!(big(3).modinv(&Ubig::one()), None);
+        // 65537 mod small phi.
+        let e = big(65537);
+        let phi = big(3120);
+        if let Some(d) = e.modinv(&phi) {
+            assert_eq!(e.mul(&d).rem(&phi), Ubig::one());
+        }
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(Ubig::zero().to_string(), "0x0");
+        assert_eq!(big(0xdeadbeef).to_string(), "0xdeadbeef");
+        assert_eq!(
+            big((1u128 << 64) + 2).to_string(),
+            "0x10000000000000002"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let sum = big(u128::from(a) + u128::from(b));
+            prop_assert_eq!(Ubig::from(a).add(&Ubig::from(b)), sum);
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let prod = big(u128::from(a) * u128::from(b));
+            prop_assert_eq!(Ubig::from(a).mul(&Ubig::from(b)), prod);
+        }
+
+        #[test]
+        fn prop_divrem_matches_u128(a in any::<u128>(), b in 1u128..) {
+            let (q, r) = big(a).divrem(&big(b));
+            prop_assert_eq!(q, big(a / b));
+            prop_assert_eq!(r, big(a % b));
+        }
+
+        #[test]
+        fn prop_divrem_identity(
+            a in proptest::collection::vec(any::<u64>(), 1..8),
+            b in proptest::collection::vec(any::<u64>(), 1..5),
+        ) {
+            let a = Ubig::from_limbs(a);
+            let b = Ubig::from_limbs(b);
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.divrem(&b);
+            // a = q*b + r and r < b.
+            prop_assert!(r < b);
+            prop_assert_eq!(q.mul(&b).add(&r), a);
+        }
+
+        #[test]
+        fn prop_add_sub_roundtrip(
+            a in proptest::collection::vec(any::<u64>(), 0..6),
+            b in proptest::collection::vec(any::<u64>(), 0..6),
+        ) {
+            let a = Ubig::from_limbs(a);
+            let b = Ubig::from_limbs(b);
+            prop_assert_eq!(a.add(&b).sub(&b), a);
+        }
+
+        #[test]
+        fn prop_shift_roundtrip(
+            a in proptest::collection::vec(any::<u64>(), 0..5),
+            s in 0u32..200,
+        ) {
+            let a = Ubig::from_limbs(a);
+            prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+        }
+
+        #[test]
+        fn prop_byte_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let v = Ubig::from_bytes_be(&bytes);
+            prop_assert_eq!(Ubig::from_bytes_be(&v.to_bytes_be()), v);
+        }
+
+        #[test]
+        fn prop_modpow_matches_naive(
+            base in any::<u64>(), exp in 0u32..40, m in 2u64..,
+        ) {
+            let m_big = Ubig::from(m);
+            let got = Ubig::from(base).modpow(&Ubig::from(u64::from(exp)), &m_big);
+            // Naive iterated modmul oracle.
+            let mut want = Ubig::one().rem(&m_big);
+            for _ in 0..exp {
+                want = want.modmul(&Ubig::from(base), &m_big);
+            }
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_modinv_is_inverse(a in 1u64.., m in 2u64..) {
+            let (a, m) = (Ubig::from(a), Ubig::from(m));
+            if let Some(inv) = a.modinv(&m) {
+                prop_assert!(inv < m);
+                prop_assert_eq!(a.modmul(&inv, &m), Ubig::one());
+            } else {
+                prop_assert!(!a.gcd(&m).is_one());
+            }
+        }
+
+        #[test]
+        fn prop_gcd_divides(a in 1u64.., b in 1u64..) {
+            let g = Ubig::from(a).gcd(&Ubig::from(b));
+            prop_assert!(!g.is_zero());
+            prop_assert!(Ubig::from(a).rem(&g).is_zero());
+            prop_assert!(Ubig::from(b).rem(&g).is_zero());
+        }
+
+        #[test]
+        fn prop_cmp_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Serialisable RSA key material.
+//!
+//! Keys use a simple length-prefixed binary encoding (this system predates
+//! and does not need ASN.1): magic byte, then each integer as a `u32`
+//! length followed by big-endian bytes.
+
+use crate::{bignum::Ubig, encode::to_hex, sha256::sha256, CryptoError};
+
+/// Magic byte tagging an encoded public key.
+const PUB_MAGIC: u8 = 0xA1;
+/// Magic byte tagging an encoded private key.
+const PRIV_MAGIC: u8 = 0xA2;
+
+/// An RSA public key `(n, e)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicKey {
+    /// Modulus.
+    pub n: Ubig,
+    /// Public exponent.
+    pub e: Ubig,
+}
+
+/// An RSA private key `(n, d)` (CRT parameters omitted for simplicity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrivateKey {
+    /// Modulus.
+    pub n: Ubig,
+    /// Private exponent.
+    pub d: Ubig,
+}
+
+/// A public/private key pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyPair {
+    /// The public half, freely distributable.
+    pub public: PublicKey,
+    /// The private half.
+    pub private: PrivateKey,
+}
+
+fn put_int(out: &mut Vec<u8>, v: &Ubig) {
+    let bytes = v.to_bytes_be();
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&bytes);
+}
+
+fn get_int(buf: &[u8], pos: &mut usize) -> Result<Ubig, CryptoError> {
+    let err = || CryptoError::MalformedKey("truncated key encoding".into());
+    let len_bytes = buf.get(*pos..*pos + 4).ok_or_else(err)?;
+    *pos += 4;
+    let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+    let bytes = buf.get(*pos..*pos + len).ok_or_else(err)?;
+    *pos += len;
+    Ok(Ubig::from_bytes_be(bytes))
+}
+
+impl PublicKey {
+    /// Serialises to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![PUB_MAGIC];
+        put_int(&mut out, &self.n);
+        put_int(&mut out, &self.e);
+        out
+    }
+
+    /// Deserialises from bytes produced by [`PublicKey::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CryptoError> {
+        if buf.first() != Some(&PUB_MAGIC) {
+            return Err(CryptoError::MalformedKey("bad public key magic".into()));
+        }
+        let mut pos = 1;
+        let n = get_int(buf, &mut pos)?;
+        let e = get_int(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(CryptoError::MalformedKey("trailing bytes".into()));
+        }
+        if n.is_zero() || e.is_zero() {
+            return Err(CryptoError::MalformedKey("zero modulus or exponent".into()));
+        }
+        Ok(PublicKey { n, e })
+    }
+
+    /// A short, stable fingerprint of the key (hex SHA-256 prefix), used to
+    /// identify principals in certificates and audit logs.
+    pub fn fingerprint(&self) -> String {
+        to_hex(&sha256(&self.to_bytes())[..8])
+    }
+
+    /// Modulus size in whole bytes (the signature length).
+    pub fn modulus_len(&self) -> usize {
+        (self.n.bit_len() as usize).div_ceil(8)
+    }
+}
+
+impl PrivateKey {
+    /// Serialises to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![PRIV_MAGIC];
+        put_int(&mut out, &self.n);
+        put_int(&mut out, &self.d);
+        out
+    }
+
+    /// Deserialises from bytes produced by [`PrivateKey::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CryptoError> {
+        if buf.first() != Some(&PRIV_MAGIC) {
+            return Err(CryptoError::MalformedKey("bad private key magic".into()));
+        }
+        let mut pos = 1;
+        let n = get_int(buf, &mut pos)?;
+        let d = get_int(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(CryptoError::MalformedKey("trailing bytes".into()));
+        }
+        Ok(PrivateKey { n, d })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> PublicKey {
+        PublicKey {
+            n: Ubig::from(0xdeadbeefu64),
+            e: Ubig::from(65537u64),
+        }
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let k = key();
+        assert_eq!(PublicKey::from_bytes(&k.to_bytes()).unwrap(), k);
+    }
+
+    #[test]
+    fn private_key_roundtrip() {
+        let k = PrivateKey {
+            n: Ubig::from(12345u64),
+            d: Ubig::from(678u64),
+        };
+        assert_eq!(PrivateKey::from_bytes(&k.to_bytes()).unwrap(), k);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let k = key();
+        let mut b = k.to_bytes();
+        b[0] = PRIV_MAGIC;
+        assert!(PublicKey::from_bytes(&b).is_err());
+        assert!(PublicKey::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let b = key().to_bytes();
+        for cut in 0..b.len() {
+            assert!(PublicKey::from_bytes(&b[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = key().to_bytes();
+        b.push(0);
+        assert!(PublicKey::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn fingerprints_differ_per_key() {
+        let a = key();
+        let b = PublicKey {
+            n: Ubig::from(0xdeadbeeeu64),
+            e: Ubig::from(65537u64),
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn modulus_len_rounds_up() {
+        assert_eq!(key().modulus_len(), 4);
+        let k = PublicKey {
+            n: Ubig::from(0x1ffu64),
+            e: Ubig::from(3u64),
+        };
+        assert_eq!(k.modulus_len(), 2);
+    }
+}

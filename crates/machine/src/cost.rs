@@ -1,0 +1,175 @@
+//! The cycle cost model.
+//!
+//! Every mechanism in the reproduction charges simulated cycles through a
+//! [`CostModel`]. Absolute values are loosely calibrated to early-90s SPARC
+//! folklore (traps cost on the order of a hundred cycles, a cross-context
+//! switch several hundred once TLB/cache effects are included, a procedure
+//! call a handful). The *ratios* are what matter: the paper's arguments are
+//! about relative costs — method call vs. procedure call, cross-domain trap
+//! vs. local call, run-time checks vs. a one-off load-time check.
+
+/// Simulated processor cycles.
+pub type Cycles = u64;
+
+/// Cost (in cycles) of each primitive hardware or software event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// One ordinary ALU instruction.
+    pub insn: Cycles,
+    /// A procedure call + return (register-window friendly).
+    pub call: Cycles,
+    /// An indirect call through a method table (the object-model dispatch).
+    pub indirect_call: Cycles,
+    /// Entering a trap handler (mode switch, save window).
+    pub trap_enter: Cycles,
+    /// Returning from a trap handler.
+    pub trap_exit: Cycles,
+    /// Switching the MMU to another context (context register write plus
+    /// pipeline effects; TLB entries are tagged so no full flush).
+    pub context_switch: Cycles,
+    /// A TLB hit (free lookup, charged as part of the access).
+    pub tlb_hit: Cycles,
+    /// A TLB miss requiring a page-table walk.
+    pub tlb_miss: Cycles,
+    /// Dispatching one interrupt through the controller.
+    pub irq_dispatch: Cycles,
+    /// Reading or writing one device register.
+    pub io_access: Cycles,
+    /// Mapping one page into another address space (the alternative to
+    /// copying for large arguments: page-table write + TLB shootdown).
+    pub page_map: Cycles,
+    /// Copying one byte between address spaces (marshalling).
+    pub copy_per_byte_num: Cycles,
+    /// Bytes copied per `copy_per_byte_num` cycles (denominator).
+    pub copy_per_byte_den: Cycles,
+    /// Creating a full thread (stack allocation + TCB + queue insertion).
+    pub thread_create: Cycles,
+    /// Creating a proto-thread (borrowed stack, no TCB yet).
+    pub proto_thread_create: Cycles,
+    /// Promoting a proto-thread to a full thread.
+    pub proto_thread_promote: Cycles,
+    /// One scheduler decision (pick next runnable).
+    pub schedule: Cycles,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            insn: 1,
+            call: 5,
+            indirect_call: 8,
+            trap_enter: 120,
+            trap_exit: 80,
+            context_switch: 350,
+            tlb_hit: 0,
+            tlb_miss: 30,
+            irq_dispatch: 60,
+            io_access: 20,
+            page_map: 180,
+            copy_per_byte_num: 1,
+            copy_per_byte_den: 4,
+            thread_create: 900,
+            proto_thread_create: 40,
+            proto_thread_promote: 500,
+            schedule: 50,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of copying `bytes` bytes between address spaces.
+    pub fn copy_cost(&self, bytes: usize) -> Cycles {
+        (bytes as Cycles * self.copy_per_byte_num).div_ceil(self.copy_per_byte_den.max(1))
+    }
+
+    /// A model where everything is free — useful for tests that assert on
+    /// logical behaviour only.
+    pub fn free() -> Self {
+        CostModel {
+            insn: 0,
+            call: 0,
+            indirect_call: 0,
+            trap_enter: 0,
+            trap_exit: 0,
+            context_switch: 0,
+            tlb_hit: 0,
+            tlb_miss: 0,
+            irq_dispatch: 0,
+            io_access: 0,
+            page_map: 0,
+            copy_per_byte_num: 0,
+            copy_per_byte_den: 1,
+            thread_create: 0,
+            proto_thread_create: 0,
+            proto_thread_promote: 0,
+            schedule: 0,
+        }
+    }
+}
+
+/// A monotonically increasing cycle counter.
+#[derive(Clone, Debug, Default)]
+pub struct CycleCounter {
+    now: Cycles,
+}
+
+impl CycleCounter {
+    /// Creates a counter at cycle 0.
+    pub fn new() -> Self {
+        CycleCounter { now: 0 }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Advances time by `cycles`.
+    pub fn charge(&mut self, cycles: Cycles) {
+        self.now = self.now.saturating_add(cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_cost_rounds_up() {
+        let m = CostModel::default(); // 1 cycle per 4 bytes.
+        assert_eq!(m.copy_cost(0), 0);
+        assert_eq!(m.copy_cost(1), 1);
+        assert_eq!(m.copy_cost(4), 1);
+        assert_eq!(m.copy_cost(5), 2);
+        assert_eq!(m.copy_cost(4096), 1024);
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = CostModel::free();
+        assert_eq!(m.copy_cost(100_000), 0);
+        assert_eq!(m.trap_enter + m.context_switch + m.thread_create, 0);
+    }
+
+    #[test]
+    fn counter_is_monotonic_and_saturating() {
+        let mut c = CycleCounter::new();
+        c.charge(10);
+        c.charge(5);
+        assert_eq!(c.now(), 15);
+        c.charge(Cycles::MAX);
+        assert_eq!(c.now(), Cycles::MAX);
+    }
+
+    #[test]
+    fn default_model_orders_costs_plausibly() {
+        // The relative order the paper's arguments rely on.
+        let m = CostModel::default();
+        assert!(m.insn < m.call);
+        assert!(m.call <= m.indirect_call);
+        assert!(m.indirect_call < m.trap_enter);
+        assert!(m.trap_enter + m.trap_exit < m.trap_enter + m.trap_exit + m.context_switch);
+        assert!(m.proto_thread_create < m.thread_create);
+        assert!(m.proto_thread_create + m.proto_thread_promote <= m.thread_create);
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulated devices.
+//!
+//! Each device exposes a small register file (accessed through I/O space by
+//! drivers) and may raise interrupt lines when ticked. Devices also expose
+//! plain-Rust *host-side* methods (injecting packets, reading console
+//! output) used by tests and workload generators — the simulation
+//! equivalent of the wire or the keyboard.
+
+pub mod console;
+pub mod disk;
+pub mod nic;
+pub mod timer;
+
+pub use console::Console;
+pub use disk::Disk;
+pub use nic::Nic;
+pub use timer::Timer;
+
+use crate::{cost::Cycles, irq::IrqController, MachineResult};
+
+/// A simulated device with a register interface.
+pub trait Device: Send {
+    /// Stable device name, used for I/O-space bookkeeping.
+    fn name(&self) -> &str;
+
+    /// Reads a 32-bit device register at byte offset `offset`.
+    fn read_reg(&mut self, offset: u64) -> MachineResult<u32>;
+
+    /// Writes a 32-bit device register.
+    fn write_reg(&mut self, offset: u64, value: u32) -> MachineResult<()>;
+
+    /// Advances device time to `now`; the device may raise interrupts.
+    fn tick(&mut self, now: Cycles, irq: &mut IrqController);
+
+    /// Dynamic downcast support (host-side access to concrete devices).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}

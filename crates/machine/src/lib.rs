@@ -1,0 +1,82 @@
+//! Simulated hardware substrate for the Paramecium reproduction.
+//!
+//! The paper targets SPARCstations: a real MMU with numbered contexts,
+//! traps that are "expensive on our target hardware", device interrupts and
+//! memory-mapped I/O. We have none of that, so this crate provides a
+//! deterministic software model of the same abstractions:
+//!
+//! - [`cost`] — a configurable cycle-cost model (the time base for every
+//!   experiment; loosely calibrated to early-90s SPARC relative costs),
+//! - [`phys`] — physical memory and frame allocation,
+//! - [`mmu`] — per-context page tables with R/W/X protection,
+//! - [`tlb`] — a small translation cache with hit/miss accounting,
+//! - [`trap`] — trap kinds and vectors (page fault, syscall, interrupt…),
+//! - [`irq`] — a prioritised interrupt controller,
+//! - [`io`] — I/O-space regions for device registers and buffers,
+//! - [`dev`] — devices: a timer, a network interface, a console,
+//! - [`machine`] — the [`Machine`] tying it all together.
+//!
+//! The machine is *passive*: it never calls up into the kernel. The nucleus
+//! (in `paramecium-core`) performs translations, observes faults, polls the
+//! interrupt controller and charges cycle costs through this crate's
+//! accounting. That keeps the dependency arrow pointing the right way and
+//! makes every experiment deterministic and single-threaded by
+//! construction.
+
+pub mod cost;
+pub mod dev;
+pub mod io;
+pub mod irq;
+pub mod machine;
+pub mod mmu;
+pub mod phys;
+pub mod tlb;
+pub mod trap;
+
+pub use cost::{CostModel, Cycles};
+pub use io::{IoRegionId, IoSpace};
+pub use machine::Machine;
+pub use mmu::{Access, ContextId, Fault, FaultKind, Perms, PAGE_SIZE};
+pub use phys::{FrameId, PhysMem};
+pub use trap::{Trap, TrapKind};
+
+/// Errors surfaced by the machine model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// Physical memory is exhausted.
+    OutOfFrames,
+    /// A physical address was out of range.
+    BadPhysAddr(u64),
+    /// The referenced MMU context does not exist.
+    NoSuchContext(u16),
+    /// A virtual access faulted (not mapped / protection).
+    Fault(Fault),
+    /// An I/O-space operation failed.
+    Io(String),
+    /// A device reported an error.
+    Device(String),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::OutOfFrames => write!(f, "out of physical frames"),
+            MachineError::BadPhysAddr(a) => write!(f, "bad physical address {a:#x}"),
+            MachineError::NoSuchContext(c) => write!(f, "no MMU context {c}"),
+            MachineError::Fault(fault) => write!(f, "memory fault: {fault}"),
+            MachineError::Io(m) => write!(f, "I/O space error: {m}"),
+            MachineError::Device(m) => write!(f, "device error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<Fault> for MachineError {
+    fn from(fault: Fault) -> Self {
+        MachineError::Fault(fault)
+    }
+}
+
+/// Convenient result alias.
+pub type MachineResult<T> = Result<T, MachineError>;

@@ -1,0 +1,286 @@
+//! The assembled machine.
+//!
+//! [`Machine`] ties together physical memory, the MMU, the interrupt
+//! controller, the I/O space and the devices, and owns the cycle counter.
+//! It is the *only* mutable root the nucleus needs.
+
+use std::collections::BTreeMap;
+
+use crate::{
+    cost::{CostModel, CycleCounter, Cycles},
+    dev::{Console, Device, Disk, Nic, Timer},
+    io::IoSpace,
+    irq::IrqController,
+    mmu::{Access, ContextId, Mmu, PAGE_SIZE},
+    phys::PhysMem,
+    MachineError, MachineResult,
+};
+
+/// Default number of physical frames (16 MiB of simulated RAM).
+pub const DEFAULT_FRAMES: usize = 4096;
+
+/// Default TLB capacity.
+pub const DEFAULT_TLB_ENTRIES: usize = 64;
+
+/// Default disk size in sectors (4 MiB).
+pub const DEFAULT_DISK_SECTORS: usize = 8192;
+
+/// The simulated machine.
+pub struct Machine {
+    /// The cost model in force.
+    pub cost: CostModel,
+    counter: CycleCounter,
+    /// Physical memory.
+    pub phys: PhysMem,
+    /// The MMU (contexts, page tables, TLB).
+    pub mmu: Mmu,
+    /// The interrupt controller.
+    pub irq: IrqController,
+    /// The I/O-space allocator.
+    pub io: IoSpace,
+    devices: BTreeMap<String, Box<dyn Device>>,
+}
+
+impl Machine {
+    /// Builds a machine with default sizing, the default cost model, and
+    /// the standard devices (timer, NIC, console).
+    pub fn new() -> Self {
+        Self::with_config(CostModel::default(), DEFAULT_FRAMES, DEFAULT_TLB_ENTRIES)
+    }
+
+    /// Builds a machine with explicit cost model and sizing.
+    pub fn with_config(cost: CostModel, frames: usize, tlb_entries: usize) -> Self {
+        let mut m = Machine {
+            cost,
+            counter: CycleCounter::new(),
+            phys: PhysMem::new(frames),
+            mmu: Mmu::new(tlb_entries),
+            irq: IrqController::new(),
+            io: IoSpace::new(),
+            devices: BTreeMap::new(),
+        };
+        m.register_device(Box::new(Timer::new()));
+        m.register_device(Box::new(Nic::new()));
+        m.register_device(Box::new(Console::new()));
+        m.register_device(Box::new(Disk::new(DEFAULT_DISK_SECTORS)));
+        m
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> Cycles {
+        self.counter.now()
+    }
+
+    /// Charges `cycles` of work.
+    pub fn charge(&mut self, cycles: Cycles) {
+        self.counter.charge(cycles);
+    }
+
+    /// Advances time by `cycles` and lets every device observe the new
+    /// time (raising interrupts as needed).
+    pub fn tick(&mut self, cycles: Cycles) {
+        self.counter.charge(cycles);
+        let now = self.counter.now();
+        for dev in self.devices.values_mut() {
+            dev.tick(now, &mut self.irq);
+        }
+    }
+
+    /// Registers an additional device.
+    pub fn register_device(&mut self, dev: Box<dyn Device>) {
+        self.devices.insert(dev.name().to_owned(), dev);
+    }
+
+    /// Host-side typed access to a device (e.g. to inject NIC frames).
+    pub fn device_mut<T: 'static>(&mut self, name: &str) -> Option<&mut T> {
+        self.devices.get_mut(name)?.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Reads a device register, charging the I/O access cost.
+    pub fn io_read(&mut self, device: &str, offset: u64) -> MachineResult<u32> {
+        self.counter.charge(self.cost.io_access);
+        self.devices
+            .get_mut(device)
+            .ok_or_else(|| MachineError::Device(format!("no device `{device}`")))?
+            .read_reg(offset)
+    }
+
+    /// Writes a device register, charging the I/O access cost.
+    pub fn io_write(&mut self, device: &str, offset: u64, value: u32) -> MachineResult<()> {
+        self.counter.charge(self.cost.io_access);
+        self.devices
+            .get_mut(device)
+            .ok_or_else(|| MachineError::Device(format!("no device `{device}`")))?
+            .write_reg(offset, value)
+    }
+
+    /// Translates one access, charging TLB hit/miss costs.
+    pub fn translate(
+        &mut self,
+        ctx: ContextId,
+        vaddr: u64,
+        access: Access,
+    ) -> MachineResult<u64> {
+        match self.mmu.translate(ctx, vaddr, access) {
+            Ok(t) => {
+                self.counter.charge(if t.tlb_hit {
+                    self.cost.tlb_hit
+                } else {
+                    self.cost.tlb_miss
+                });
+                Ok(t.paddr)
+            }
+            Err(fault) => {
+                // The hardware walked the page table before faulting.
+                self.counter.charge(self.cost.tlb_miss);
+                Err(MachineError::Fault(fault))
+            }
+        }
+    }
+
+    /// Reads virtual memory in `ctx`, handling page crossings. Charges
+    /// translation and copy costs.
+    pub fn read_virt(&mut self, ctx: ContextId, vaddr: u64, buf: &mut [u8]) -> MachineResult<()> {
+        self.counter.charge(self.cost.copy_cost(buf.len()));
+        let mut done = 0usize;
+        while done < buf.len() {
+            let va = vaddr + done as u64;
+            let paddr = self.translate(ctx, va, Access::Read)?;
+            let in_page = PAGE_SIZE - (va as usize % PAGE_SIZE);
+            let take = in_page.min(buf.len() - done);
+            self.phys.read(paddr, &mut buf[done..done + take])?;
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Writes virtual memory in `ctx`, handling page crossings. Charges
+    /// translation and copy costs.
+    pub fn write_virt(&mut self, ctx: ContextId, vaddr: u64, buf: &[u8]) -> MachineResult<()> {
+        self.counter.charge(self.cost.copy_cost(buf.len()));
+        let mut done = 0usize;
+        while done < buf.len() {
+            let va = vaddr + done as u64;
+            let paddr = self.translate(ctx, va, Access::Write)?;
+            let in_page = PAGE_SIZE - (va as usize % PAGE_SIZE);
+            let take = in_page.min(buf.len() - done);
+            self.phys.write(paddr, &buf[done..done + take])?;
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Performs a context switch, charging its cost only when the context
+    /// actually changes.
+    pub fn switch_context(&mut self, ctx: ContextId) -> MachineResult<()> {
+        if self.mmu.switch_context(ctx)? {
+            self.counter.charge(self.cost.context_switch);
+        }
+        Ok(())
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        dev::nic::Nic,
+        mmu::{Perms, KERNEL_CONTEXT},
+    };
+
+    #[test]
+    fn time_advances_with_charges() {
+        let mut m = Machine::new();
+        assert_eq!(m.now(), 0);
+        m.charge(100);
+        m.tick(50);
+        assert_eq!(m.now(), 150);
+    }
+
+    #[test]
+    fn virtual_rw_roundtrip_with_page_crossing() {
+        let mut m = Machine::new();
+        let ctx = m.mmu.create_context();
+        let f1 = m.phys.alloc_frame().unwrap();
+        let f2 = m.phys.alloc_frame().unwrap();
+        m.mmu.map(ctx, 0x10000, f1, Perms::RW).unwrap();
+        m.mmu.map(ctx, 0x11000, f2, Perms::RW).unwrap();
+        // Write straddling the page boundary.
+        let data: Vec<u8> = (0..64).collect();
+        m.write_virt(ctx, 0x10FE0, &data).unwrap();
+        let mut out = vec![0u8; 64];
+        m.read_virt(ctx, 0x10FE0, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn unmapped_write_faults_and_charges_nothing_extra() {
+        let mut m = Machine::new();
+        let ctx = m.mmu.create_context();
+        let err = m.write_virt(ctx, 0x5000, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, MachineError::Fault(_)));
+    }
+
+    #[test]
+    fn translation_charges_miss_then_hit() {
+        let mut m = Machine::new();
+        let f = m.phys.alloc_frame().unwrap();
+        m.mmu.map(KERNEL_CONTEXT, 0x4000, f, Perms::RW).unwrap();
+        let t0 = m.now();
+        m.translate(KERNEL_CONTEXT, 0x4000, Access::Read).unwrap();
+        let miss_cost = m.now() - t0;
+        assert_eq!(miss_cost, m.cost.tlb_miss);
+        let t1 = m.now();
+        m.translate(KERNEL_CONTEXT, 0x4000, Access::Read).unwrap();
+        assert_eq!(m.now() - t1, m.cost.tlb_hit);
+    }
+
+    #[test]
+    fn context_switch_charges_only_on_change() {
+        let mut m = Machine::new();
+        let ctx = m.mmu.create_context();
+        let t0 = m.now();
+        m.switch_context(ctx).unwrap();
+        assert_eq!(m.now() - t0, m.cost.context_switch);
+        let t1 = m.now();
+        m.switch_context(ctx).unwrap();
+        assert_eq!(m.now() - t1, 0);
+    }
+
+    #[test]
+    fn devices_reachable_by_io_and_host_side() {
+        let mut m = Machine::new();
+        // Host side: inject a frame.
+        m.device_mut::<Nic>("nic").unwrap().inject_rx(vec![9, 9]);
+        // Device tick raises the IRQ.
+        m.tick(1);
+        assert!(m.irq.has_pending());
+        // Driver side: registers via I/O.
+        assert_eq!(m.io_read("nic", crate::dev::nic::regs::RX_AVAIL).unwrap(), 1);
+        assert!(m.io_read("ghost", 0).is_err());
+    }
+
+    #[test]
+    fn io_access_charges_cycles() {
+        let mut m = Machine::new();
+        let t0 = m.now();
+        m.io_read("nic", crate::dev::nic::regs::RX_AVAIL).unwrap();
+        assert_eq!(m.now() - t0, m.cost.io_access);
+    }
+
+    #[test]
+    fn timer_fires_through_machine_tick() {
+        let mut m = Machine::new();
+        m.io_write("timer", crate::dev::timer::regs::PERIOD, 100).unwrap();
+        m.io_write("timer", crate::dev::timer::regs::CTRL, 1).unwrap();
+        m.tick(10); // Arms.
+        m.tick(300);
+        assert!(m.irq.has_pending());
+    }
+}

@@ -1,0 +1,156 @@
+//! Processor traps: the events the nucleus's event service dispatches.
+//!
+//! "All processor events (traps and interrupts) are handled by this
+//! service" (paper, section 3). The machine model produces [`Trap`]s; the
+//! nucleus routes them to registered call-backs.
+
+use crate::mmu::Fault;
+
+/// The kind of processor event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// A memory-management fault.
+    PageFault,
+    /// A system call trap with its number.
+    Syscall,
+    /// A device interrupt on an IRQ line.
+    Interrupt,
+    /// An illegal or privileged instruction in user mode.
+    IllegalInstruction,
+    /// Integer division by zero.
+    DivideByZero,
+    /// An explicit breakpoint / debug trap.
+    Breakpoint,
+    /// Misaligned memory access.
+    Misaligned,
+}
+
+impl TrapKind {
+    /// The hardware vector number for this trap kind (interrupt lines are
+    /// offset by [`IRQ_VECTOR_BASE`]).
+    pub fn vector(self) -> u32 {
+        match self {
+            TrapKind::PageFault => 1,
+            TrapKind::Syscall => 2,
+            TrapKind::IllegalInstruction => 3,
+            TrapKind::DivideByZero => 4,
+            TrapKind::Breakpoint => 5,
+            TrapKind::Misaligned => 6,
+            TrapKind::Interrupt => IRQ_VECTOR_BASE,
+        }
+    }
+}
+
+/// First vector used by device interrupts: vector = base + IRQ line.
+pub const IRQ_VECTOR_BASE: u32 = 16;
+
+/// Total number of event vectors the event service manages.
+pub const NUM_VECTORS: u32 = IRQ_VECTOR_BASE + crate::irq::NUM_IRQ_LINES;
+
+/// A processor event instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trap {
+    /// What happened.
+    pub kind: TrapKind,
+    /// The vector to dispatch through.
+    pub vector: u32,
+    /// For page faults, the fault details.
+    pub fault: Option<Fault>,
+    /// For syscalls, the syscall number; for interrupts, the IRQ line.
+    pub code: u32,
+}
+
+impl Trap {
+    /// Builds a page-fault trap.
+    pub fn page_fault(fault: Fault) -> Self {
+        Trap {
+            kind: TrapKind::PageFault,
+            vector: TrapKind::PageFault.vector(),
+            fault: Some(fault),
+            code: 0,
+        }
+    }
+
+    /// Builds a syscall trap.
+    pub fn syscall(number: u32) -> Self {
+        Trap {
+            kind: TrapKind::Syscall,
+            vector: TrapKind::Syscall.vector(),
+            fault: None,
+            code: number,
+        }
+    }
+
+    /// Builds an interrupt trap for an IRQ line.
+    pub fn interrupt(line: u32) -> Self {
+        Trap {
+            kind: TrapKind::Interrupt,
+            vector: IRQ_VECTOR_BASE + line,
+            fault: None,
+            code: line,
+        }
+    }
+
+    /// Builds a synchronous exception trap with no extra data.
+    pub fn exception(kind: TrapKind) -> Self {
+        debug_assert!(!matches!(
+            kind,
+            TrapKind::PageFault | TrapKind::Syscall | TrapKind::Interrupt
+        ));
+        Trap {
+            kind,
+            vector: kind.vector(),
+            fault: None,
+            code: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmu::{Access, ContextId, FaultKind};
+
+    #[test]
+    fn vectors_are_unique() {
+        let kinds = [
+            TrapKind::PageFault,
+            TrapKind::Syscall,
+            TrapKind::IllegalInstruction,
+            TrapKind::DivideByZero,
+            TrapKind::Breakpoint,
+            TrapKind::Misaligned,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(seen.insert(k.vector()), "duplicate vector for {k:?}");
+            assert!(k.vector() < IRQ_VECTOR_BASE);
+        }
+    }
+
+    #[test]
+    fn interrupt_vectors_offset_by_line() {
+        let t = Trap::interrupt(3);
+        assert_eq!(t.vector, IRQ_VECTOR_BASE + 3);
+        assert_eq!(t.code, 3);
+        assert_eq!(t.kind, TrapKind::Interrupt);
+    }
+
+    #[test]
+    fn page_fault_carries_fault_details() {
+        let fault = Fault {
+            ctx: ContextId(4),
+            vaddr: 0xdead_b000,
+            access: Access::Write,
+            kind: FaultKind::NotMapped,
+        };
+        let t = Trap::page_fault(fault);
+        assert_eq!(t.fault, Some(fault));
+        assert_eq!(t.vector, 1);
+    }
+
+    #[test]
+    fn syscall_carries_number() {
+        assert_eq!(Trap::syscall(42).code, 42);
+    }
+}

@@ -1,0 +1,30 @@
+//! Network components for the Paramecium reproduction.
+//!
+//! The paper's motivating scenario (section 1) is "inserting application
+//! components for fast protocol processing into a shared network device
+//! driver" — and the security problem that motivates certification:
+//! "software verification of the component cannot easily reveal packet
+//! snooping". This crate provides every piece of that scenario as ordinary
+//! Paramecium objects:
+//!
+//! - [`wire`] — Ethernet/IPv4/UDP header codecs and the Internet checksum,
+//! - [`driver`] — the NIC driver object (`/shared/network`), built on the
+//!   machine's NIC device through I/O-space claims and interrupts,
+//! - [`stack`] — a small UDP/IP endpoint object layered on any object that
+//!   exports the `netdev` interface,
+//! - [`filter`] — packet filters: a native counting filter and a bytecode
+//!   UDP-port filter (the downloadable component of the experiments),
+//! - [`monitor`] — an interposing network monitor, built with the generic
+//!   interposer and installed by replacing `/shared/network` in the name
+//!   space.
+
+pub mod driver;
+pub mod filter;
+pub mod monitor;
+pub mod stack;
+pub mod wire;
+
+pub use driver::{install_driver, make_driver};
+pub use filter::{make_native_port_filter, udp_port_filter_program};
+pub use monitor::make_network_monitor;
+pub use stack::make_udp_stack;

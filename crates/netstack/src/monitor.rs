@@ -1,0 +1,207 @@
+//! The interposing network monitor.
+//!
+//! "building an interposing agent for a network device,
+//! `/shared/network`, consists of building an interposing object … and
+//! replace the object handle in the name space. All further lookups for
+//! `/shared/network` will result in a reference to the interposing agent."
+//! (paper, section 2). This module builds that object with the generic
+//! [`InterposerBuilder`]; installing it is one
+//! [`Nucleus::interpose`](paramecium_core::Nucleus::interpose) call.
+//!
+//! The monitor is transparent to `netdev` clients and exports an extra
+//! `netmon` interface — the "superset of the original object's interfaces".
+
+use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    Arc,
+};
+
+use paramecium_obj::{
+    interface::Interface,
+    interpose::{interposer_target, InterposerBuilder},
+    typeinfo::MethodSig,
+    ObjRef, TypeTag, Value,
+};
+
+/// Shared monitor counters.
+#[derive(Debug, Default)]
+pub struct NetMonStats {
+    /// Frames seen going out.
+    pub tx_frames: AtomicU64,
+    /// Bytes seen going out.
+    pub tx_bytes: AtomicU64,
+    /// Frames seen coming in.
+    pub rx_frames: AtomicU64,
+    /// Bytes seen coming in.
+    pub rx_bytes: AtomicU64,
+    /// Size histogram buckets: <128, <512, <1024, >=1024.
+    pub size_buckets: [AtomicU64; 4],
+}
+
+impl NetMonStats {
+    fn record_size(&self, len: usize) {
+        let idx = match len {
+            0..=127 => 0,
+            128..=511 => 1,
+            512..=1023 => 2,
+            _ => 3,
+        };
+        self.size_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Builds a monitoring agent around a `netdev` object. Returns the agent
+/// and its shared counters.
+pub fn make_network_monitor(target: ObjRef) -> (ObjRef, Arc<NetMonStats>) {
+    let stats = Arc::new(NetMonStats::default());
+
+    // Outbound: observe `send` arguments, then forward.
+    let tx_stats = stats.clone();
+    // Inbound: `recv` must be overridden (the frame is in the *result*).
+    let rx_stats = stats.clone();
+
+    // The extra `netmon` interface (the superset part).
+    let mon_stats = stats.clone();
+    let mut netmon = Interface::new("netmon");
+    netmon.insert_method(
+        MethodSig::new("stats", &[], TypeTag::List),
+        Arc::new(move |_: &ObjRef, _: &[Value]| {
+            Ok(Value::List(vec![
+                Value::Int(mon_stats.tx_frames.load(Ordering::Relaxed) as i64),
+                Value::Int(mon_stats.tx_bytes.load(Ordering::Relaxed) as i64),
+                Value::Int(mon_stats.rx_frames.load(Ordering::Relaxed) as i64),
+                Value::Int(mon_stats.rx_bytes.load(Ordering::Relaxed) as i64),
+                Value::List(
+                    mon_stats
+                        .size_buckets
+                        .iter()
+                        .map(|b| Value::Int(b.load(Ordering::Relaxed) as i64))
+                        .collect(),
+                ),
+            ]))
+        }),
+    );
+
+    let agent = InterposerBuilder::new(target)
+        .class("netmon-agent")
+        .before(move |iface, method, args| {
+            if iface == "netdev" && method == "send" {
+                if let Some(Value::Bytes(b)) = args.first() {
+                    tx_stats.tx_frames.fetch_add(1, Ordering::Relaxed);
+                    tx_stats.tx_bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+                    tx_stats.record_size(b.len());
+                }
+            }
+        })
+        .override_method("netdev", "recv", move |this, args| {
+            let result = interposer_target(this)?.invoke("netdev", "recv", args)?;
+            if let Value::Bytes(b) = &result {
+                if !b.is_empty() {
+                    rx_stats.rx_frames.fetch_add(1, Ordering::Relaxed);
+                    rx_stats.rx_bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+                    rx_stats.record_size(b.len());
+                }
+            }
+            Ok(result)
+        })
+        .extra_interface(netmon)
+        .build();
+
+    (agent, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{driver::make_driver, stack::make_udp_stack, wire};
+    use paramecium_core::{domain::KERNEL_DOMAIN, memsvc::MemService};
+    use paramecium_machine::{dev::nic::Nic, Machine};
+    use parking_lot::Mutex;
+
+    fn setup() -> (Arc<MemService>, ObjRef, Arc<NetMonStats>) {
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let mem = Arc::new(MemService::new(machine));
+        let driver = make_driver(&mem, KERNEL_DOMAIN).unwrap();
+        let (agent, stats) = make_network_monitor(driver);
+        (mem, agent, stats)
+    }
+
+    fn inject(mem: &Arc<MemService>, len: usize) {
+        let machine = mem.machine().clone();
+        let mut m = machine.lock();
+        m.device_mut::<Nic>("nic").unwrap().inject_rx(vec![0u8; len]);
+        m.tick(1);
+    }
+
+    #[test]
+    fn monitor_counts_both_directions() {
+        let (mem, agent, stats) = setup();
+        inject(&mem, 100);
+        inject(&mem, 600);
+        agent.invoke("netdev", "recv", &[]).unwrap();
+        agent.invoke("netdev", "recv", &[]).unwrap();
+        agent.invoke("netdev", "recv", &[]).unwrap(); // Empty: not counted.
+        agent
+            .invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(vec![0u8; 64]))])
+            .unwrap();
+        assert_eq!(stats.rx_frames.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.rx_bytes.load(Ordering::Relaxed), 700);
+        assert_eq!(stats.tx_frames.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.tx_bytes.load(Ordering::Relaxed), 64);
+        // Histogram: 64→b0, 100→b0, 600→b2.
+        assert_eq!(stats.size_buckets[0].load(Ordering::Relaxed), 2);
+        assert_eq!(stats.size_buckets[2].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn netmon_interface_reports_stats() {
+        let (mem, agent, _) = setup();
+        inject(&mem, 300);
+        agent.invoke("netdev", "recv", &[]).unwrap();
+        let v = agent.invoke("netmon", "stats", &[]).unwrap();
+        let l = v.as_list().unwrap();
+        assert_eq!(l[2], Value::Int(1)); // rx frames.
+        assert_eq!(l[3], Value::Int(300)); // rx bytes.
+    }
+
+    #[test]
+    fn monitor_is_transparent_to_a_udp_stack() {
+        // The stack works identically through the agent — interposition is
+        // invisible to clients.
+        let (mem, agent, stats) = setup();
+        let stack = make_udp_stack(agent, 0x0A00_0001, [2, 0, 0, 0, 0, 1]);
+        stack.invoke("udp", "bind", &[Value::Int(53)]).unwrap();
+        let frame = wire::build_udp_frame(
+            [9; 6],
+            [2, 0, 0, 0, 0, 1],
+            0x0A00_0002,
+            0x0A00_0001,
+            1111,
+            53,
+            b"through-monitor",
+        );
+        {
+            let machine = mem.machine().clone();
+            let mut m = machine.lock();
+            m.device_mut::<Nic>("nic").unwrap().inject_rx(frame);
+            m.tick(1);
+        }
+        stack.invoke("udp", "pump", &[]).unwrap();
+        let d = stack.invoke("udp", "recv_from", &[Value::Int(53)]).unwrap();
+        assert_eq!(
+            d.as_list().unwrap()[2].as_bytes().unwrap().as_ref(),
+            b"through-monitor"
+        );
+        assert_eq!(stats.rx_frames.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn monitors_stack_on_monitors() {
+        let (mem, agent, inner_stats) = setup();
+        let (outer, outer_stats) = make_network_monitor(agent);
+        inject(&mem, 200);
+        outer.invoke("netdev", "recv", &[]).unwrap();
+        assert_eq!(inner_stats.rx_frames.load(Ordering::Relaxed), 1);
+        assert_eq!(outer_stats.rx_frames.load(Ordering::Relaxed), 1);
+    }
+}

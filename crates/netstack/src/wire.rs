@@ -1,0 +1,359 @@
+//! Wire formats: Ethernet, IPv4, UDP, and the Internet checksum.
+//!
+//! Minimal but real codecs — headers are parsed from and serialised to
+//! bytes, checksums are computed and verified, so protocol-processing
+//! components in the experiments do genuine per-packet work.
+
+/// A MAC address.
+pub type Mac = [u8; 6];
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+
+/// Ethernet header length.
+pub const ETH_HLEN: usize = 14;
+
+/// IPv4 header length (no options).
+pub const IPV4_HLEN: usize = 20;
+
+/// UDP header length.
+pub const UDP_HLEN: usize = 8;
+
+/// Errors parsing packets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the header demands.
+    Truncated(&'static str),
+    /// A field was invalid (version, length, checksum…).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated(what) => write!(f, "truncated {what}"),
+            WireError::Invalid(what) => write!(f, "invalid {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The 16-bit ones'-complement Internet checksum (RFC 1071).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// An Ethernet II header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EthHeader {
+    /// Destination MAC.
+    pub dst: Mac,
+    /// Source MAC.
+    pub src: Mac,
+    /// EtherType.
+    pub ethertype: u16,
+}
+
+impl EthHeader {
+    /// Parses the header, returning it and the payload offset.
+    pub fn parse(frame: &[u8]) -> Result<(EthHeader, &[u8]), WireError> {
+        if frame.len() < ETH_HLEN {
+            return Err(WireError::Truncated("ethernet header"));
+        }
+        Ok((
+            EthHeader {
+                dst: frame[0..6].try_into().expect("6 bytes"),
+                src: frame[6..12].try_into().expect("6 bytes"),
+                ethertype: u16::from_be_bytes([frame[12], frame[13]]),
+            },
+            &frame[ETH_HLEN..],
+        ))
+    }
+
+    /// Serialises the header followed by `payload`.
+    pub fn build(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ETH_HLEN + payload.len());
+        out.extend_from_slice(&self.dst);
+        out.extend_from_slice(&self.src);
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+/// An IPv4 header (no options).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Payload protocol.
+    pub proto: u8,
+    /// Time to live.
+    pub ttl: u8,
+    /// Total length (header + payload).
+    pub total_len: u16,
+}
+
+impl Ipv4Header {
+    /// Parses and checksum-verifies the header, returning it and the
+    /// payload.
+    pub fn parse(data: &[u8]) -> Result<(Ipv4Header, &[u8]), WireError> {
+        if data.len() < IPV4_HLEN {
+            return Err(WireError::Truncated("ipv4 header"));
+        }
+        if data[0] >> 4 != 4 {
+            return Err(WireError::Invalid("ip version"));
+        }
+        let ihl = usize::from(data[0] & 0x0F) * 4;
+        if ihl != IPV4_HLEN {
+            return Err(WireError::Invalid("ip options unsupported"));
+        }
+        if internet_checksum(&data[..IPV4_HLEN]) != 0 {
+            return Err(WireError::Invalid("ip checksum"));
+        }
+        let total_len = u16::from_be_bytes([data[2], data[3]]);
+        if usize::from(total_len) < IPV4_HLEN || usize::from(total_len) > data.len() {
+            return Err(WireError::Invalid("ip total length"));
+        }
+        let header = Ipv4Header {
+            src: u32::from_be_bytes(data[12..16].try_into().expect("4 bytes")),
+            dst: u32::from_be_bytes(data[16..20].try_into().expect("4 bytes")),
+            proto: data[9],
+            ttl: data[8],
+            total_len,
+        };
+        Ok((header, &data[IPV4_HLEN..usize::from(total_len)]))
+    }
+
+    /// Serialises the header (checksum filled in) followed by `payload`.
+    pub fn build(&self, payload: &[u8]) -> Vec<u8> {
+        let total = (IPV4_HLEN + payload.len()) as u16;
+        let mut h = [0u8; IPV4_HLEN];
+        h[0] = 0x45; // Version 4, IHL 5.
+        h[2..4].copy_from_slice(&total.to_be_bytes());
+        h[8] = self.ttl;
+        h[9] = self.proto;
+        h[12..16].copy_from_slice(&self.src.to_be_bytes());
+        h[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = internet_checksum(&h);
+        h[10..12].copy_from_slice(&csum.to_be_bytes());
+        let mut out = Vec::with_capacity(IPV4_HLEN + payload.len());
+        out.extend_from_slice(&h);
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+/// A UDP header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length (header + payload).
+    pub len: u16,
+}
+
+impl UdpHeader {
+    /// Parses the header, returning it and the payload. (Checksum 0 = not
+    /// computed, as UDP/IPv4 permits.)
+    pub fn parse(data: &[u8]) -> Result<(UdpHeader, &[u8]), WireError> {
+        if data.len() < UDP_HLEN {
+            return Err(WireError::Truncated("udp header"));
+        }
+        let len = u16::from_be_bytes([data[4], data[5]]);
+        if usize::from(len) < UDP_HLEN || usize::from(len) > data.len() {
+            return Err(WireError::Invalid("udp length"));
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                len,
+            },
+            &data[UDP_HLEN..usize::from(len)],
+        ))
+    }
+
+    /// Serialises the header (length computed, checksum 0) followed by
+    /// `payload`.
+    pub fn build(src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+        let len = (UDP_HLEN + payload.len()) as u16;
+        let mut out = Vec::with_capacity(usize::from(len));
+        out.extend_from_slice(&src_port.to_be_bytes());
+        out.extend_from_slice(&dst_port.to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+/// Builds a full Ethernet/IPv4/UDP datagram — the workload generator used
+/// throughout tests and benches.
+#[allow(clippy::too_many_arguments)]
+pub fn build_udp_frame(
+    src_mac: Mac,
+    dst_mac: Mac,
+    src_ip: u32,
+    dst_ip: u32,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let udp = UdpHeader::build(src_port, dst_port, payload);
+    let ip = Ipv4Header {
+        src: src_ip,
+        dst: dst_ip,
+        proto: IPPROTO_UDP,
+        ttl: 64,
+        total_len: 0, // Filled by build.
+    }
+    .build(&udp);
+    EthHeader {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype: ETHERTYPE_IPV4,
+    }
+    .build(&ip)
+}
+
+/// Parses a full frame down to the UDP payload. Returns
+/// `(ip, udp, payload)`.
+pub fn parse_udp_frame(frame: &[u8]) -> Result<(Ipv4Header, UdpHeader, &[u8]), WireError> {
+    let (eth, ip_bytes) = EthHeader::parse(frame)?;
+    if eth.ethertype != ETHERTYPE_IPV4 {
+        return Err(WireError::Invalid("ethertype"));
+    }
+    let (ip, udp_bytes) = Ipv4Header::parse(ip_bytes)?;
+    if ip.proto != IPPROTO_UDP {
+        return Err(WireError::Invalid("ip protocol"));
+    }
+    let (udp, payload) = UdpHeader::parse(udp_bytes)?;
+    Ok((ip, udp, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const MAC_A: Mac = [2, 0, 0, 0, 0, 1];
+    const MAC_B: Mac = [2, 0, 0, 0, 0, 2];
+
+    #[test]
+    fn checksum_known_vector() {
+        // RFC 1071 example data.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+        // Checksum over data including its checksum verifies to zero.
+        let mut with = data.to_vec();
+        let c = internet_checksum(&data);
+        with.extend_from_slice(&c.to_be_bytes());
+        assert_eq!(internet_checksum(&with), 0);
+    }
+
+    #[test]
+    fn odd_length_checksums_pad() {
+        assert_eq!(internet_checksum(&[0xFF]), !0xFF00u16);
+    }
+
+    #[test]
+    fn full_frame_roundtrip() {
+        let frame = build_udp_frame(MAC_A, MAC_B, 0x0A000001, 0x0A000002, 1234, 53, b"query");
+        let (ip, udp, payload) = parse_udp_frame(&frame).unwrap();
+        assert_eq!(ip.src, 0x0A000001);
+        assert_eq!(ip.dst, 0x0A000002);
+        assert_eq!(ip.proto, IPPROTO_UDP);
+        assert_eq!(udp.src_port, 1234);
+        assert_eq!(udp.dst_port, 53);
+        assert_eq!(payload, b"query");
+    }
+
+    #[test]
+    fn corrupted_ip_checksum_is_detected() {
+        let mut frame = build_udp_frame(MAC_A, MAC_B, 1, 2, 10, 20, b"x");
+        frame[ETH_HLEN + 8] ^= 0xFF; // Mangle the TTL.
+        assert_eq!(
+            parse_udp_frame(&frame),
+            Err(WireError::Invalid("ip checksum"))
+        );
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let frame = build_udp_frame(MAC_A, MAC_B, 1, 2, 10, 20, b"hello");
+        for cut in [0, 5, ETH_HLEN - 1, ETH_HLEN + 3, ETH_HLEN + IPV4_HLEN - 1] {
+            assert!(parse_udp_frame(&frame[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn non_ip_and_non_udp_rejected() {
+        let eth = EthHeader { dst: MAC_A, src: MAC_B, ethertype: 0x0806 };
+        assert!(parse_udp_frame(&eth.build(&[0u8; 40])).is_err());
+        // IPv4 but TCP.
+        let ip = Ipv4Header { src: 1, dst: 2, proto: 6, ttl: 64, total_len: 0 }.build(&[0u8; 20]);
+        let frame = EthHeader { dst: MAC_A, src: MAC_B, ethertype: ETHERTYPE_IPV4 }.build(&ip);
+        assert_eq!(parse_udp_frame(&frame), Err(WireError::Invalid("ip protocol")));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_arbitrary_payloads(
+            payload in proptest::collection::vec(any::<u8>(), 0..1400),
+            src_port in any::<u16>(),
+            dst_port in any::<u16>(),
+            src_ip in any::<u32>(),
+            dst_ip in any::<u32>(),
+        ) {
+            let frame = build_udp_frame(MAC_A, MAC_B, src_ip, dst_ip, src_port, dst_port, &payload);
+            let (ip, udp, got) = parse_udp_frame(&frame).unwrap();
+            prop_assert_eq!(ip.src, src_ip);
+            prop_assert_eq!(ip.dst, dst_ip);
+            prop_assert_eq!(udp.src_port, src_port);
+            prop_assert_eq!(udp.dst_port, dst_port);
+            prop_assert_eq!(got, &payload[..]);
+        }
+
+        #[test]
+        fn prop_ip_header_checksum_self_verifies(
+            src in any::<u32>(), dst in any::<u32>(), ttl in any::<u8>(),
+        ) {
+            let built = Ipv4Header { src, dst, proto: IPPROTO_UDP, ttl, total_len: 0 }.build(b"payload");
+            prop_assert_eq!(internet_checksum(&built[..IPV4_HLEN]), 0);
+        }
+
+        #[test]
+        fn prop_single_bit_flips_in_ip_header_detected(
+            payload in proptest::collection::vec(any::<u8>(), 8..64),
+            bit in 0usize..(IPV4_HLEN * 8),
+        ) {
+            let frame = build_udp_frame(MAC_A, MAC_B, 0xC0A80001, 0xC0A80002, 7, 9, &payload);
+            let mut mangled = frame.clone();
+            mangled[ETH_HLEN + bit / 8] ^= 1 << (bit % 8);
+            if mangled != frame {
+                // Any single-bit error in the IP header must be caught.
+                prop_assert!(parse_udp_frame(&mangled).is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Errors produced by the object model.
+
+use crate::typeinfo::TypeTag;
+
+/// Errors returned by object-model operations and method invocations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjError {
+    /// The object does not export an interface with the given name.
+    NoSuchInterface {
+        /// Class name of the object that was queried.
+        class: String,
+        /// Interface name that was requested.
+        interface: String,
+    },
+    /// The interface has no method with the given name.
+    NoSuchMethod {
+        /// Interface that was searched.
+        interface: String,
+        /// Method name that was requested.
+        method: String,
+    },
+    /// Wrong number of arguments.
+    Arity {
+        /// Method whose signature was violated.
+        method: String,
+        /// Number of parameters the signature declares.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// An argument or result had the wrong type.
+    TypeMismatch {
+        /// Human-readable position, e.g. `argument 0 of \`read\``.
+        context: String,
+        /// Declared type.
+        expected: TypeTag,
+        /// Supplied type.
+        got: TypeTag,
+    },
+    /// The object's instance state was not of the type the method expected.
+    StateType {
+        /// Class name of the object.
+        class: String,
+    },
+    /// A value could not be marshalled or unmarshalled.
+    Marshal(String),
+    /// A name-space or binding operation failed.
+    Binding(String),
+    /// The method itself failed; carries a component-defined message.
+    Failed(String),
+    /// The operation is not permitted in the calling domain.
+    Denied(String),
+}
+
+impl ObjError {
+    /// Shorthand constructor for a [`ObjError::TypeMismatch`] without
+    /// positional context.
+    pub fn type_mismatch(expected: TypeTag, got: TypeTag) -> Self {
+        ObjError::TypeMismatch {
+            context: "value".into(),
+            expected,
+            got,
+        }
+    }
+
+    /// Shorthand constructor for [`ObjError::Failed`].
+    pub fn failed(msg: impl Into<String>) -> Self {
+        ObjError::Failed(msg.into())
+    }
+}
+
+impl std::fmt::Display for ObjError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjError::NoSuchInterface { class, interface } => {
+                write!(f, "object of class `{class}` exports no interface `{interface}`")
+            }
+            ObjError::NoSuchMethod { interface, method } => {
+                write!(f, "interface `{interface}` has no method `{method}`")
+            }
+            ObjError::Arity { method, expected, got } => {
+                write!(f, "method `{method}` takes {expected} arguments, got {got}")
+            }
+            ObjError::TypeMismatch { context, expected, got } => {
+                write!(f, "type mismatch in {context}: expected {expected}, got {got}")
+            }
+            ObjError::StateType { class } => {
+                write!(f, "instance state of `{class}` has unexpected type")
+            }
+            ObjError::Marshal(m) => write!(f, "marshalling error: {m}"),
+            ObjError::Binding(m) => write!(f, "binding error: {m}"),
+            ObjError::Failed(m) => write!(f, "method failed: {m}"),
+            ObjError::Denied(m) => write!(f, "permission denied: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ObjError::NoSuchInterface {
+            class: "nic".into(),
+            interface: "stats".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("nic") && s.contains("stats"));
+
+        let e = ObjError::Arity {
+            method: "send".into(),
+            expected: 2,
+            got: 0,
+        };
+        assert!(e.to_string().contains("takes 2 arguments"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ObjError::failed("x"));
+    }
+}

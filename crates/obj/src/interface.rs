@@ -1,0 +1,331 @@
+//! Named interfaces: the only way to operate on an object.
+//!
+//! "Each object exports one or more named interfaces. … Objects can be
+//! operated on only through the methods in the interfaces they export."
+//! (paper, section 2). Interfaces being *named* is what allows them to
+//! evolve: adding a `measurement` interface to an RPC object does not change
+//! the `rpc` interface its existing users bound to.
+
+use std::{collections::BTreeMap, sync::Arc};
+
+use crate::{
+    error::ObjError,
+    object::ObjRef,
+    typeinfo::{InterfaceDescriptor, MethodSig, TypeTag},
+    value::Value,
+    ObjResult,
+};
+
+/// The implementation of one method.
+///
+/// The first argument is the receiving object instance (its "state pointer"
+/// in the paper's terms); the slice carries the type-checked arguments.
+pub type MethodFn = Arc<dyn Fn(&ObjRef, &[Value]) -> ObjResult<Value> + Send + Sync>;
+
+/// A fallback handler invoked when a named method is not present.
+///
+/// This is the mechanism behind *method delegation* (paper section 2): an
+/// interface may delegate methods it does not implement to another object.
+pub type FallbackFn = Arc<dyn Fn(&ObjRef, &str, &[Value]) -> ObjResult<Value> + Send + Sync>;
+
+/// One entry of an interface: signature plus implementation.
+#[derive(Clone)]
+pub struct Method {
+    /// Type information for the method.
+    pub sig: MethodSig,
+    /// The code to run.
+    pub imp: MethodFn,
+}
+
+impl std::fmt::Debug for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Method").field("sig", &self.sig).finish_non_exhaustive()
+    }
+}
+
+/// A named set of methods with type information.
+#[derive(Clone)]
+pub struct Interface {
+    name: String,
+    methods: BTreeMap<String, Method>,
+    fallback: Option<FallbackFn>,
+}
+
+impl std::fmt::Debug for Interface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interface")
+            .field("name", &self.name)
+            .field("methods", &self.methods.keys().collect::<Vec<_>>())
+            .field("has_fallback", &self.fallback.is_some())
+            .finish()
+    }
+}
+
+impl Interface {
+    /// Creates an empty interface with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Interface {
+            name: name.into(),
+            methods: BTreeMap::new(),
+            fallback: None,
+        }
+    }
+
+    /// The interface name, unique within its exporting object.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds (or replaces) a method.
+    pub fn insert_method(&mut self, sig: MethodSig, imp: MethodFn) {
+        self.methods.insert(sig.name.clone(), Method { sig, imp });
+    }
+
+    /// Sets the delegation fallback, called for any method not present.
+    pub fn set_fallback(&mut self, fallback: FallbackFn) {
+        self.fallback = Some(fallback);
+    }
+
+    /// Returns true if the interface has its own entry for `method`
+    /// (delegated methods do not count).
+    pub fn has_method(&self, method: &str) -> bool {
+        self.methods.contains_key(method)
+    }
+
+    /// Returns the signature of `method`, if implemented directly.
+    pub fn signature(&self, method: &str) -> Option<&MethodSig> {
+        self.methods.get(method).map(|m| &m.sig)
+    }
+
+    /// Number of directly implemented methods.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Names of all directly implemented methods, sorted.
+    pub fn method_names(&self) -> Vec<String> {
+        self.methods.keys().cloned().collect()
+    }
+
+    /// Flattens this interface into serialisable type information.
+    pub fn descriptor(&self) -> InterfaceDescriptor {
+        InterfaceDescriptor {
+            interface: self.name.clone(),
+            methods: self.methods.values().map(|m| m.sig.clone()).collect(),
+        }
+    }
+
+    /// Invokes `method` on behalf of `this`, checking arguments and result
+    /// against the method signature. Falls back to the delegation handler
+    /// when the method is not directly implemented.
+    pub fn call(&self, this: &ObjRef, method: &str, args: &[Value]) -> ObjResult<Value> {
+        match self.methods.get(method) {
+            Some(m) => {
+                m.sig.check_args(args)?;
+                let result = (m.imp)(this, args)?;
+                m.sig.check_result(&result)?;
+                Ok(result)
+            }
+            None => match &self.fallback {
+                Some(fb) => fb(this, method, args),
+                None => Err(ObjError::NoSuchMethod {
+                    interface: self.name.clone(),
+                    method: method.to_owned(),
+                }),
+            },
+        }
+    }
+}
+
+/// A pre-resolved method: the paper's "run time inline techniques"
+/// (section 2) for when dispatch overhead matters.
+///
+/// Binding snapshots the method's signature and implementation, skipping
+/// both interface and method-table lookups on every call. The trade-off
+/// is explicit: a bound method does **not** observe later replacement of
+/// the method on the interface — callers give up one step of late binding
+/// for speed, which is why this is an opt-in fast path and not the
+/// default.
+#[derive(Clone)]
+pub struct BoundMethod {
+    sig: MethodSig,
+    imp: MethodFn,
+    this: ObjRef,
+}
+
+impl BoundMethod {
+    /// Invokes the bound method with full signature checking.
+    pub fn call(&self, args: &[Value]) -> ObjResult<Value> {
+        self.sig.check_args(args)?;
+        let result = (self.imp)(&self.this, args)?;
+        self.sig.check_result(&result)?;
+        Ok(result)
+    }
+
+    /// Invokes without argument/result type checks — the fully inlined
+    /// variant (the signature was checked when the call site was
+    /// compiled, in the paper's framing).
+    pub fn call_unchecked_types(&self, args: &[Value]) -> ObjResult<Value> {
+        (self.imp)(&self.this, args)
+    }
+
+    /// The bound signature.
+    pub fn signature(&self) -> &MethodSig {
+        &self.sig
+    }
+}
+
+impl Interface {
+    /// Pre-resolves `method` against `this`, returning the inline-call
+    /// handle. Returns `None` for delegated (fallback-only) methods —
+    /// those cannot be snapshotted without freezing the delegation target.
+    pub fn bind_method(&self, this: &ObjRef, method: &str) -> Option<BoundMethod> {
+        self.methods.get(method).map(|m| BoundMethod {
+            sig: m.sig.clone(),
+            imp: m.imp.clone(),
+            this: this.clone(),
+        })
+    }
+}
+
+/// Builds a [`MethodFn`] from a plain closure, for use outside the
+/// [`ObjectBuilder`](crate::ObjectBuilder) fluent API.
+pub fn method_fn<F>(f: F) -> MethodFn
+where
+    F: Fn(&ObjRef, &[Value]) -> ObjResult<Value> + Send + Sync + 'static,
+{
+    Arc::new(f)
+}
+
+/// Convenience constructor for a variadic forwarding signature.
+pub fn forward_sig(name: &str) -> MethodSig {
+    MethodSig::variadic(name, TypeTag::Any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObjectBuilder;
+
+    fn dummy() -> ObjRef {
+        ObjectBuilder::new("dummy").build()
+    }
+
+    #[test]
+    fn call_checks_signature() {
+        let mut iface = Interface::new("math");
+        iface.insert_method(
+            MethodSig::new("double", &[TypeTag::Int], TypeTag::Int),
+            method_fn(|_, args| Ok(Value::Int(args[0].as_int()? * 2))),
+        );
+        let this = dummy();
+        assert_eq!(
+            iface.call(&this, "double", &[Value::Int(21)]).unwrap(),
+            Value::Int(42)
+        );
+        assert!(iface.call(&this, "double", &[]).is_err());
+        assert!(iface
+            .call(&this, "double", &[Value::Str("x".into())])
+            .is_err());
+        assert!(matches!(
+            iface.call(&this, "triple", &[]),
+            Err(ObjError::NoSuchMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn call_checks_result_type() {
+        let mut iface = Interface::new("bad");
+        iface.insert_method(
+            MethodSig::new("lie", &[], TypeTag::Int),
+            method_fn(|_, _| Ok(Value::Unit)),
+        );
+        let err = iface.call(&dummy(), "lie", &[]).unwrap_err();
+        assert!(matches!(err, ObjError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn fallback_handles_missing_methods() {
+        let mut iface = Interface::new("fwd");
+        iface.set_fallback(Arc::new(|_, method, _| Ok(Value::Str(method.to_owned()))));
+        assert_eq!(
+            iface.call(&dummy(), "anything", &[]).unwrap(),
+            Value::Str("anything".into())
+        );
+    }
+
+    #[test]
+    fn descriptor_lists_sorted_methods() {
+        let mut iface = Interface::new("dev");
+        for name in ["write", "read", "ioctl"] {
+            iface.insert_method(
+                MethodSig::new(name, &[], TypeTag::Unit),
+                method_fn(|_, _| Ok(Value::Unit)),
+            );
+        }
+        let d = iface.descriptor();
+        let names: Vec<_> = d.methods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["ioctl", "read", "write"]);
+    }
+
+    #[test]
+    fn bound_methods_skip_lookup_but_check_types() {
+        let obj = crate::ObjectBuilder::new("c")
+            .state(0i64)
+            .interface("ctr", |i| {
+                i.method("incr", &[TypeTag::Int], TypeTag::Int, |this, args| {
+                    let by = args[0].as_int()?;
+                    this.with_state(|n: &mut i64| {
+                        *n += by;
+                        Ok(Value::Int(*n))
+                    })
+                })
+            })
+            .build();
+        let bound = obj.interface("ctr").unwrap().bind_method(&obj, "incr").unwrap();
+        assert_eq!(bound.call(&[Value::Int(5)]).unwrap(), Value::Int(5));
+        assert_eq!(bound.call(&[Value::Int(2)]).unwrap(), Value::Int(7));
+        assert!(bound.call(&[Value::Str("x".into())]).is_err());
+        assert_eq!(
+            bound.call_unchecked_types(&[Value::Int(1)]).unwrap(),
+            Value::Int(8)
+        );
+        assert_eq!(bound.signature().name, "incr");
+        // Missing and delegated methods cannot be bound.
+        assert!(obj.interface("ctr").unwrap().bind_method(&obj, "nope").is_none());
+    }
+
+    #[test]
+    fn bound_method_does_not_see_later_replacement() {
+        // The documented trade-off: binding freezes the implementation.
+        let obj = crate::ObjectBuilder::new("v")
+            .interface("v", |i| {
+                i.method("get", &[], TypeTag::Int, |_, _| Ok(Value::Int(1)))
+            })
+            .build();
+        let bound = obj.interface("v").unwrap().bind_method(&obj, "get").unwrap();
+        let mut replacement = Interface::new("v");
+        replacement.insert_method(
+            MethodSig::new("get", &[], TypeTag::Int),
+            method_fn(|_, _| Ok(Value::Int(2))),
+        );
+        obj.export_interface(replacement);
+        assert_eq!(obj.invoke("v", "get", &[]).unwrap(), Value::Int(2));
+        assert_eq!(bound.call(&[]).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn insert_method_replaces() {
+        let mut iface = Interface::new("v");
+        iface.insert_method(
+            MethodSig::new("get", &[], TypeTag::Int),
+            method_fn(|_, _| Ok(Value::Int(1))),
+        );
+        iface.insert_method(
+            MethodSig::new("get", &[], TypeTag::Int),
+            method_fn(|_, _| Ok(Value::Int(2))),
+        );
+        assert_eq!(iface.method_count(), 1);
+        assert_eq!(iface.call(&dummy(), "get", &[]).unwrap(), Value::Int(2));
+    }
+}

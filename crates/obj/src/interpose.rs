@@ -1,0 +1,332 @@
+//! Interposing agents.
+//!
+//! "Building an interposing agent … consists of building an interposing
+//! object (i.e., one that exports a superset of the original object's
+//! interfaces, reimplements those methods it sees fit and forwards the
+//! others to the original object) and replace the object handle in the name
+//! space." (paper, section 2).
+//!
+//! This module provides the first half — building the interposing object.
+//! Replacing the handle in the name space is done by the directory service
+//! (`paramecium-core`), which makes all further lookups resolve to the
+//! agent.
+
+use std::{collections::BTreeMap, sync::Arc};
+
+use crate::{
+    builder::ObjectBuilder,
+    interface::{Interface, MethodFn},
+    object::ObjRef,
+    value::Value,
+    ObjResult,
+};
+
+/// A hook observing every forwarded invocation.
+///
+/// Receives the interface name, method name and arguments. Hooks are how
+/// monitoring tools (call tracers, packet counters, profilers) are built.
+pub type ObserveFn = Arc<dyn Fn(&str, &str, &[Value]) + Send + Sync>;
+
+/// Instance data of an interposer: the object it wraps.
+struct InterposerState {
+    target: ObjRef,
+}
+
+/// Administrative interface exported by every interposer.
+pub const INTERPOSER_IFACE: &str = "interposer";
+
+/// Builds an interposing agent around a target object.
+///
+/// The agent exports every interface of the target (a superset if
+/// [`InterposerBuilder::extra_interface`] is used), forwarding every method
+/// it does not override. Hooks run around forwarded calls.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::{Arc, atomic::{AtomicU64, Ordering}};
+/// use paramecium_obj::{InterposerBuilder, ObjectBuilder, TypeTag, Value};
+///
+/// let target = ObjectBuilder::new("svc")
+///     .interface("svc", |i| {
+///         i.method("ping", &[], TypeTag::Str, |_, _| Ok(Value::Str("pong".into())))
+///     })
+///     .build();
+///
+/// let calls = Arc::new(AtomicU64::new(0));
+/// let c = calls.clone();
+/// let agent = InterposerBuilder::new(target)
+///     .before(move |_iface, _method, _args| { c.fetch_add(1, Ordering::Relaxed); })
+///     .build();
+///
+/// assert_eq!(agent.invoke("svc", "ping", &[]).unwrap(), Value::Str("pong".into()));
+/// assert_eq!(calls.load(Ordering::Relaxed), 1);
+/// ```
+pub struct InterposerBuilder {
+    target: ObjRef,
+    class: String,
+    overrides: BTreeMap<(String, String), MethodFn>,
+    extra: Vec<Interface>,
+    before: Vec<ObserveFn>,
+    after: Vec<ObserveFn>,
+}
+
+impl InterposerBuilder {
+    /// Starts an interposer around `target`.
+    pub fn new(target: ObjRef) -> Self {
+        let class = format!("interposer<{}>", target.class());
+        InterposerBuilder {
+            target,
+            class,
+            overrides: BTreeMap::new(),
+            extra: Vec::new(),
+            before: Vec::new(),
+            after: Vec::new(),
+        }
+    }
+
+    /// Overrides the class name of the agent.
+    pub fn class(mut self, class: impl Into<String>) -> Self {
+        self.class = class.into();
+        self
+    }
+
+    /// Reimplements one method of one interface.
+    ///
+    /// The receiver passed to `f` is the *interposer*; use
+    /// [`interposer_target`] to reach the wrapped object for
+    /// modify-and-forward implementations.
+    pub fn override_method<F>(mut self, interface: &str, method: &str, f: F) -> Self
+    where
+        F: Fn(&ObjRef, &[Value]) -> ObjResult<Value> + Send + Sync + 'static,
+    {
+        self.overrides
+            .insert((interface.to_owned(), method.to_owned()), Arc::new(f));
+        self
+    }
+
+    /// Exports an additional interface not present on the target (the
+    /// "superset" part of the paper's definition).
+    pub fn extra_interface(mut self, iface: Interface) -> Self {
+        self.extra.push(iface);
+        self
+    }
+
+    /// Adds a hook that runs before every forwarded or overridden call.
+    pub fn before(mut self, f: impl Fn(&str, &str, &[Value]) + Send + Sync + 'static) -> Self {
+        self.before.push(Arc::new(f));
+        self
+    }
+
+    /// Adds a hook that runs after every forwarded or overridden call.
+    pub fn after(mut self, f: impl Fn(&str, &str, &[Value]) + Send + Sync + 'static) -> Self {
+        self.after.push(Arc::new(f));
+        self
+    }
+
+    /// Builds the agent object.
+    pub fn build(self) -> ObjRef {
+        let mut builder = ObjectBuilder::new(self.class).state(InterposerState {
+            target: self.target.clone(),
+        });
+
+        let before = Arc::new(self.before);
+        let after = Arc::new(self.after);
+
+        for iface_name in self.target.interface_names() {
+            let mut iface = Interface::new(iface_name.clone());
+            // Copy the target's signatures so the agent is indistinguishable
+            // from the original to type-aware clients.
+            for desc in self.target.descriptors() {
+                if desc.interface != iface_name {
+                    continue;
+                }
+                for sig in desc.methods {
+                    let key = (iface_name.clone(), sig.name.clone());
+                    let (i, m) = key.clone();
+                    let body: MethodFn = match self.overrides.get(&key) {
+                        Some(ovr) => ovr.clone(),
+                        None => {
+                            let (fi, fm) = (i.clone(), m.clone());
+                            Arc::new(move |this: &ObjRef, args: &[Value]| {
+                                interposer_target(this)?.invoke(&fi, &fm, args)
+                            })
+                        }
+                    };
+                    let (b, a) = (before.clone(), after.clone());
+                    let wrapped: MethodFn = Arc::new(move |this: &ObjRef, args: &[Value]| {
+                        for h in b.iter() {
+                            h(&i, &m, args);
+                        }
+                        let r = body(this, args);
+                        for h in a.iter() {
+                            h(&i, &m, args);
+                        }
+                        r
+                    });
+                    iface.insert_method(sig, wrapped);
+                }
+            }
+            // Forward methods unknown at wrap time.
+            let fwd_iface = iface_name.clone();
+            let (b, a) = (before.clone(), after.clone());
+            iface.set_fallback(Arc::new(move |this, method, args| {
+                for h in b.iter() {
+                    h(&fwd_iface, method, args);
+                }
+                let r = interposer_target(this)?.invoke(&fwd_iface, method, args);
+                for h in a.iter() {
+                    h(&fwd_iface, method, args);
+                }
+                r
+            }));
+            builder = builder.raw_interface(iface);
+        }
+
+        for iface in self.extra {
+            builder = builder.raw_interface(iface);
+        }
+
+        builder = builder.raw_interface(admin_interface());
+        builder.build()
+    }
+}
+
+/// Returns the object an interposer currently wraps.
+pub fn interposer_target(agent: &ObjRef) -> ObjResult<ObjRef> {
+    agent.with_state(|s: &mut InterposerState| Ok(s.target.clone()))
+}
+
+/// Builds the `interposer` administrative interface (`target`, `retarget`).
+fn admin_interface() -> Interface {
+    let mut iface = Interface::new(INTERPOSER_IFACE);
+    iface.insert_method(
+        crate::typeinfo::MethodSig::new("target", &[], crate::typeinfo::TypeTag::Handle),
+        Arc::new(|this: &ObjRef, _: &[Value]| interposer_target(this).map(Value::Handle)),
+    );
+    iface.insert_method(
+        crate::typeinfo::MethodSig::new(
+            "retarget",
+            &[crate::typeinfo::TypeTag::Handle],
+            crate::typeinfo::TypeTag::Handle,
+        ),
+        Arc::new(|this: &ObjRef, args: &[Value]| {
+            let new = args[0].as_handle()?.clone();
+            this.with_state(|s: &mut InterposerState| {
+                Ok(Value::Handle(std::mem::replace(&mut s.target, new)))
+            })
+        }),
+    );
+    iface
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{typeinfo::TypeTag, value::Value};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn target() -> ObjRef {
+        ObjectBuilder::new("svc")
+            .state(Vec::<i64>::new())
+            .interface("svc", |i| {
+                i.method("push", &[TypeTag::Int], TypeTag::Unit, |this, args| {
+                    let v = args[0].as_int()?;
+                    this.with_state(|s: &mut Vec<i64>| {
+                        s.push(v);
+                        Ok(Value::Unit)
+                    })
+                })
+                .method("sum", &[], TypeTag::Int, |this, _| {
+                    this.with_state(|s: &mut Vec<i64>| Ok(Value::Int(s.iter().sum())))
+                })
+            })
+            .build()
+    }
+
+    #[test]
+    fn agent_is_transparent_for_unoverridden_methods() {
+        let t = target();
+        let agent = InterposerBuilder::new(t.clone()).build();
+        agent.invoke("svc", "push", &[Value::Int(4)]).unwrap();
+        agent.invoke("svc", "push", &[Value::Int(5)]).unwrap();
+        assert_eq!(agent.invoke("svc", "sum", &[]).unwrap(), Value::Int(9));
+        // State lives in the target, not the agent.
+        assert_eq!(t.invoke("svc", "sum", &[]).unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn overrides_replace_behaviour() {
+        let agent = InterposerBuilder::new(target())
+            .override_method("svc", "sum", |_, _| Ok(Value::Int(-1)))
+            .build();
+        agent.invoke("svc", "push", &[Value::Int(4)]).unwrap();
+        assert_eq!(agent.invoke("svc", "sum", &[]).unwrap(), Value::Int(-1));
+    }
+
+    #[test]
+    fn override_can_modify_and_forward() {
+        // Doubles every pushed value, then forwards.
+        let agent = InterposerBuilder::new(target())
+            .override_method("svc", "push", |this, args| {
+                let v = args[0].as_int()?;
+                interposer_target(this)?.invoke("svc", "push", &[Value::Int(v * 2)])
+            })
+            .build();
+        agent.invoke("svc", "push", &[Value::Int(3)]).unwrap();
+        assert_eq!(agent.invoke("svc", "sum", &[]).unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn hooks_observe_all_calls() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c1 = count.clone();
+        let c2 = count.clone();
+        let agent = InterposerBuilder::new(target())
+            .before(move |_, _, _| {
+                c1.fetch_add(1, Ordering::Relaxed);
+            })
+            .after(move |_, _, _| {
+                c2.fetch_add(10, Ordering::Relaxed);
+            })
+            .build();
+        agent.invoke("svc", "push", &[Value::Int(1)]).unwrap();
+        agent.invoke("svc", "sum", &[]).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 22);
+    }
+
+    #[test]
+    fn superset_interfaces_are_exported() {
+        let mut extra = Interface::new("stats");
+        extra.insert_method(
+            crate::typeinfo::MethodSig::new("zero", &[], TypeTag::Int),
+            Arc::new(|_: &ObjRef, _: &[Value]| Ok(Value::Int(0))),
+        );
+        let agent = InterposerBuilder::new(target()).extra_interface(extra).build();
+        assert!(agent.has_interface("svc"));
+        assert!(agent.has_interface("stats"));
+        assert_eq!(agent.invoke("stats", "zero", &[]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn retarget_redirects_existing_clients() {
+        let a = target();
+        let b = target();
+        let agent = InterposerBuilder::new(a.clone()).build();
+        agent.invoke("svc", "push", &[Value::Int(1)]).unwrap();
+        agent
+            .invoke(INTERPOSER_IFACE, "retarget", &[Value::Handle(b.clone())])
+            .unwrap();
+        agent.invoke("svc", "push", &[Value::Int(2)]).unwrap();
+        assert_eq!(a.invoke("svc", "sum", &[]).unwrap(), Value::Int(1));
+        assert_eq!(b.invoke("svc", "sum", &[]).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn agents_stack() {
+        let inner = InterposerBuilder::new(target()).build();
+        let outer = InterposerBuilder::new(inner).build();
+        outer.invoke("svc", "push", &[Value::Int(8)]).unwrap();
+        assert_eq!(outer.invoke("svc", "sum", &[]).unwrap(), Value::Int(8));
+    }
+}

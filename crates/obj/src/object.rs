@@ -1,0 +1,301 @@
+//! Object instances.
+//!
+//! "An object is conceptually a collection of methods and instance data"
+//! (paper, section 2). Objects are coarse grained — a scheduler, an IP
+//! layer, a device driver, a memory allocator — and are always manipulated
+//! through the named interfaces they export.
+
+use std::{
+    any::Any,
+    collections::BTreeMap,
+    sync::{
+        atomic::{AtomicU64, Ordering},
+        Arc,
+    },
+};
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::{
+    error::ObjError,
+    interface::Interface,
+    typeinfo::InterfaceDescriptor,
+    value::Value,
+    ObjResult,
+};
+
+/// A shared reference to an object instance — the paper's "object handle".
+pub type ObjRef = Arc<Object>;
+
+/// An object instance: instance data plus exported interfaces.
+pub struct Object {
+    /// Class (component) name, e.g. `"nic-driver"`. Not unique.
+    class: String,
+    /// Instance name assigned when registered in a name space, if any.
+    instance_name: RwLock<Option<String>>,
+    /// Instance data. Methods downcast it via [`Object::with_state`].
+    state: Mutex<Box<dyn Any + Send>>,
+    /// Exported interfaces by name.
+    interfaces: RwLock<BTreeMap<String, Arc<Interface>>>,
+    /// Total method invocations through [`Object::invoke`].
+    invocations: AtomicU64,
+}
+
+impl std::fmt::Debug for Object {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Object")
+            .field("class", &self.class)
+            .field("instance_name", &*self.instance_name.read())
+            .field(
+                "interfaces",
+                &self.interfaces.read().keys().cloned().collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl Object {
+    /// Creates an object with the given class name, instance state and
+    /// interfaces. Most callers use [`ObjectBuilder`](crate::ObjectBuilder)
+    /// instead.
+    pub fn new(
+        class: impl Into<String>,
+        state: Box<dyn Any + Send>,
+        interfaces: impl IntoIterator<Item = Interface>,
+    ) -> ObjRef {
+        Arc::new(Object {
+            class: class.into(),
+            instance_name: RwLock::new(None),
+            state: Mutex::new(state),
+            interfaces: RwLock::new(
+                interfaces
+                    .into_iter()
+                    .map(|i| (i.name().to_owned(), Arc::new(i)))
+                    .collect(),
+            ),
+            invocations: AtomicU64::new(0),
+        })
+    }
+
+    /// The class (component type) name.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// The instance name under which this object was last registered,
+    /// if any.
+    pub fn instance_name(&self) -> Option<String> {
+        self.instance_name.read().clone()
+    }
+
+    /// Records the instance name. Called by the directory service when the
+    /// object is registered in a name space.
+    pub fn set_instance_name(&self, name: Option<String>) {
+        *self.instance_name.write() = name;
+    }
+
+    /// Runs `f` with exclusive access to the instance state, downcast to
+    /// `T`.
+    ///
+    /// Returns [`ObjError::StateType`] if the state is not a `T`. The state
+    /// lock is held for the duration of `f`; methods must not re-enter
+    /// `with_state` on the *same* object from within `f` (calls to other
+    /// objects are fine).
+    pub fn with_state<T: 'static, R>(
+        &self,
+        f: impl FnOnce(&mut T) -> ObjResult<R>,
+    ) -> ObjResult<R> {
+        let mut guard = self.state.lock();
+        let state = guard
+            .downcast_mut::<T>()
+            .ok_or_else(|| ObjError::StateType {
+                class: self.class.clone(),
+            })?;
+        f(state)
+    }
+
+    /// Replaces the instance state wholesale, returning the old state.
+    pub fn replace_state(&self, new: Box<dyn Any + Send>) -> Box<dyn Any + Send> {
+        std::mem::replace(&mut self.state.lock(), new)
+    }
+
+    /// Returns the named interface.
+    ///
+    /// This is the standard "obtain an interface from a given object handle"
+    /// operation of the architecture.
+    pub fn interface(&self, name: &str) -> ObjResult<Arc<Interface>> {
+        self.interfaces
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ObjError::NoSuchInterface {
+                class: self.class.clone(),
+                interface: name.to_owned(),
+            })
+    }
+
+    /// True if the object exports an interface named `name`.
+    pub fn has_interface(&self, name: &str) -> bool {
+        self.interfaces.read().contains_key(name)
+    }
+
+    /// Names of all exported interfaces, sorted.
+    pub fn interface_names(&self) -> Vec<String> {
+        self.interfaces.read().keys().cloned().collect()
+    }
+
+    /// Adds (or replaces) an exported interface at run time.
+    ///
+    /// Interface *addition* is the paper's evolution story: new named
+    /// interfaces can appear on an object without recompiling users of the
+    /// existing ones.
+    pub fn export_interface(&self, iface: Interface) {
+        self.interfaces
+            .write()
+            .insert(iface.name().to_owned(), Arc::new(iface));
+    }
+
+    /// Removes an exported interface, returning whether it existed.
+    pub fn revoke_interface(&self, name: &str) -> bool {
+        self.interfaces.write().remove(name).is_some()
+    }
+
+    /// Flattened type information for every exported interface.
+    pub fn descriptors(&self) -> Vec<InterfaceDescriptor> {
+        self.interfaces.read().values().map(|i| i.descriptor()).collect()
+    }
+
+    /// Total number of invocations made through [`Object::invoke`].
+    pub fn invocation_count(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
+    }
+}
+
+/// Extension trait providing invocation on `ObjRef` (methods need the `Arc`
+/// so they can hand out `self` references).
+pub trait Invoke {
+    /// Invokes `interface::method(args)` on this object.
+    fn invoke(&self, interface: &str, method: &str, args: &[Value]) -> ObjResult<Value>;
+}
+
+impl Invoke for ObjRef {
+    fn invoke(&self, interface: &str, method: &str, args: &[Value]) -> ObjResult<Value> {
+        let iface = self.interface(interface)?;
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        iface.call(self, method, args)
+    }
+}
+
+impl Object {
+    /// Invokes `interface::method(args)` on this object.
+    ///
+    /// Inherent convenience wrapper so call sites holding an `ObjRef` can
+    /// write `obj.invoke(..)` directly.
+    pub fn invoke(
+        self: &Arc<Self>,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> ObjResult<Value> {
+        let iface = self.interface(interface)?;
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        iface.call(self, method, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        builder::ObjectBuilder,
+        typeinfo::{MethodSig, TypeTag},
+    };
+
+    fn counter() -> ObjRef {
+        ObjectBuilder::new("counter")
+            .state(0i64)
+            .interface("counter", |i| {
+                i.method("incr", &[TypeTag::Int], TypeTag::Int, |this, args| {
+                    let by = args[0].as_int()?;
+                    this.with_state(|n: &mut i64| {
+                        *n += by;
+                        Ok(Value::Int(*n))
+                    })
+                })
+                .method("get", &[], TypeTag::Int, |this, _| {
+                    this.with_state(|n: &mut i64| Ok(Value::Int(*n)))
+                })
+            })
+            .build()
+    }
+
+    #[test]
+    fn invoke_mutates_state() {
+        let c = counter();
+        c.invoke("counter", "incr", &[Value::Int(2)]).unwrap();
+        c.invoke("counter", "incr", &[Value::Int(3)]).unwrap();
+        assert_eq!(c.invoke("counter", "get", &[]).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn missing_interface_is_an_error() {
+        let c = counter();
+        assert!(matches!(
+            c.invoke("nope", "get", &[]),
+            Err(ObjError::NoSuchInterface { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_state_type_is_reported() {
+        let c = counter();
+        let err = c.with_state(|_: &mut String| Ok(())).unwrap_err();
+        assert!(matches!(err, ObjError::StateType { .. }));
+    }
+
+    #[test]
+    fn invocation_count_tracks_calls() {
+        let c = counter();
+        assert_eq!(c.invocation_count(), 0);
+        for _ in 0..7 {
+            c.invoke("counter", "get", &[]).unwrap();
+        }
+        assert_eq!(c.invocation_count(), 7);
+    }
+
+    #[test]
+    fn interfaces_can_be_added_and_revoked_at_runtime() {
+        let c = counter();
+        assert!(!c.has_interface("measurement"));
+        let mut m = Interface::new("measurement");
+        m.insert_method(
+            MethodSig::new("calls", &[], TypeTag::Int),
+            crate::interface::method_fn(|this, _| Ok(Value::Int(this.invocation_count() as i64))),
+        );
+        c.export_interface(m);
+        assert!(c.has_interface("measurement"));
+        // Existing interface still works — evolution without recompilation.
+        c.invoke("counter", "incr", &[Value::Int(1)]).unwrap();
+        let calls = c.invoke("measurement", "calls", &[]).unwrap();
+        assert_eq!(calls, Value::Int(2));
+        assert!(c.revoke_interface("measurement"));
+        assert!(!c.has_interface("measurement"));
+    }
+
+    #[test]
+    fn instance_name_roundtrips() {
+        let c = counter();
+        assert_eq!(c.instance_name(), None);
+        c.set_instance_name(Some("/app/counter".into()));
+        assert_eq!(c.instance_name().as_deref(), Some("/app/counter"));
+    }
+
+    #[test]
+    fn replace_state_swaps_instance_data() {
+        let c = counter();
+        c.invoke("counter", "incr", &[Value::Int(41)]).unwrap();
+        let old = c.replace_state(Box::new(0i64));
+        assert_eq!(*old.downcast::<i64>().unwrap(), 41);
+        assert_eq!(c.invoke("counter", "get", &[]).unwrap(), Value::Int(0));
+    }
+}

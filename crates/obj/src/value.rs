@@ -1,0 +1,388 @@
+//! Dynamic values passed across interface boundaries.
+//!
+//! Methods in the Paramecium object model are language independent, so
+//! arguments and results are carried as self-describing [`Value`]s. The
+//! variants mirror the wire representation a real implementation would use
+//! for cross-domain marshalling, which is why every variant (other than
+//! object handles, which are translated into proxies) can be serialised to a
+//! flat byte string by `encode`/`decode`.
+
+use bytes::Bytes;
+
+use crate::{
+    error::ObjError,
+    object::ObjRef,
+    typeinfo::TypeTag,
+    ObjResult,
+};
+
+/// A dynamically typed value crossing an interface boundary.
+#[derive(Clone, Debug, Default)]
+pub enum Value {
+    /// The absence of a value (`void`).
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed 64-bit integer (also used for addresses and sizes).
+    Int(i64),
+    /// A UTF-8 string, e.g. an instance name.
+    Str(String),
+    /// An opaque byte string, e.g. a network packet or a component image.
+    Bytes(Bytes),
+    /// A reference to another object instance.
+    ///
+    /// When a value containing a handle crosses a protection-domain boundary
+    /// the directory service replaces it with a proxy; inside one domain it
+    /// is an ordinary reference.
+    Handle(ObjRef),
+    /// A heterogeneous sequence of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Returns the [`TypeTag`] describing this value.
+    pub fn tag(&self) -> TypeTag {
+        match self {
+            Value::Unit => TypeTag::Unit,
+            Value::Bool(_) => TypeTag::Bool,
+            Value::Int(_) => TypeTag::Int,
+            Value::Str(_) => TypeTag::Str,
+            Value::Bytes(_) => TypeTag::Bytes,
+            Value::Handle(_) => TypeTag::Handle,
+            Value::List(_) => TypeTag::List,
+        }
+    }
+
+    /// Extracts a boolean, or reports a type mismatch.
+    pub fn as_bool(&self) -> ObjResult<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ObjError::type_mismatch(TypeTag::Bool, other.tag())),
+        }
+    }
+
+    /// Extracts an integer, or reports a type mismatch.
+    pub fn as_int(&self) -> ObjResult<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(ObjError::type_mismatch(TypeTag::Int, other.tag())),
+        }
+    }
+
+    /// Extracts a string slice, or reports a type mismatch.
+    pub fn as_str(&self) -> ObjResult<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(ObjError::type_mismatch(TypeTag::Str, other.tag())),
+        }
+    }
+
+    /// Extracts the byte string, or reports a type mismatch.
+    pub fn as_bytes(&self) -> ObjResult<&Bytes> {
+        match self {
+            Value::Bytes(b) => Ok(b),
+            other => Err(ObjError::type_mismatch(TypeTag::Bytes, other.tag())),
+        }
+    }
+
+    /// Extracts an object handle, or reports a type mismatch.
+    pub fn as_handle(&self) -> ObjResult<&ObjRef> {
+        match self {
+            Value::Handle(h) => Ok(h),
+            other => Err(ObjError::type_mismatch(TypeTag::Handle, other.tag())),
+        }
+    }
+
+    /// Extracts a list, or reports a type mismatch.
+    pub fn as_list(&self) -> ObjResult<&[Value]> {
+        match self {
+            Value::List(l) => Ok(l),
+            other => Err(ObjError::type_mismatch(TypeTag::List, other.tag())),
+        }
+    }
+
+    /// Returns the approximate marshalled size of this value in bytes.
+    ///
+    /// Used by the cross-domain proxy machinery to charge marshalling costs
+    /// proportional to argument size, as a real kernel would pay to map or
+    /// copy arguments between address spaces.
+    pub fn marshalled_size(&self) -> usize {
+        match self {
+            Value::Unit => 1,
+            Value::Bool(_) => 2,
+            Value::Int(_) => 9,
+            Value::Str(s) => 5 + s.len(),
+            Value::Bytes(b) => 5 + b.len(),
+            // A handle marshals as a 64-bit proxy slot index.
+            Value::Handle(_) => 9,
+            Value::List(l) => 5 + l.iter().map(Value::marshalled_size).sum::<usize>(),
+        }
+    }
+
+    /// Serialises the value to a flat byte string.
+    ///
+    /// Handles cannot be flattened — they must be translated by the
+    /// directory service first — so encoding one is an error. This mirrors
+    /// the paper's design where the per-page fault handler "maps in
+    /// arguments" but object references become proxies.
+    pub fn encode(&self, out: &mut Vec<u8>) -> ObjResult<()> {
+        match self {
+            Value::Unit => out.push(0),
+            Value::Bool(b) => {
+                out.push(1);
+                out.push(u8::from(*b));
+            }
+            Value::Int(i) => {
+                out.push(2);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                out.push(4);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            Value::Handle(_) => {
+                return Err(ObjError::Marshal(
+                    "object handles cannot be flattened; translate to a proxy first".into(),
+                ))
+            }
+            Value::List(l) => {
+                out.push(5);
+                out.extend_from_slice(&(l.len() as u32).to_le_bytes());
+                for v in l {
+                    v.encode(out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialises one value from `buf` starting at `pos`, advancing `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> ObjResult<Value> {
+        let err = || ObjError::Marshal("truncated value encoding".into());
+        let tag = *buf.get(*pos).ok_or_else(err)?;
+        *pos += 1;
+        let take = |pos: &mut usize, n: usize| -> ObjResult<&[u8]> {
+            let s = buf.get(*pos..*pos + n).ok_or_else(err)?;
+            *pos += n;
+            Ok(s)
+        };
+        let read_len = |pos: &mut usize| -> ObjResult<usize> {
+            let s = take(pos, 4)?;
+            Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")) as usize)
+        };
+        Ok(match tag {
+            0 => Value::Unit,
+            1 => Value::Bool(take(pos, 1)?[0] != 0),
+            2 => Value::Int(i64::from_le_bytes(take(pos, 8)?.try_into().expect("8 bytes"))),
+            3 => {
+                let n = read_len(pos)?;
+                let s = std::str::from_utf8(take(pos, n)?)
+                    .map_err(|_| ObjError::Marshal("invalid UTF-8 in string value".into()))?;
+                Value::Str(s.to_owned())
+            }
+            4 => {
+                let n = read_len(pos)?;
+                Value::Bytes(Bytes::copy_from_slice(take(pos, n)?))
+            }
+            5 => {
+                let n = read_len(pos)?;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(Value::decode(buf, pos)?);
+                }
+                Value::List(items)
+            }
+            other => {
+                return Err(ObjError::Marshal(format!(
+                    "unknown value tag {other} in encoding"
+                )))
+            }
+        })
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bytes(a), Value::Bytes(b)) => a == b,
+            // Handles compare by identity: two references to the same
+            // instance are equal, distinct instances are not.
+            (Value::Handle(a), Value::Handle(b)) => std::sync::Arc::ptr_eq(a, b),
+            (Value::List(a), Value::List(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl From<()> for Value {
+    fn from((): ()) -> Self {
+        Value::Unit
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Bytes> for Value {
+    fn from(b: Bytes) -> Self {
+        Value::Bytes(b)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(Bytes::from(b))
+    }
+}
+
+impl From<ObjRef> for Value {
+    fn from(h: ObjRef) -> Self {
+        Value::Handle(h)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(l: Vec<Value>) -> Self {
+        Value::List(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        v.encode(&mut buf).expect("encodable");
+        let mut pos = 0;
+        let out = Value::decode(&buf, &mut pos).expect("decodable");
+        assert_eq!(pos, buf.len(), "decode must consume the full encoding");
+        out
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_scalars() {
+        for v in [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Str(String::new()),
+            Value::Str("hello/world".into()),
+            Value::Bytes(Bytes::from_static(b"\x00\xff\x01")),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_nested_list() {
+        let v = Value::List(vec![
+            Value::Int(1),
+            Value::List(vec![Value::Str("a".into()), Value::Unit]),
+            Value::Bytes(Bytes::from_static(b"xyz")),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn handles_do_not_encode() {
+        let obj = crate::ObjectBuilder::new("x").build();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            Value::Handle(obj).encode(&mut buf),
+            Err(ObjError::Marshal(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        Value::Str("truncate me".into()).encode(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(
+                Value::decode(&buf[..cut], &mut pos).is_err(),
+                "prefix of length {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut pos = 0;
+        assert!(Value::decode(&[42], &mut pos).is_err());
+    }
+
+    #[test]
+    fn accessors_check_types() {
+        assert!(Value::Int(3).as_int().is_ok());
+        assert!(Value::Int(3).as_str().is_err());
+        assert!(Value::Str("s".into()).as_bytes().is_err());
+        assert!(Value::Unit.as_bool().is_err());
+        assert!(Value::List(vec![]).as_list().is_ok());
+    }
+
+    #[test]
+    fn marshalled_size_tracks_payload() {
+        assert_eq!(Value::Unit.marshalled_size(), 1);
+        assert_eq!(Value::Int(7).marshalled_size(), 9);
+        assert_eq!(Value::Str("abcd".into()).marshalled_size(), 9);
+        let big = Value::Bytes(Bytes::from(vec![0u8; 1500]));
+        assert_eq!(big.marshalled_size(), 1505);
+    }
+
+    #[test]
+    fn handle_equality_is_identity() {
+        let a = crate::ObjectBuilder::new("x").build();
+        let b = crate::ObjectBuilder::new("x").build();
+        assert_eq!(Value::Handle(a.clone()), Value::Handle(a.clone()));
+        assert_ne!(Value::Handle(a), Value::Handle(b));
+    }
+}

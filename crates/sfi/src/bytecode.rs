@@ -1,0 +1,367 @@
+//! The component instruction set.
+//!
+//! A deliberately small register machine: 16 general-purpose 64-bit
+//! registers, a private data segment, absolute branch targets. Rich enough
+//! to express the paper's motivating workloads (protocol processing,
+//! checksums, table walks) and for sandboxing/verification to be
+//! non-trivial, small enough to stay auditable.
+
+use crate::ImageError;
+
+/// A register index (0..=15).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+impl Reg {
+    /// Checked constructor.
+    pub fn new(i: u8) -> Self {
+        assert!((i as usize) < NUM_REGS, "register r{i} out of range");
+        Reg(i)
+    }
+}
+
+/// One instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Insn {
+    /// `rd <- imm`
+    Li { rd: Reg, imm: i64 },
+    /// `rd <- rs`
+    Mov { rd: Reg, rs: Reg },
+    /// `rd <- rs1 + rs2` (wrapping)
+    Add { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd <- rs1 - rs2` (wrapping)
+    Sub { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd <- rs1 * rs2` (wrapping)
+    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd <- rs1 / rs2` (unsigned; traps on zero divisor)
+    Divu { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd <- rs1 & rs2`
+    And { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd <- rs1 | rs2`
+    Or { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd <- rs1 ^ rs2`
+    Xor { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd <- rs1 << (rs2 & 63)`
+    Shl { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd <- rs1 >> (rs2 & 63)` (logical)
+    Shr { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd <- mem64[rs + off]`
+    Ld { rd: Reg, base: Reg, off: i32 },
+    /// `rd <- mem8[rs + off]` (zero-extended)
+    LdB { rd: Reg, base: Reg, off: i32 },
+    /// `mem64[base + off] <- rs`
+    St { rs: Reg, base: Reg, off: i32 },
+    /// `mem8[base + off] <- low byte of rs`
+    StB { rs: Reg, base: Reg, off: i32 },
+    /// Branch to `target` if `rs1 == rs2`.
+    Beq { rs1: Reg, rs2: Reg, target: u32 },
+    /// Branch to `target` if `rs1 != rs2`.
+    Bne { rs1: Reg, rs2: Reg, target: u32 },
+    /// Branch to `target` if `rs1 < rs2` (unsigned).
+    Bltu { rs1: Reg, rs2: Reg, target: u32 },
+    /// Unconditional jump.
+    Jmp { target: u32 },
+    /// Indirect jump to the address in `rs` (instruction index).
+    Jr { rs: Reg },
+    /// Mask `r` into the data segment: `r <- base + (r mod len)`.
+    ///
+    /// This is the SFI guard instruction the sandboxer inserts; source
+    /// programs may also use it directly (a "cooperatively sandboxed"
+    /// program that the verifier can accept).
+    MaskData { r: Reg },
+    /// Mask `r` into valid code range: `r <- r mod program_len`.
+    MaskCode { r: Reg },
+    /// Stop; `r0` is the result value.
+    Halt,
+}
+
+/// A component program: instructions plus its declared data-segment size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// The instructions.
+    pub code: Vec<Insn>,
+    /// Size of the private data segment in bytes.
+    pub data_len: u32,
+}
+
+impl Program {
+    /// Creates a program.
+    pub fn new(code: Vec<Insn>, data_len: u32) -> Self {
+        Program { code, data_len }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Encodes the program into its *image*: the byte string that gets
+    /// digested and signed by certificates.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.code.len() * 10);
+        out.extend_from_slice(b"PBC1"); // Paramecium ByteCode v1.
+        out.extend_from_slice(&self.data_len.to_le_bytes());
+        out.extend_from_slice(&(self.code.len() as u32).to_le_bytes());
+        for insn in &self.code {
+            encode_insn(insn, &mut out);
+        }
+        out
+    }
+
+    /// Decodes an image back into a program.
+    pub fn decode(image: &[u8]) -> Result<Self, ImageError> {
+        let err = |m: &str| ImageError::Malformed(m.into());
+        if image.get(..4) != Some(b"PBC1".as_slice()) {
+            return Err(err("bad magic"));
+        }
+        let data_len = u32::from_le_bytes(
+            image.get(4..8).ok_or_else(|| err("truncated header"))?.try_into().expect("4"),
+        );
+        let count = u32::from_le_bytes(
+            image.get(8..12).ok_or_else(|| err("truncated header"))?.try_into().expect("4"),
+        ) as usize;
+        let mut pos = 12;
+        let mut code = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            code.push(decode_insn(image, &mut pos)?);
+        }
+        if pos != image.len() {
+            return Err(err("trailing bytes"));
+        }
+        Ok(Program { code, data_len })
+    }
+}
+
+fn put_reg(out: &mut Vec<u8>, r: Reg) {
+    out.push(r.0);
+}
+
+fn encode_insn(insn: &Insn, out: &mut Vec<u8>) {
+    use Insn::*;
+    match insn {
+        Li { rd, imm } => {
+            out.push(0);
+            put_reg(out, *rd);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Mov { rd, rs } => {
+            out.push(1);
+            put_reg(out, *rd);
+            put_reg(out, *rs);
+        }
+        Add { rd, rs1, rs2 } => put3(out, 2, *rd, *rs1, *rs2),
+        Sub { rd, rs1, rs2 } => put3(out, 3, *rd, *rs1, *rs2),
+        Mul { rd, rs1, rs2 } => put3(out, 4, *rd, *rs1, *rs2),
+        Divu { rd, rs1, rs2 } => put3(out, 5, *rd, *rs1, *rs2),
+        And { rd, rs1, rs2 } => put3(out, 6, *rd, *rs1, *rs2),
+        Or { rd, rs1, rs2 } => put3(out, 7, *rd, *rs1, *rs2),
+        Xor { rd, rs1, rs2 } => put3(out, 8, *rd, *rs1, *rs2),
+        Shl { rd, rs1, rs2 } => put3(out, 9, *rd, *rs1, *rs2),
+        Shr { rd, rs1, rs2 } => put3(out, 10, *rd, *rs1, *rs2),
+        Ld { rd, base, off } => put_mem(out, 11, *rd, *base, *off),
+        LdB { rd, base, off } => put_mem(out, 12, *rd, *base, *off),
+        St { rs, base, off } => put_mem(out, 13, *rs, *base, *off),
+        StB { rs, base, off } => put_mem(out, 14, *rs, *base, *off),
+        Beq { rs1, rs2, target } => put_branch(out, 15, *rs1, *rs2, *target),
+        Bne { rs1, rs2, target } => put_branch(out, 16, *rs1, *rs2, *target),
+        Bltu { rs1, rs2, target } => put_branch(out, 17, *rs1, *rs2, *target),
+        Jmp { target } => {
+            out.push(18);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Jr { rs } => {
+            out.push(19);
+            put_reg(out, *rs);
+        }
+        MaskData { r } => {
+            out.push(20);
+            put_reg(out, *r);
+        }
+        MaskCode { r } => {
+            out.push(21);
+            put_reg(out, *r);
+        }
+        Halt => out.push(22),
+    }
+}
+
+fn put3(out: &mut Vec<u8>, op: u8, a: Reg, b: Reg, c: Reg) {
+    out.push(op);
+    out.push(a.0);
+    out.push(b.0);
+    out.push(c.0);
+}
+
+fn put_mem(out: &mut Vec<u8>, op: u8, r: Reg, base: Reg, off: i32) {
+    out.push(op);
+    out.push(r.0);
+    out.push(base.0);
+    out.extend_from_slice(&off.to_le_bytes());
+}
+
+fn put_branch(out: &mut Vec<u8>, op: u8, a: Reg, b: Reg, target: u32) {
+    out.push(op);
+    out.push(a.0);
+    out.push(b.0);
+    out.extend_from_slice(&target.to_le_bytes());
+}
+
+fn decode_insn(buf: &[u8], pos: &mut usize) -> Result<Insn, ImageError> {
+    use Insn::*;
+    let err = || ImageError::Malformed("truncated instruction".into());
+    let op = *buf.get(*pos).ok_or_else(err)?;
+    *pos += 1;
+    let reg = |pos: &mut usize| -> Result<Reg, ImageError> {
+        let v = *buf.get(*pos).ok_or_else(err)?;
+        *pos += 1;
+        if (v as usize) >= NUM_REGS {
+            return Err(ImageError::Malformed(format!("register r{v} out of range")));
+        }
+        Ok(Reg(v))
+    };
+    fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N], ImageError> {
+        let s = buf
+            .get(*pos..*pos + N)
+            .ok_or_else(|| ImageError::Malformed("truncated instruction".into()))?;
+        *pos += N;
+        Ok(s.try_into().expect("length checked"))
+    }
+    Ok(match op {
+        0 => {
+            let rd = reg(pos)?;
+            Li { rd, imm: i64::from_le_bytes(take::<8>(buf, pos)?) }
+        }
+        1 => Mov { rd: reg(pos)?, rs: reg(pos)? },
+        2..=10 => {
+            let (rd, rs1, rs2) = (reg(pos)?, reg(pos)?, reg(pos)?);
+            match op {
+                2 => Add { rd, rs1, rs2 },
+                3 => Sub { rd, rs1, rs2 },
+                4 => Mul { rd, rs1, rs2 },
+                5 => Divu { rd, rs1, rs2 },
+                6 => And { rd, rs1, rs2 },
+                7 => Or { rd, rs1, rs2 },
+                8 => Xor { rd, rs1, rs2 },
+                9 => Shl { rd, rs1, rs2 },
+                _ => Shr { rd, rs1, rs2 },
+            }
+        }
+        11..=14 => {
+            let (r, base) = (reg(pos)?, reg(pos)?);
+            let off = i32::from_le_bytes(take::<4>(buf, pos)?);
+            match op {
+                11 => Ld { rd: r, base, off },
+                12 => LdB { rd: r, base, off },
+                13 => St { rs: r, base, off },
+                _ => StB { rs: r, base, off },
+            }
+        }
+        15..=17 => {
+            let (rs1, rs2) = (reg(pos)?, reg(pos)?);
+            let target = u32::from_le_bytes(take::<4>(buf, pos)?);
+            match op {
+                15 => Beq { rs1, rs2, target },
+                16 => Bne { rs1, rs2, target },
+                _ => Bltu { rs1, rs2, target },
+            }
+        }
+        18 => Jmp { target: u32::from_le_bytes(take::<4>(buf, pos)?) },
+        19 => Jr { rs: reg(pos)? },
+        20 => MaskData { r: reg(pos)? },
+        21 => MaskCode { r: reg(pos)? },
+        22 => Halt,
+        other => return Err(ImageError::Malformed(format!("unknown opcode {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn sample() -> Program {
+        Program::new(
+            vec![
+                Insn::Li { rd: r(0), imm: -7 },
+                Insn::Li { rd: r(1), imm: i64::MAX },
+                Insn::Mov { rd: r(2), rs: r(1) },
+                Insn::Add { rd: r(0), rs1: r(1), rs2: r(2) },
+                Insn::Divu { rd: r(3), rs1: r(0), rs2: r(1) },
+                Insn::Ld { rd: r(4), base: r(5), off: -16 },
+                Insn::StB { rs: r(4), base: r(5), off: 1024 },
+                Insn::Beq { rs1: r(0), rs2: r(1), target: 9 },
+                Insn::Jmp { target: 0 },
+                Insn::Jr { rs: r(6) },
+                Insn::MaskData { r: r(5) },
+                Insn::MaskCode { r: r(6) },
+                Insn::Halt,
+            ],
+            4096,
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = sample();
+        let image = p.encode();
+        assert_eq!(Program::decode(&image).unwrap(), p);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let image = sample().encode();
+        for cut in 0..image.len() {
+            assert!(Program::decode(&image[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_trailing() {
+        let mut image = sample().encode();
+        image[0] ^= 1;
+        assert!(Program::decode(&image).is_err());
+        let mut image = sample().encode();
+        image.push(0);
+        assert!(Program::decode(&image).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_register() {
+        // Li with register 16.
+        let mut image = Vec::new();
+        image.extend_from_slice(b"PBC1");
+        image.extend_from_slice(&0u32.to_le_bytes());
+        image.extend_from_slice(&1u32.to_le_bytes());
+        image.push(0); // Li opcode.
+        image.push(16); // Bad register.
+        image.extend_from_slice(&0i64.to_le_bytes());
+        assert!(Program::decode(&image).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_constructor_checks_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn image_identity_is_content_identity() {
+        // Two structurally equal programs encode identically — this is what
+        // makes digest-based certificates meaningful.
+        assert_eq!(sample().encode(), sample().encode());
+        let mut other = sample();
+        other.data_len += 1;
+        assert_ne!(sample().encode(), other.encode());
+    }
+}

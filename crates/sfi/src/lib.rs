@@ -1,0 +1,57 @@
+//! Component bytecode and software-protection baselines.
+//!
+//! The paper positions certification *against* the software protection used
+//! by the Exokernel and SPIN: "restricted, type safe languages and
+//! sandboxing … to prevent it from causing harm" (section 1), and claims
+//! that "verifying a certificate at load-time obviates the need for run
+//! time fault checks thus allowing components to be more efficient"
+//! (section 5). To measure that claim we need downloadable components with
+//! real code in them, so this crate provides:
+//!
+//! - [`bytecode`] — a small register-machine instruction set; a component's
+//!   *image* is its encoded program, which is what certificates digest,
+//! - [`asm`] — a tiny assembler for building programs with labels,
+//! - [`interp`] — the interpreter, with deterministic step/cycle accounting,
+//! - [`sandbox`] — Wahbe-style software fault isolation: rewrites a program
+//!   so every memory access and indirect jump is masked into the sandbox
+//!   segment (run-time overhead on every access),
+//! - [`verifier`] — a SPIN-style load-time verifier: a linear abstract
+//!   interpretation that accepts a program only if every access is provably
+//!   safe (load-time cost, zero run-time overhead, but rejects programs it
+//!   cannot prove),
+//! - [`workloads`] — parameterised benchmark programs (checksum loops,
+//!   memory-walking kernels) shared by tests and benches.
+//!
+//! Certified-native execution (the Paramecium path) runs the *original*
+//! program with no checks at all: the trust was established by signature at
+//! load time.
+
+pub mod asm;
+pub mod bytecode;
+pub mod interp;
+pub mod sandbox;
+pub mod verifier;
+pub mod workloads;
+
+pub use asm::Asm;
+pub use bytecode::{Insn, Program, Reg};
+pub use interp::{ExecOutcome, Interp, InterpError};
+pub use sandbox::sandbox_rewrite;
+pub use verifier::{verify, VerifyError};
+
+/// Errors common to loading bytecode images.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImageError {
+    /// The encoded image was malformed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::Malformed(m) => write!(f, "malformed image: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}

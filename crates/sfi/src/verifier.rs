@@ -1,0 +1,453 @@
+//! Load-time static verification.
+//!
+//! Models the SPIN approach: "the ability to down-load application code,
+//! written in a special type-safe language, into the kernel protection
+//! domain" (paper, section 5). A type-safe compiler emits code that is safe
+//! *by construction*; the kernel re-checks that claim with a linear
+//! abstract interpretation at load time. Verified programs run with only
+//! the guards the compiler itself emitted (which it can hoist and
+//! coarsen), unlike SFI rewriting which guards every single access.
+//!
+//! The verifier is deliberately conservative: it proves memory safety for
+//! the idioms our "trusted compiler" (see [`crate::workloads`]) generates
+//! and rejects anything else — exactly the trade-off the paper ascribes to
+//! software protection ("restricted, type safe languages").
+
+use crate::bytecode::{Insn, Program, Reg, NUM_REGS};
+
+/// Why verification rejected a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A static branch target is outside the program.
+    BadBranchTarget {
+        /// Instruction index of the branch.
+        pc: u32,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// A memory access could not be proven in-bounds.
+    UnsafeMemoryAccess {
+        /// Instruction index of the access.
+        pc: u32,
+    },
+    /// An indirect jump whose target register is not code-masked.
+    UnguardedIndirectJump {
+        /// Instruction index of the jump.
+        pc: u32,
+    },
+    /// The dataflow analysis did not converge within budget.
+    TooComplex,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::BadBranchTarget { pc, target } => {
+                write!(f, "branch at pc {pc} targets {target}, outside the program")
+            }
+            VerifyError::UnsafeMemoryAccess { pc } => {
+                write!(f, "cannot prove memory access at pc {pc} in-bounds")
+            }
+            VerifyError::UnguardedIndirectJump { pc } => {
+                write!(f, "indirect jump at pc {pc} through unmasked register")
+            }
+            VerifyError::TooComplex => write!(f, "analysis exceeded its iteration budget"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verification statistics — the measurable load-time cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Instruction-state evaluations performed (linear-ish in program
+    /// size; this is what the load-time cost model charges).
+    pub evaluations: u64,
+    /// Number of worklist passes until fixpoint.
+    pub iterations: u64,
+}
+
+/// Abstract value of one register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Av {
+    /// A compile-time constant.
+    Known(u64),
+    /// Provably `< data_len` (result of `MaskData`).
+    Masked,
+    /// Provably `< data_len`, 8-aligned; with `data_len % 8 == 0` this
+    /// bounds the value by `data_len - 8`.
+    MaskedAligned,
+    /// Provably a valid instruction index (result of `MaskCode`).
+    CodeMasked,
+    /// Anything.
+    Unknown,
+}
+
+impl Av {
+    fn join(self, other: Av) -> Av {
+        use Av::*;
+        match (self, other) {
+            (Known(a), Known(b)) if a == b => Known(a),
+            (Masked, Masked) => Masked,
+            (MaskedAligned, MaskedAligned) => MaskedAligned,
+            (MaskedAligned, Masked) | (Masked, MaskedAligned) => Masked,
+            (CodeMasked, CodeMasked) => CodeMasked,
+            _ => Unknown,
+        }
+    }
+}
+
+type State = [Av; NUM_REGS];
+
+fn join_states(a: &State, b: &State) -> State {
+    let mut out = [Av::Unknown; NUM_REGS];
+    for i in 0..NUM_REGS {
+        out[i] = a[i].join(b[i]);
+    }
+    out
+}
+
+/// Verifies `program`, returning load-time cost statistics on success.
+pub fn verify(program: &Program) -> Result<VerifyReport, VerifyError> {
+    let code = &program.code;
+    let code_len = code.len() as u32;
+    let data_len = u64::from(program.data_len);
+
+    // Pass 0: static branch targets.
+    for (pc, insn) in code.iter().enumerate() {
+        let pc = pc as u32;
+        let target = match insn {
+            Insn::Beq { target, .. }
+            | Insn::Bne { target, .. }
+            | Insn::Bltu { target, .. }
+            | Insn::Jmp { target } => Some(*target),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if t >= code_len {
+                return Err(VerifyError::BadBranchTarget { pc, target: t });
+            }
+        }
+    }
+
+    // Dataflow fixpoint. Entry state: inputs are arbitrary.
+    let mut states: Vec<Option<State>> = vec![None; code.len()];
+    if code.is_empty() {
+        return Ok(VerifyReport::default());
+    }
+    states[0] = Some([Av::Unknown; NUM_REGS]);
+    let mut worklist: Vec<u32> = vec![0];
+    let mut report = VerifyReport::default();
+    // Lattice height is tiny; this budget is generous and guarantees
+    // termination even on adversarial inputs.
+    let budget = (code.len() as u64 + 1) * 64;
+
+    while let Some(pc) = worklist.pop() {
+        report.evaluations += 1;
+        if report.evaluations > budget {
+            return Err(VerifyError::TooComplex);
+        }
+        let state = states[pc as usize].expect("state exists for worklist entries");
+        let insn = code[pc as usize];
+        check_insn(pc, &insn, &state, data_len)?;
+        let mut next_state = state;
+        apply_transfer(&insn, &mut next_state, data_len);
+
+        let push = |target: u32, st: State, states: &mut Vec<Option<State>>,
+                        worklist: &mut Vec<u32>| {
+            if target >= code_len {
+                // Falling off the end: a run-time BadJump, but not a kernel
+                // safety violation — the interpreter contains it.
+                return;
+            }
+            let slot = &mut states[target as usize];
+            let merged = match slot {
+                Some(old) => join_states(old, &st),
+                None => st,
+            };
+            if slot.as_ref() != Some(&merged) {
+                *slot = Some(merged);
+                worklist.push(target);
+            }
+        };
+
+        match insn {
+            Insn::Halt => {}
+            Insn::Jmp { target } => push(target, next_state, &mut states, &mut worklist),
+            Insn::Jr { .. } => {
+                // Verified indirect jumps may go to any instruction: merge
+                // into every possible target. (Our compiler only emits Jr
+                // for small jump tables, so this stays cheap in practice.)
+                for t in 0..code_len {
+                    push(t, next_state, &mut states, &mut worklist);
+                }
+            }
+            Insn::Beq { target, .. } | Insn::Bne { target, .. } | Insn::Bltu { target, .. } => {
+                push(target, next_state, &mut states, &mut worklist);
+                push(pc + 1, next_state, &mut states, &mut worklist);
+            }
+            _ => push(pc + 1, next_state, &mut states, &mut worklist),
+        }
+        report.iterations += 1;
+    }
+    Ok(report)
+}
+
+/// Rejects instructions whose safety is not provable in `state`.
+fn check_insn(pc: u32, insn: &Insn, state: &State, data_len: u64) -> Result<(), VerifyError> {
+    let av = |r: Reg| state[r.0 as usize];
+    let check_access = |base: Reg, off: i32, size: u64| -> Result<(), VerifyError> {
+        let ok = match av(base) {
+            Av::Known(a) => {
+                let eff = a.wrapping_add(off as i64 as u64);
+                eff.checked_add(size).is_some_and(|end| end <= data_len)
+            }
+            Av::Masked => size == 1 && off == 0 && data_len > 0,
+            Av::MaskedAligned => {
+                data_len % 8 == 0
+                    && data_len >= 8
+                    && off >= 0
+                    && (off as u64) + size <= 8
+            }
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(VerifyError::UnsafeMemoryAccess { pc })
+        }
+    };
+    match *insn {
+        Insn::Ld { base, off, .. } => check_access(base, off, 8),
+        Insn::LdB { base, off, .. } => check_access(base, off, 1),
+        Insn::St { base, off, .. } => check_access(base, off, 8),
+        Insn::StB { base, off, .. } => check_access(base, off, 1),
+        Insn::Jr { rs } => match av(rs) {
+            Av::CodeMasked | Av::Known(_) => Ok(()),
+            _ => Err(VerifyError::UnguardedIndirectJump { pc }),
+        },
+        _ => Ok(()),
+    }
+}
+
+/// Abstract transfer function.
+fn apply_transfer(insn: &Insn, state: &mut State, _data_len: u64) {
+    let get = |state: &State, r: Reg| state[r.0 as usize];
+    let set = |state: &mut State, r: Reg, v: Av| state[r.0 as usize] = v;
+    match *insn {
+        Insn::Li { rd, imm } => set(state, rd, Av::Known(imm as u64)),
+        Insn::Mov { rd, rs } => {
+            let v = get(state, rs);
+            set(state, rd, v);
+        }
+        // Always widen to `Masked`, even for constants: constant-folding
+        // here would make the first loop iteration's state `Known` and the
+        // back-edge's state `Masked`, whose join is `Unknown` — losing the
+        // very fact the guard established.
+        Insn::MaskData { r } => set(state, r, Av::Masked),
+        Insn::MaskCode { r } => set(state, r, Av::CodeMasked),
+        Insn::And { rd, rs1, rs2 } => {
+            let v = match (get(state, rs1), get(state, rs2)) {
+                (Av::Known(a), Av::Known(b)) => Av::Known(a & b),
+                // Masking a segment-bounded value with !7 aligns it down:
+                // the verified-compiler idiom for whole-word access.
+                (Av::Masked | Av::MaskedAligned, Av::Known(k))
+                | (Av::Known(k), Av::Masked | Av::MaskedAligned)
+                    if k == !7u64 =>
+                {
+                    Av::MaskedAligned
+                }
+                _ => Av::Unknown,
+            };
+            set(state, rd, v);
+        }
+        Insn::Add { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, u64::wrapping_add),
+        Insn::Sub { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, u64::wrapping_sub),
+        Insn::Mul { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, u64::wrapping_mul),
+        Insn::Divu { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }),
+        Insn::Or { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a | b),
+        Insn::Xor { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a ^ b),
+        Insn::Shl { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a << (b & 63)),
+        Insn::Shr { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a >> (b & 63)),
+        Insn::Ld { rd, .. } | Insn::LdB { rd, .. } => set(state, rd, Av::Unknown),
+        Insn::St { .. } | Insn::StB { .. } => {}
+        Insn::Beq { .. } | Insn::Bne { .. } | Insn::Bltu { .. } | Insn::Jmp { .. }
+        | Insn::Jr { .. } | Insn::Halt => {}
+    }
+}
+
+fn binop(state: &mut State, rd: Reg, rs1: Reg, rs2: Reg, f: impl Fn(u64, u64) -> u64) {
+    let v = match (state[rs1.0 as usize], state[rs2.0 as usize]) {
+        (Av::Known(a), Av::Known(b)) => Av::Known(f(a, b)),
+        _ => Av::Unknown,
+    };
+    state[rd.0 as usize] = v;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{asm::Asm, interp::Interp};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn pure_alu_program_verifies() {
+        let p = crate::workloads::alu_loop(10);
+        assert!(verify(&p).is_ok());
+    }
+
+    #[test]
+    fn constant_address_access_verifies() {
+        let mut a = Asm::new(64);
+        a.li(r(1), 32);
+        a.ld(r(0), r(1), 16); // 32+16+8 = 56 <= 64.
+        a.halt();
+        assert!(verify(&a.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn constant_address_overflow_rejected() {
+        let mut a = Asm::new(64);
+        a.li(r(1), 60);
+        a.ld(r(0), r(1), 0); // 60+8 > 64.
+        a.halt();
+        assert_eq!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::UnsafeMemoryAccess { pc: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_address_rejected_without_mask() {
+        let mut a = Asm::new(64);
+        // r1 comes in as an argument: unknown.
+        a.ldb(r(0), r(1), 0);
+        a.halt();
+        assert_eq!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::UnsafeMemoryAccess { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn masked_byte_access_verifies() {
+        let mut a = Asm::new(64);
+        a.mask_data(r(1));
+        a.ldb(r(0), r(1), 0);
+        a.halt();
+        assert!(verify(&a.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn masked_word_access_needs_alignment() {
+        // Masked (unaligned) word access is rejected…
+        let mut a = Asm::new(64);
+        a.mask_data(r(1));
+        a.ld(r(0), r(1), 0);
+        a.halt();
+        assert!(verify(&a.finish().unwrap()).is_err());
+
+        // …but the mask-then-align idiom is accepted.
+        let mut a = Asm::new(64);
+        a.mask_data(r(1));
+        a.li(r(2), !7i64);
+        a.and(r(1), r(1), r(2));
+        a.ld(r(0), r(1), 0);
+        a.halt();
+        assert!(verify(&a.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn mask_invalidated_by_arithmetic() {
+        let mut a = Asm::new(64);
+        a.mask_data(r(1));
+        a.addi(r(1), r(1), 1); // No longer provably bounded.
+        a.ldb(r(0), r(1), 0);
+        a.halt();
+        assert!(verify(&a.finish().unwrap()).is_err());
+    }
+
+    #[test]
+    fn bad_branch_target_rejected() {
+        let p = crate::bytecode::Program::new(
+            vec![crate::bytecode::Insn::Jmp { target: 99 }],
+            0,
+        );
+        assert_eq!(
+            verify(&p),
+            Err(VerifyError::BadBranchTarget { pc: 0, target: 99 })
+        );
+    }
+
+    #[test]
+    fn unguarded_indirect_jump_rejected() {
+        let mut a = Asm::new(0);
+        a.jr(r(1));
+        a.halt();
+        assert_eq!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::UnguardedIndirectJump { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn code_masked_indirect_jump_verifies() {
+        let mut a = Asm::new(0);
+        a.raw(crate::bytecode::Insn::MaskCode { r: r(1) });
+        a.jr(r(1));
+        a.halt();
+        assert!(verify(&a.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn loop_with_join_converges() {
+        // A loop whose body re-masks each iteration: requires a fixpoint
+        // over the back edge.
+        let p = crate::workloads::checksum_loop_verified(64, 4);
+        let report = verify(&p).expect("verified workload must verify");
+        assert!(report.iterations > 0);
+        // And it actually runs correctly.
+        let mut i = Interp::new(&p);
+        i.load_data(0, &[1u8; 64]);
+        assert!(i.run(1_000_000).is_ok());
+    }
+
+    #[test]
+    fn verified_program_never_faults_at_runtime() {
+        // The meta-property: anything the verifier accepts runs without
+        // memory faults for arbitrary inputs.
+        let p = crate::workloads::checksum_loop_verified(64, 8);
+        verify(&p).unwrap();
+        for seed in 0..16u64 {
+            let mut i = Interp::new(&p);
+            let data: Vec<u8> = (0..64).map(|x| (x as u64 * seed) as u8).collect();
+            i.load_data(0, &data);
+            i.set_reg(r(1), seed.wrapping_mul(0x9E3779B97F4A7C15));
+            match i.run(1_000_000) {
+                Ok(_) | Err(crate::interp::InterpError::OutOfSteps) => {}
+                Err(e) => panic!("verified program faulted: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malicious_wild_writer_rejected() {
+        assert!(verify(&crate::workloads::wild_writer()).is_err());
+    }
+
+    #[test]
+    fn empty_program_verifies_trivially() {
+        let p = crate::bytecode::Program::new(vec![], 0);
+        assert!(verify(&p).is_ok());
+    }
+}

@@ -1,0 +1,235 @@
+//! Parameterised benchmark components.
+//!
+//! These are the "downloadable components" of the experiments: protocol
+//! processing kernels of the sort the paper's motivating applications
+//! (fast protocol processing in a shared driver, parallel computation)
+//! would push into the kernel protection domain. Each generator comes in a
+//! plain variant (only certifiable) and, where meaningful, a *verified*
+//! variant written in the idiom the load-time verifier can prove safe —
+//! standing in for the output of a type-safe compiler.
+
+use crate::{
+    asm::Asm,
+    bytecode::{Program, Reg},
+};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// A byte-wise checksum over a `data_len`-byte buffer, repeated
+/// `iterations` times. Raw pointer arithmetic: not verifiable, the
+/// certification / SFI candidate. Result: the checksum in `r0`.
+pub fn checksum_loop(data_len: u32, iterations: u32) -> Program {
+    assert!(data_len > 0);
+    let mut a = Asm::new(data_len);
+    // r0 = acc, r1 = ptr, r2 = limit, r3 = outer counter, r4 = outer limit.
+    a.li(r(0), 0);
+    a.li(r(3), 0);
+    a.li(r(4), i64::from(iterations));
+    a.label("outer");
+    a.li(r(1), 0);
+    a.li(r(2), i64::from(data_len));
+    a.label("inner");
+    a.ldb(r(5), r(1), 0);
+    a.add(r(0), r(0), r(5));
+    a.addi(r(1), r(1), 1);
+    a.bltu(r(1), r(2), "inner");
+    a.addi(r(3), r(3), 1);
+    a.bltu(r(3), r(4), "outer");
+    a.halt();
+    a.finish().expect("static labels")
+}
+
+/// The same checksum written in the verified-compiler idiom: every load
+/// address is re-masked into the segment, so the load-time verifier
+/// accepts it. `data_len` must be a power of two ≥ 8 (compilers pad).
+pub fn checksum_loop_verified(data_len: u32, iterations: u32) -> Program {
+    assert!(data_len >= 8 && data_len.is_power_of_two());
+    let mut a = Asm::new(data_len);
+    a.li(r(0), 0);
+    a.li(r(3), 0);
+    a.li(r(4), i64::from(iterations));
+    a.label("outer");
+    a.li(r(1), 0);
+    a.li(r(2), i64::from(data_len));
+    a.label("inner");
+    // The compiler-emitted guard: confine, then access.
+    a.mov(r(6), r(1));
+    a.mask_data(r(6));
+    a.ldb(r(5), r(6), 0);
+    a.add(r(0), r(0), r(5));
+    a.addi(r(1), r(1), 1);
+    a.bltu(r(1), r(2), "inner");
+    a.addi(r(3), r(3), 1);
+    a.bltu(r(3), r(4), "outer");
+    a.halt();
+    a.finish().expect("static labels")
+}
+
+/// A word-wise checksum in the verified idiom (mask + align-down), showing
+/// the verifier's cheaper whole-word guard. `data_len` must be a power of
+/// two ≥ 8.
+pub fn checksum_words_verified(data_len: u32, iterations: u32) -> Program {
+    assert!(data_len >= 8 && data_len.is_power_of_two());
+    let mut a = Asm::new(data_len);
+    a.li(r(0), 0);
+    a.li(r(3), 0);
+    a.li(r(4), i64::from(iterations));
+    a.li(r(7), !7i64); // Alignment mask, hoisted out of the loop.
+    a.label("outer");
+    a.li(r(1), 0);
+    a.li(r(2), i64::from(data_len));
+    a.label("inner");
+    a.mov(r(6), r(1));
+    a.mask_data(r(6));
+    a.and(r(6), r(6), r(7));
+    a.ld(r(5), r(6), 0);
+    a.add(r(0), r(0), r(5));
+    a.addi(r(1), r(1), 8);
+    a.bltu(r(1), r(2), "inner");
+    a.addi(r(3), r(3), 1);
+    a.bltu(r(3), r(4), "outer");
+    a.halt();
+    a.finish().expect("static labels")
+}
+
+/// A pure-ALU loop (no memory traffic): SFI adds nothing, the verifier
+/// accepts it trivially. `iterations` outer rounds of 4 ALU ops.
+pub fn alu_loop(iterations: u32) -> Program {
+    let mut a = Asm::new(0);
+    a.li(r(0), 1);
+    a.li(r(1), 0);
+    a.li(r(2), i64::from(iterations));
+    a.li(r(5), 3);
+    a.label("loop");
+    a.mul(r(0), r(0), r(5));
+    a.xor(r(0), r(0), r(1));
+    a.addi(r(1), r(1), 1);
+    a.bltu(r(1), r(2), "loop");
+    a.halt();
+    a.finish().expect("static labels")
+}
+
+/// A store-heavy table initialisation: writes every byte of the segment
+/// `iterations` times. Maximum SFI overhead density.
+pub fn table_fill(data_len: u32, iterations: u32) -> Program {
+    assert!(data_len > 0);
+    let mut a = Asm::new(data_len);
+    a.li(r(3), 0);
+    a.li(r(4), i64::from(iterations));
+    a.label("outer");
+    a.li(r(1), 0);
+    a.li(r(2), i64::from(data_len));
+    a.label("inner");
+    a.stb(r(1), r(1), 0);
+    a.addi(r(1), r(1), 1);
+    a.bltu(r(1), r(2), "inner");
+    a.addi(r(3), r(3), 1);
+    a.bltu(r(3), r(4), "outer");
+    a.mov(r(0), r(3));
+    a.halt();
+    a.finish().expect("static labels")
+}
+
+/// A malicious component: writes outside its segment (simulates packet
+/// snooping / kernel-memory scribbling). Used by security tests: SFI must
+/// contain it, the verifier must reject it, and an honest certifier must
+/// refuse to sign it.
+pub fn wild_writer() -> Program {
+    let mut a = Asm::new(16);
+    a.li(r(1), 0x7FFF_0000);
+    a.li(r(2), 0x41);
+    a.stb(r(2), r(1), 0);
+    a.li(r(0), 1);
+    a.halt();
+    a.finish().expect("static labels")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{interp::Interp, sandbox::sandbox_rewrite, verifier::verify};
+
+    #[test]
+    fn checksum_variants_agree() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let expected: u64 = data.iter().map(|&b| u64::from(b)).sum();
+
+        let mut plain = Interp::new(&checksum_loop(64, 1));
+        plain.load_data(0, &data);
+        assert_eq!(plain.run(1_000_000).unwrap().result, expected);
+
+        let mut verified = Interp::new(&checksum_loop_verified(64, 1));
+        verified.load_data(0, &data);
+        assert_eq!(verified.run(1_000_000).unwrap().result, expected);
+
+        let (sandboxed, _) = sandbox_rewrite(&checksum_loop(64, 1));
+        let mut sb = Interp::new(&sandboxed);
+        sb.load_data(0, &data);
+        assert_eq!(sb.run(1_000_000).unwrap().result, expected);
+    }
+
+    #[test]
+    fn word_checksum_matches_byte_checksum_on_word_sums() {
+        let data = [1u8; 64];
+        let mut w = Interp::new(&checksum_words_verified(64, 1));
+        w.load_data(0, &data);
+        // Eight words, each 0x0101010101010101.
+        assert_eq!(w.run(1_000_000).unwrap().result, 0x0101010101010101u64.wrapping_mul(8));
+    }
+
+    #[test]
+    fn verified_variants_verify_and_plain_do_not() {
+        assert!(verify(&checksum_loop_verified(64, 1)).is_ok());
+        assert!(verify(&checksum_words_verified(64, 1)).is_ok());
+        assert!(verify(&alu_loop(5)).is_ok());
+        assert!(verify(&checksum_loop(64, 1)).is_err());
+        assert!(verify(&table_fill(64, 1)).is_err());
+        assert!(verify(&wild_writer()).is_err());
+    }
+
+    #[test]
+    fn steps_scale_linearly_with_iterations() {
+        let s1 = Interp::new(&alu_loop(10)).run(1 << 20).unwrap().steps;
+        let s10 = Interp::new(&alu_loop(100)).run(1 << 20).unwrap().steps;
+        // 4 instructions per iteration + constant setup.
+        assert!(s10 > s1 * 9 && s10 < s1 * 11, "s1={s1} s10={s10}");
+    }
+
+    #[test]
+    fn sfi_overhead_on_checksum_is_per_byte() {
+        let p = checksum_loop(256, 4);
+        let plain = Interp::new(&p);
+        let mut plain = plain;
+        let base = plain.run(1 << 22).unwrap();
+        let (sb, _) = sandbox_rewrite(&p);
+        let mut sandboxed = Interp::new(&sb);
+        let guarded = sandboxed.run(1 << 22).unwrap();
+        // One guard per byte load.
+        assert_eq!(guarded.guard_steps, 256 * 4);
+        assert_eq!(guarded.steps, base.steps + guarded.guard_steps);
+    }
+
+    #[test]
+    fn verified_word_loop_beats_byte_loop() {
+        // The verified compiler's word-wise guard does ~1/8 the loop
+        // iterations: the middle ground between SFI and certified-native.
+        let byte = Interp::new(&checksum_loop_verified(1024, 1))
+            .run(1 << 22)
+            .unwrap()
+            .steps;
+        let word = Interp::new(&checksum_words_verified(1024, 1))
+            .run(1 << 22)
+            .unwrap()
+            .steps;
+        assert!(word * 4 < byte, "word={word} byte={byte}");
+    }
+
+    #[test]
+    fn wild_writer_faults_unprotected_and_is_contained_by_sfi() {
+        assert!(Interp::new(&wild_writer()).run(100).is_err());
+        let (sb, _) = sandbox_rewrite(&wild_writer());
+        assert!(Interp::new(&sb).run(100).is_ok());
+    }
+}

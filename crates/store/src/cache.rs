@@ -1,0 +1,364 @@
+//! The shared block cache — the paper's canonical certified component.
+//!
+//! "Certified kernel components can include protocol stack
+//! implementations that are shared between multiple non-cooperating
+//! users, security modules, shared caches, etc. Trust and sharing are
+//! important notions in an operating system kernel that are hard to
+//! formalize and even harder to check automatically." (paper, section 4).
+//!
+//! A write-back LRU cache over any `blockdev` object. Because it exports
+//! `blockdev` itself, it is installed by *interposition*: replace the
+//! `/dev/disk` binding with the cache wrapping the old driver, and every
+//! client — from any protection domain — transparently shares it. That
+//! sharing is exactly why software verification is not enough (the cache
+//! sees everyone's data) and certification is the paper's answer.
+
+use std::collections::HashMap;
+
+use paramecium_machine::dev::disk::SECTOR_SIZE;
+use paramecium_obj::{ObjError, ObjRef, ObjectBuilder, TypeTag, Value};
+
+/// One cache line.
+struct Line {
+    data: [u8; SECTOR_SIZE],
+    dirty: bool,
+    /// LRU clock stamp.
+    stamp: u64,
+}
+
+/// Cache instance state.
+struct CacheState {
+    backing: ObjRef,
+    lines: HashMap<i64, Line>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl CacheState {
+    fn touch(&mut self, sector: i64) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(line) = self.lines.get_mut(&sector) {
+            line.stamp = clock;
+        }
+    }
+
+    /// Evicts the least-recently-used line if over capacity, writing it
+    /// back if dirty. Returns the write-back (sector, data) if any.
+    fn evict_if_needed(&mut self) -> Option<(i64, [u8; SECTOR_SIZE])> {
+        if self.lines.len() <= self.capacity {
+            return None;
+        }
+        let victim = *self
+            .lines
+            .iter()
+            .min_by_key(|(_, l)| l.stamp)
+            .map(|(s, _)| s)
+            .expect("nonempty over-capacity cache");
+        let line = self.lines.remove(&victim).expect("victim exists");
+        if line.dirty {
+            self.writebacks += 1;
+            Some((victim, line.data))
+        } else {
+            None
+        }
+    }
+}
+
+/// Builds a block cache of `capacity` sectors over `backing` (any object
+/// exporting `blockdev`).
+///
+/// The cache exports:
+/// - the full `blockdev` interface (drop-in for the driver), and
+/// - a `cache` interface: `stats() -> [hits, misses, writebacks, resident]`
+///   and `flush() -> int` (write-backs performed).
+pub fn make_block_cache(backing: ObjRef, capacity: usize) -> ObjRef {
+    ObjectBuilder::new("block-cache")
+        .state(CacheState {
+            backing,
+            lines: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        })
+        .interface("blockdev", |i| {
+            i.method("read", &[TypeTag::Int], TypeTag::Bytes, |this, args| {
+                let sector = args[0].as_int()?;
+                // Fast path: in cache.
+                let cached = this.with_state(|s: &mut CacheState| {
+                    Ok(match s.lines.get(&sector) {
+                        Some(line) => {
+                            s.hits += 1;
+                            let data = line.data;
+                            s.touch(sector);
+                            Some(data)
+                        }
+                        None => {
+                            s.misses += 1;
+                            None
+                        }
+                    })
+                })?;
+                if let Some(data) = cached {
+                    return Ok(Value::Bytes(bytes::Bytes::copy_from_slice(&data)));
+                }
+                // Miss: fetch outside the state lock (the backing store may
+                // itself be an object graph).
+                let backing = this.with_state(|s: &mut CacheState| Ok(s.backing.clone()))?;
+                let fetched = backing.invoke("blockdev", "read", &[Value::Int(sector)])?;
+                let bytes_in = fetched.as_bytes()?.clone();
+                if bytes_in.len() != SECTOR_SIZE {
+                    return Err(ObjError::failed("backing store returned a short sector"));
+                }
+                let mut data = [0u8; SECTOR_SIZE];
+                data.copy_from_slice(&bytes_in);
+                let evicted = this.with_state(|s: &mut CacheState| {
+                    s.clock += 1;
+                    let stamp = s.clock;
+                    s.lines.insert(sector, Line { data, dirty: false, stamp });
+                    Ok(s.evict_if_needed())
+                })?;
+                if let Some((victim, vdata)) = evicted {
+                    backing.invoke(
+                        "blockdev",
+                        "write",
+                        &[Value::Int(victim), Value::Bytes(bytes::Bytes::copy_from_slice(&vdata))],
+                    )?;
+                }
+                Ok(Value::Bytes(bytes::Bytes::copy_from_slice(&data)))
+            })
+            .method("write", &[TypeTag::Int, TypeTag::Bytes], TypeTag::Unit, |this, args| {
+                let sector = args[0].as_int()?;
+                let incoming = args[1].as_bytes()?;
+                if incoming.len() != SECTOR_SIZE {
+                    return Err(ObjError::failed(format!(
+                        "sector writes must be exactly {SECTOR_SIZE} bytes"
+                    )));
+                }
+                let mut data = [0u8; SECTOR_SIZE];
+                data.copy_from_slice(incoming);
+                let (backing, evicted) = this.with_state(|s: &mut CacheState| {
+                    s.clock += 1;
+                    let stamp = s.clock;
+                    match s.lines.get_mut(&sector) {
+                        Some(line) => {
+                            s.hits += 1;
+                            line.data = data;
+                            line.dirty = true;
+                            line.stamp = stamp;
+                        }
+                        None => {
+                            s.misses += 1;
+                            s.lines.insert(sector, Line { data, dirty: true, stamp });
+                        }
+                    }
+                    Ok((s.backing.clone(), s.evict_if_needed()))
+                })?;
+                if let Some((victim, vdata)) = evicted {
+                    backing.invoke(
+                        "blockdev",
+                        "write",
+                        &[Value::Int(victim), Value::Bytes(bytes::Bytes::copy_from_slice(&vdata))],
+                    )?;
+                }
+                Ok(Value::Unit)
+            })
+            .method("sectors", &[], TypeTag::Int, |this, _| {
+                let backing = this.with_state(|s: &mut CacheState| Ok(s.backing.clone()))?;
+                backing.invoke("blockdev", "sectors", &[])
+            })
+            .method("stats", &[], TypeTag::List, |this, _| {
+                let backing = this.with_state(|s: &mut CacheState| Ok(s.backing.clone()))?;
+                backing.invoke("blockdev", "stats", &[])
+            })
+        })
+        .interface("cache", |i| {
+            i.method("stats", &[], TypeTag::List, |this, _| {
+                this.with_state(|s: &mut CacheState| {
+                    Ok(Value::List(vec![
+                        Value::Int(s.hits as i64),
+                        Value::Int(s.misses as i64),
+                        Value::Int(s.writebacks as i64),
+                        Value::Int(s.lines.len() as i64),
+                    ]))
+                })
+            })
+            .method("flush", &[], TypeTag::Int, |this, _| {
+                let (backing, dirty) = this.with_state(|s: &mut CacheState| {
+                    let dirty: Vec<(i64, [u8; SECTOR_SIZE])> = s
+                        .lines
+                        .iter_mut()
+                        .filter(|(_, l)| l.dirty)
+                        .map(|(sec, l)| {
+                            l.dirty = false;
+                            (*sec, l.data)
+                        })
+                        .collect();
+                    s.writebacks += dirty.len() as u64;
+                    Ok((s.backing.clone(), dirty))
+                })?;
+                let count = dirty.len() as i64;
+                for (sector, data) in dirty {
+                    backing.invoke(
+                        "blockdev",
+                        "write",
+                        &[Value::Int(sector), Value::Bytes(bytes::Bytes::copy_from_slice(&data))],
+                    )?;
+                }
+                Ok(Value::Int(count))
+            })
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::make_disk_driver;
+    use paramecium_core::{domain::KERNEL_DOMAIN, memsvc::MemService};
+    use paramecium_machine::dev::disk::SECTOR_TRANSFER_COST;
+    use paramecium_machine::Machine;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn setup(capacity: usize) -> (Arc<MemService>, ObjRef, ObjRef) {
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let mem = Arc::new(MemService::new(machine));
+        let driver = make_disk_driver(&mem, KERNEL_DOMAIN).unwrap();
+        let cache = make_block_cache(driver.clone(), capacity);
+        (mem, driver, cache)
+    }
+
+    fn sector_of(byte: u8) -> Value {
+        Value::Bytes(bytes::Bytes::from(vec![byte; SECTOR_SIZE]))
+    }
+
+    #[test]
+    fn hot_reads_skip_the_disk() {
+        let (mem, _driver, cache) = setup(8);
+        cache
+            .invoke("blockdev", "write", &[Value::Int(3), sector_of(7)])
+            .unwrap();
+        // First read: served from the (write-allocated) cache line.
+        let t0 = mem.machine().lock().now();
+        for _ in 0..10 {
+            let v = cache.invoke("blockdev", "read", &[Value::Int(3)]).unwrap();
+            assert_eq!(v.as_bytes().unwrap()[0], 7);
+        }
+        // Ten hot reads cost less than one disk transfer.
+        assert!(mem.machine().lock().now() - t0 < SECTOR_TRANSFER_COST);
+        let stats = cache.invoke("cache", "stats", &[]).unwrap();
+        let s = stats.as_list().unwrap().to_vec();
+        assert_eq!(s[0], Value::Int(10)); // 10 read hits.
+        assert_eq!(s[1], Value::Int(1)); // The initial write-allocate miss.
+    }
+
+    #[test]
+    fn writeback_happens_on_eviction_only() {
+        let (_mem, driver, cache) = setup(2);
+        for sec in 0..2i64 {
+            cache
+                .invoke("blockdev", "write", &[Value::Int(sec), sector_of(sec as u8)])
+                .unwrap();
+        }
+        // Nothing on disk yet: write-back cache.
+        let dstats = driver.invoke("blockdev", "stats", &[]).unwrap();
+        assert_eq!(dstats.as_list().unwrap()[1], Value::Int(0));
+        // Third write evicts the LRU line (sector 0) to disk.
+        cache
+            .invoke("blockdev", "write", &[Value::Int(2), sector_of(2)])
+            .unwrap();
+        let dstats = driver.invoke("blockdev", "stats", &[]).unwrap();
+        assert_eq!(dstats.as_list().unwrap()[1], Value::Int(1));
+        // And the evicted data is really there.
+        let v = driver.invoke("blockdev", "read", &[Value::Int(0)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_lines() {
+        let (_mem, _driver, cache) = setup(2);
+        cache.invoke("blockdev", "write", &[Value::Int(0), sector_of(0)]).unwrap();
+        cache.invoke("blockdev", "write", &[Value::Int(1), sector_of(1)]).unwrap();
+        // Touch 0 so 1 becomes LRU.
+        cache.invoke("blockdev", "read", &[Value::Int(0)]).unwrap();
+        cache.invoke("blockdev", "write", &[Value::Int(2), sector_of(2)]).unwrap();
+        // 0 still resident (hit), 1 evicted (miss).
+        let before: Vec<Value> = cache
+            .invoke("cache", "stats", &[])
+            .unwrap()
+            .as_list()
+            .unwrap()
+            .to_vec();
+        cache.invoke("blockdev", "read", &[Value::Int(0)]).unwrap();
+        let after_hit: Vec<Value> = cache
+            .invoke("cache", "stats", &[])
+            .unwrap()
+            .as_list()
+            .unwrap()
+            .to_vec();
+        assert_eq!(
+            after_hit[0].as_int().unwrap(),
+            before[0].as_int().unwrap() + 1
+        );
+        cache.invoke("blockdev", "read", &[Value::Int(1)]).unwrap();
+        let after_miss: Vec<Value> = cache
+            .invoke("cache", "stats", &[])
+            .unwrap()
+            .as_list()
+            .unwrap()
+            .to_vec();
+        assert_eq!(
+            after_miss[1].as_int().unwrap(),
+            after_hit[1].as_int().unwrap() + 1
+        );
+    }
+
+    #[test]
+    fn flush_writes_all_dirty_lines() {
+        let (_mem, driver, cache) = setup(8);
+        for sec in 0..5i64 {
+            cache
+                .invoke("blockdev", "write", &[Value::Int(sec), sector_of(0xC0 + sec as u8)])
+                .unwrap();
+        }
+        let flushed = cache.invoke("cache", "flush", &[]).unwrap();
+        assert_eq!(flushed, Value::Int(5));
+        for sec in 0..5i64 {
+            let v = driver.invoke("blockdev", "read", &[Value::Int(sec)]).unwrap();
+            assert_eq!(v.as_bytes().unwrap()[0], 0xC0 + sec as u8);
+        }
+        // Second flush is a no-op.
+        assert_eq!(cache.invoke("cache", "flush", &[]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn caches_stack_like_any_blockdev() {
+        let (_mem, _driver, l2) = setup(16);
+        let l1 = make_block_cache(l2.clone(), 4);
+        l1.invoke("blockdev", "write", &[Value::Int(9), sector_of(0x99)]).unwrap();
+        let v = l1.invoke("blockdev", "read", &[Value::Int(9)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0x99);
+    }
+
+    #[test]
+    fn read_through_miss_populates_from_disk() {
+        let (_mem, driver, cache) = setup(4);
+        driver
+            .invoke("blockdev", "write", &[Value::Int(7), sector_of(0x42)])
+            .unwrap();
+        let v = cache.invoke("blockdev", "read", &[Value::Int(7)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0x42);
+        // Now it hits.
+        cache.invoke("blockdev", "read", &[Value::Int(7)]).unwrap();
+        let stats = cache.invoke("cache", "stats", &[]).unwrap();
+        let s = stats.as_list().unwrap().to_vec();
+        assert_eq!(s[0], Value::Int(1));
+        assert_eq!(s[1], Value::Int(1));
+    }
+}

@@ -1,0 +1,183 @@
+//! The disk driver object.
+//!
+//! Exports the `blockdev` interface every storage component speaks:
+//!
+//! - `read(sector: int) -> bytes` (one 512-byte sector)
+//! - `write(sector: int, data: bytes) -> unit`
+//! - `sectors() -> int`
+//! - `stats() -> list [reads, writes]`
+//!
+//! Each operation charges the sector transfer cost — the latency the
+//! shared cache exists to hide.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use paramecium_core::{domain::DomainId, memsvc::MemService, CoreResult};
+use paramecium_machine::{
+    dev::disk::{Disk, SECTOR_SIZE, SECTOR_TRANSFER_COST},
+    io::IoSharing,
+    Machine,
+};
+use paramecium_obj::{ObjError, ObjRef, ObjectBuilder, TypeTag, Value};
+
+/// Driver instance state.
+struct DriverState {
+    machine: Arc<Mutex<Machine>>,
+    reads: u64,
+    writes: u64,
+}
+
+/// Builds the disk driver for `domain`, claiming the disk's register
+/// region exclusively.
+pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef> {
+    // Reuse the device's regions if a previous driver allocated them, so
+    // exclusivity is genuinely contended.
+    let existing = {
+        let machine = mem.machine().clone();
+        let m = machine.lock();
+        m.io.regions_of("disk").iter().map(|r| r.id).next()
+    };
+    let regs = match existing {
+        Some(id) => id,
+        None => mem.io_allocate("disk", 0x10, IoSharing::Exclusive)?,
+    };
+    mem.io_claim(domain, regs)?;
+
+    Ok(ObjectBuilder::new("disk-driver")
+        .state(DriverState {
+            machine: mem.machine().clone(),
+            reads: 0,
+            writes: 0,
+        })
+        .interface("blockdev", |i| {
+            i.method("read", &[TypeTag::Int], TypeTag::Bytes, |this, args| {
+                let sector = args[0].as_int()?;
+                if sector < 0 {
+                    return Err(ObjError::failed("negative sector"));
+                }
+                this.with_state(|s: &mut DriverState| {
+                    let mut m = s.machine.lock();
+                    m.charge(SECTOR_TRANSFER_COST);
+                    let data = m
+                        .device_mut::<Disk>("disk")
+                        .ok_or_else(|| ObjError::failed("disk device missing"))?
+                        .read_sector(sector as u64)
+                        .map_err(|e| ObjError::failed(e.to_string()))?;
+                    s.reads += 1;
+                    Ok(Value::Bytes(bytes::Bytes::copy_from_slice(&data)))
+                })
+            })
+            .method("write", &[TypeTag::Int, TypeTag::Bytes], TypeTag::Unit, |this, args| {
+                let sector = args[0].as_int()?;
+                let data = args[1].as_bytes()?;
+                if sector < 0 {
+                    return Err(ObjError::failed("negative sector"));
+                }
+                if data.len() != SECTOR_SIZE {
+                    return Err(ObjError::failed(format!(
+                        "sector writes must be exactly {SECTOR_SIZE} bytes, got {}",
+                        data.len()
+                    )));
+                }
+                let mut buf = [0u8; SECTOR_SIZE];
+                buf.copy_from_slice(data);
+                this.with_state(|s: &mut DriverState| {
+                    let mut m = s.machine.lock();
+                    m.charge(SECTOR_TRANSFER_COST);
+                    m.device_mut::<Disk>("disk")
+                        .ok_or_else(|| ObjError::failed("disk device missing"))?
+                        .write_sector(sector as u64, &buf)
+                        .map_err(|e| ObjError::failed(e.to_string()))?;
+                    s.writes += 1;
+                    Ok(Value::Unit)
+                })
+            })
+            .method("sectors", &[], TypeTag::Int, |this, _| {
+                this.with_state(|s: &mut DriverState| {
+                    let mut m = s.machine.lock();
+                    let d = m
+                        .device_mut::<Disk>("disk")
+                        .ok_or_else(|| ObjError::failed("disk device missing"))?;
+                    Ok(Value::Int(d.sectors() as i64))
+                })
+            })
+            .method("stats", &[], TypeTag::List, |this, _| {
+                this.with_state(|s: &mut DriverState| {
+                    Ok(Value::List(vec![
+                        Value::Int(s.reads as i64),
+                        Value::Int(s.writes as i64),
+                    ]))
+                })
+            })
+        })
+        .build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramecium_core::domain::KERNEL_DOMAIN;
+
+    fn setup() -> (Arc<MemService>, ObjRef) {
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let mem = Arc::new(MemService::new(machine));
+        let driver = make_disk_driver(&mem, KERNEL_DOMAIN).unwrap();
+        (mem, driver)
+    }
+
+    fn sector_of(byte: u8) -> Value {
+        Value::Bytes(bytes::Bytes::from(vec![byte; SECTOR_SIZE]))
+    }
+
+    #[test]
+    fn read_write_roundtrip_charges_transfer_cost() {
+        let (mem, driver) = setup();
+        let t0 = mem.machine().lock().now();
+        driver
+            .invoke("blockdev", "write", &[Value::Int(5), sector_of(0xAB)])
+            .unwrap();
+        let data = driver.invoke("blockdev", "read", &[Value::Int(5)]).unwrap();
+        assert_eq!(data.as_bytes().unwrap()[0], 0xAB);
+        assert!(mem.machine().lock().now() - t0 >= 2 * SECTOR_TRANSFER_COST);
+        let stats = driver.invoke("blockdev", "stats", &[]).unwrap();
+        assert_eq!(
+            stats,
+            Value::List(vec![Value::Int(1), Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn wrong_sized_writes_rejected() {
+        let (_, driver) = setup();
+        let r = driver.invoke(
+            "blockdev",
+            "write",
+            &[Value::Int(0), Value::Bytes(bytes::Bytes::from_static(b"short"))],
+        );
+        assert!(r.is_err());
+        assert!(driver
+            .invoke("blockdev", "read", &[Value::Int(-1)])
+            .is_err());
+    }
+
+    #[test]
+    fn out_of_range_sector_fails() {
+        let (_, driver) = setup();
+        let sectors = driver
+            .invoke("blockdev", "sectors", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(driver
+            .invoke("blockdev", "read", &[Value::Int(sectors)])
+            .is_err());
+    }
+
+    #[test]
+    fn exclusive_claim_blocks_second_driver() {
+        let (mem, _driver) = setup();
+        assert!(make_disk_driver(&mem, DomainId(7)).is_err());
+    }
+}

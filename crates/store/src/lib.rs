@@ -1,0 +1,20 @@
+//! Storage components: the disk driver object and the shared block cache.
+//!
+//! The paper names "shared caches" among the "certified kernel components
+//! … shared between multiple non-cooperating users" (section 4) — the
+//! canonical example of a component that *must* be trusted rather than
+//! sandboxed, because it holds other users' data in its hands. This crate
+//! provides both halves:
+//!
+//! - [`driver`] — the disk driver object (`blockdev` interface) over the
+//!   machine's sector-addressed disk, with per-sector transfer costs,
+//! - [`cache`] — a write-back LRU block cache exporting the *same*
+//!   `blockdev` interface, so it stacks transparently over the driver (or
+//!   over another cache) and is installed by ordinary name-space
+//!   interposition.
+
+pub mod cache;
+pub mod driver;
+
+pub use cache::make_block_cache;
+pub use driver::make_disk_driver;

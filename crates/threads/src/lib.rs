@@ -1,0 +1,33 @@
+//! The thread package — a component *outside* the nucleus.
+//!
+//! "All other system components, like thread packages, device drivers, and
+//! virtual memory implementations reside outside this nucleus." (paper,
+//! section 3). This crate provides that thread package:
+//!
+//! - [`tcb`] — thread control blocks and the step-based thread body model,
+//! - [`sched`] — a round-robin scheduler with cycle accounting,
+//! - [`sync`] — semaphores, mutexes and channels for simulated threads,
+//! - [`popup`] — pop-up threads for interrupts with the *proto-thread*
+//!   optimisation: "we delay the actual creation of the pop-up thread by
+//!   creating a proto-thread. Only when the proto-thread is about to block
+//!   or be rescheduled do we turn it into a real thread. This allows us to
+//!   provide fast interrupt processing of user code with proper thread
+//!   semantics."
+//!
+//! Threads are deterministic run-to-completion state machines: a thread
+//! body is a closure invoked repeatedly, returning [`Step::Yield`],
+//! [`Step::Block`] or [`Step::Done`] at each scheduling point. That keeps
+//! the whole simulation single-threaded and reproducible while modelling
+//! exactly the scheduling structure (and costs) the paper talks about.
+
+pub mod am;
+pub mod popup;
+pub mod sched;
+pub mod sync;
+pub mod tcb;
+
+pub use am::{ActiveMsg, AmEndpoint};
+pub use popup::{PopupEngine, PopupMode, PopupStats};
+pub use sched::{SchedStats, Scheduler};
+pub use sync::{Channel, Semaphore, SimMutex};
+pub use tcb::{Step, ThreadBody, ThreadCtx, Tid};

@@ -1,0 +1,65 @@
+//! Quickstart: boot Paramecium, certify a component, place it in the
+//! kernel, and invoke it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use paramecium::prelude::*;
+use paramecium::sfi::workloads;
+
+fn main() {
+    // Boot a world: simulated machine, nucleus, certification authority
+    // with the standard subordinates (compiler → prover → administrator).
+    let world = World::boot();
+    let nucleus = &world.nucleus;
+    println!("booted nucleus at cycle {}", nucleus.now());
+
+    // The name space after boot: the kernel is an object composition.
+    println!("\nname space:");
+    for path in nucleus.root_namespace().list("/") {
+        println!("  {path}");
+    }
+
+    // Drop a downloadable component (bytecode image) into the repository.
+    let program = workloads::checksum_loop_verified(256, 4);
+    nucleus.repository.add_bytecode("checksum", &program);
+
+    // Certify it: the type-safe-compiler subordinate verifies and signs.
+    let signer = world.certify("checksum", &[Right::RunKernel]).unwrap();
+    println!("\ncertified `checksum` (signed by subordinate #{signer})");
+
+    // The *user* decides placement; certification makes kernel placement
+    // legal. The component runs native — zero run-time checks.
+    let report = nucleus
+        .load("checksum", &LoadOptions::kernel("/kernel/checksum"))
+        .unwrap();
+    println!(
+        "loaded at {} in domain {} under {:?} (load cost: {} cycles)",
+        report.path, report.domain.0, report.protection, report.load_cycles
+    );
+
+    // Bind and invoke — late binding through the name space.
+    let csum = nucleus.bind(KERNEL_DOMAIN, "/kernel/checksum").unwrap();
+    let data = bytes::Bytes::from((0u8..=255).collect::<Vec<_>>());
+    let result = csum
+        .invoke("component", "run", &[Value::Bytes(data), Value::Int(0)])
+        .unwrap();
+    println!("\nchecksum result: {result:?}");
+
+    // The same component, invoked from a *user* domain, goes through a
+    // cross-domain proxy: a page fault, a trap, two context switches.
+    let app = nucleus.create_domain("app", KERNEL_DOMAIN, []).unwrap();
+    let before = nucleus.now();
+    let via_proxy = nucleus.bind(app.id, "/kernel/checksum").unwrap();
+    let data = bytes::Bytes::from(vec![1u8; 256]);
+    via_proxy
+        .invoke("component", "run", &[Value::Bytes(data), Value::Int(0)])
+        .unwrap();
+    println!(
+        "\ncross-domain invocation from `{}` cost {} cycles ({} crossing so far)",
+        app.name,
+        nucleus.now() - before,
+        nucleus.proxy_stats().crossings()
+    );
+}

@@ -1,0 +1,155 @@
+//! A ready-made world for examples, tests and benchmarks.
+//!
+//! Booting Paramecium for an experiment always needs the same cast: a
+//! machine, a nucleus trusting some root key, and a certification policy
+//! with the standard subordinates (compiler → prover → administrator).
+//! [`World`] assembles them with deterministic keys.
+
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::cert::{
+    AdminCertifier, Authority, CertificationPolicy, CompilerCertifier, ProverCertifier, Right,
+};
+use crate::core::{CoreError, CoreResult, Nucleus};
+use crate::machine::{CostModel, Machine};
+
+/// RSA modulus size used by harness keys. 512 bits keeps debug-mode test
+/// runs fast; the crypto benches measure 1024 separately.
+pub const HARNESS_KEY_BITS: u32 = 512;
+
+/// A booted Paramecium world.
+pub struct World {
+    /// The nucleus (owns the machine).
+    pub nucleus: Arc<Nucleus>,
+    /// The root certification authority (kernel trusts its public key).
+    pub root: Authority,
+    /// The standard ordered subordinate policy.
+    pub policy: CertificationPolicy,
+}
+
+impl World {
+    /// Boots with the default cost model.
+    pub fn boot() -> World {
+        Self::boot_with_cost(CostModel::default())
+    }
+
+    /// Boots with an explicit cost model (ablations).
+    pub fn boot_with_cost(cost: CostModel) -> World {
+        let machine = Arc::new(parking_lot::Mutex::new(Machine::with_config(
+            cost,
+            paramecium_machine::machine::DEFAULT_FRAMES,
+            paramecium_machine::machine::DEFAULT_TLB_ENTRIES,
+        )));
+        let mut rng = StdRng::seed_from_u64(0x50AE_C1A0);
+        let root = Authority::new("root-ca", &mut rng, HARNESS_KEY_BITS);
+        let nucleus =
+            Nucleus::boot_on(machine, root.public().clone()).expect("nucleus boot cannot fail");
+        let policy = CertificationPolicy::standard(
+            &root,
+            CompilerCertifier::new(Authority::new("m3-compiler", &mut rng, HARNESS_KEY_BITS)),
+            ProverCertifier::new(
+                Authority::new("object-prover", &mut rng, HARNESS_KEY_BITS),
+                50_000,
+            ),
+            AdminCertifier::new(
+                Authority::new("sysadmin", &mut rng, HARNESS_KEY_BITS),
+                &[],
+            ),
+            vec![
+                Right::RunUser,
+                Right::RunKernel,
+                Right::DeviceAccess,
+                Right::InterposeShared,
+            ],
+        )
+        .expect("standard policy construction cannot fail");
+        World {
+            nucleus,
+            root,
+            policy,
+        }
+    }
+
+    /// Runs the certification policy (with escape hatch) on a repository
+    /// component and installs the resulting certificate in the nucleus.
+    /// Returns the index of the subordinate that signed.
+    pub fn certify(&self, component: &str, rights: &[Right]) -> CoreResult<usize> {
+        let image = self.nucleus.repository.image_of(component)?;
+        let outcome = self
+            .policy
+            .certify(component, &image, rights)
+            .map_err(CoreError::Cert)?;
+        let signer = outcome.signer_index;
+        self.nucleus.certsvc.install(outcome.certificate, outcome.chain);
+        Ok(signer)
+    }
+
+    /// Root-signs a component directly (bypassing the subordinates) — the
+    /// "the authority itself hand-checked this" path used to certify the
+    /// trusted native toolbox.
+    pub fn certify_by_root(&self, component: &str, rights: &[Right]) -> CoreResult<()> {
+        let image = self.nucleus.repository.image_of(component)?;
+        let cert = self
+            .root
+            .certify(
+                component,
+                &image,
+                rights.to_vec(),
+                crate::cert::CertifyMethod::Administrator,
+            )
+            .map_err(CoreError::Cert)?;
+        self.nucleus.certsvc.install(cert, vec![]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::LoadOptions;
+    use crate::sfi::workloads;
+
+    #[test]
+    fn world_boots_and_certifies() {
+        let world = World::boot();
+        world
+            .nucleus
+            .repository
+            .add_bytecode("good", &workloads::checksum_loop_verified(64, 1));
+        // The compiler (index 0) signs verifiable code.
+        assert_eq!(world.certify("good", &[Right::RunKernel]).unwrap(), 0);
+        let report = world
+            .nucleus
+            .load("good", &LoadOptions::kernel("/kernel/good"))
+            .unwrap();
+        assert_eq!(report.protection, crate::core::Protection::CertifiedNative);
+    }
+
+    #[test]
+    fn root_certification_covers_native_components() {
+        let world = World::boot();
+        world.nucleus.repository.add_native(
+            "svc",
+            "1.0",
+            Arc::new(|| Ok(crate::obj::ObjectBuilder::new("svc").build())),
+        );
+        world.certify_by_root("svc", &[Right::RunKernel]).unwrap();
+        let report = world
+            .nucleus
+            .load("svc", &LoadOptions::kernel("/kernel/svc"))
+            .unwrap();
+        assert_eq!(report.protection, crate::core::Protection::CertifiedNative);
+    }
+
+    #[test]
+    fn uncertifiable_component_exhausts_policy() {
+        let world = World::boot();
+        world
+            .nucleus
+            .repository
+            .add_bytecode("wild", &workloads::wild_writer());
+        assert!(world.certify("wild", &[Right::RunKernel]).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Integration: extra known-answer vectors and cross-identities for the
+//! crypto substrate (the trust anchor of the whole certification story).
+
+use paramecium::crypto::{encode, rsa, sha256, Sha256, Ubig};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn sha256_additional_nist_vectors() {
+    // NIST CAVP short-message samples.
+    let cases: &[(&[u8], &str)] = &[
+        (
+            b"\xd3",
+            "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1",
+        ),
+        (
+            b"\x11\xaf",
+            "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+    ];
+    for (msg, want) in cases {
+        assert_eq!(&encode::to_hex(&sha256::sha256(msg)), want);
+    }
+}
+
+#[test]
+fn sha256_streaming_across_odd_chunk_sizes() {
+    let data: Vec<u8> = (0..1000u32).map(|i| (i * 131) as u8).collect();
+    let want = sha256::sha256(&data);
+    for chunk in [1usize, 3, 7, 31, 63, 64, 65, 127, 999] {
+        let mut h = Sha256::new();
+        for c in data.chunks(chunk) {
+            h.update(c);
+        }
+        assert_eq!(h.finish(), want, "chunk size {chunk}");
+    }
+}
+
+#[test]
+fn rsa_interops_between_key_sizes() {
+    let digest = sha256::sha256(b"component");
+    for bits in [512u32, 768] {
+        let kp = rsa::generate(&mut StdRng::seed_from_u64(u64::from(bits)), bits);
+        let sig = rsa::sign(&kp.private, &digest).unwrap();
+        assert_eq!(sig.len(), (bits as usize).div_ceil(8));
+        rsa::verify(&kp.public, &digest, &sig).unwrap();
+        // A signature from one key size never verifies under another.
+        let other = rsa::generate(&mut StdRng::seed_from_u64(999), 512);
+        assert!(rsa::verify(&other.public, &digest, &sig).is_err());
+    }
+}
+
+#[test]
+fn key_serialisation_roundtrips_through_bytes() {
+    let kp = rsa::generate(&mut StdRng::seed_from_u64(4), 512);
+    let pub_bytes = kp.public.to_bytes();
+    let priv_bytes = kp.private.to_bytes();
+    let pub2 = paramecium::crypto::PublicKey::from_bytes(&pub_bytes).unwrap();
+    let priv2 = paramecium::crypto::PrivateKey::from_bytes(&priv_bytes).unwrap();
+    assert_eq!(pub2, kp.public);
+    assert_eq!(priv2, kp.private);
+    // And the deserialised halves still work together.
+    let digest = sha256::sha256(b"x");
+    let sig = rsa::sign(&priv2, &digest).unwrap();
+    rsa::verify(&pub2, &digest, &sig).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The binomial identity on random big numbers: (a+b)² = a² + 2ab + b².
+    #[test]
+    fn bignum_binomial_identity(
+        a in proptest::collection::vec(any::<u64>(), 1..6),
+        b in proptest::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let a = Ubig::from_limbs(a);
+        let b = Ubig::from_limbs(b);
+        let lhs = {
+            let s = a.add(&b);
+            s.mul(&s)
+        };
+        let two_ab = a.mul(&b).shl_bits(1);
+        let rhs = a.mul(&a).add(&two_ab).add(&b.mul(&b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Modular exponentiation laws: x^(e1+e2) ≡ x^e1 · x^e2 (mod m).
+    #[test]
+    fn bignum_modpow_addition_law(
+        x in 1u64.., e1 in 0u64..1000, e2 in 0u64..1000, m in 2u64..,
+    ) {
+        let (x, m) = (Ubig::from(x), Ubig::from(m));
+        let lhs = x.modpow(&Ubig::from(e1 + e2), &m);
+        let rhs = x.modpow(&Ubig::from(e1), &m).modmul(&x.modpow(&Ubig::from(e2), &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// RSA correctness on arbitrary digests (fixed key for speed).
+    #[test]
+    fn rsa_roundtrip_arbitrary_digests(seed in any::<[u8; 32]>()) {
+        static KP: std::sync::OnceLock<paramecium::crypto::KeyPair> = std::sync::OnceLock::new();
+        let kp = KP.get_or_init(|| rsa::generate(&mut StdRng::seed_from_u64(11), 512));
+        let sig = rsa::sign(&kp.private, &seed).unwrap();
+        prop_assert!(rsa::verify(&kp.public, &seed, &sig).is_ok());
+        // Any different digest must fail.
+        let mut other = seed;
+        other[0] ^= 1;
+        prop_assert!(rsa::verify(&kp.public, &other, &sig).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration: the complete loader decision matrix — component kind ×
+//! placement × certification state × options — asserting the protection
+//! regime (or refusal) for every combination.
+
+use paramecium::prelude::*;
+use paramecium::sfi::workloads;
+
+/// What certification state the component is in before the load.
+#[derive(Clone, Copy, Debug)]
+enum CertState {
+    None,
+    UserOnly,
+    Kernel,
+}
+
+fn prepare(world: &World, name: &str, verifiable: bool, cert: CertState) {
+    let n = &world.nucleus;
+    let program = if verifiable {
+        workloads::checksum_loop_verified(64, 1)
+    } else {
+        workloads::checksum_loop(64, 1)
+    };
+    n.repository.add_bytecode(name, &program);
+    match cert {
+        CertState::None => {}
+        CertState::UserOnly => world.certify_by_root(name, &[Right::RunUser]).unwrap(),
+        CertState::Kernel => world
+            .certify_by_root(name, &[Right::RunKernel, Right::RunUser])
+            .unwrap(),
+    }
+}
+
+#[test]
+fn kernel_placement_matrix() {
+    // (verifiable, cert, strict, expected)
+    let cases: &[(bool, CertState, bool, Option<Protection>)] = &[
+        // Certified for kernel: always native, strict or not.
+        (true, CertState::Kernel, true, Some(Protection::CertifiedNative)),
+        (false, CertState::Kernel, true, Some(Protection::CertifiedNative)),
+        (false, CertState::Kernel, false, Some(Protection::CertifiedNative)),
+        // Uncertified, permissive: software protection by verifiability.
+        (true, CertState::None, false, Some(Protection::Verified)),
+        (false, CertState::None, false, Some(Protection::Sandboxed)),
+        // Uncertified, strict: refused.
+        (true, CertState::None, true, None),
+        (false, CertState::None, true, None),
+        // User-only certificate never helps kernel placement.
+        (true, CertState::UserOnly, true, None),
+        // …but permissive mode still softens it in.
+        (true, CertState::UserOnly, false, Some(Protection::Verified)),
+    ];
+    for (i, (verifiable, cert, strict, expected)) in cases.iter().enumerate() {
+        let world = World::boot();
+        let name = format!("c{i}");
+        prepare(&world, &name, *verifiable, *cert);
+        let mut opts = LoadOptions::kernel(format!("/kernel/{name}"));
+        if *strict {
+            opts = opts.strict();
+        }
+        let got = world.nucleus.load(&name, &opts);
+        match expected {
+            Some(p) => assert_eq!(
+                got.as_ref().map(|r| r.protection).ok(),
+                Some(*p),
+                "case {i}: {verifiable} {cert:?} strict={strict} -> {got:?}"
+            ),
+            None => assert!(got.is_err(), "case {i} should be refused, got {got:?}"),
+        }
+    }
+}
+
+#[test]
+fn forced_sandbox_overrides_everything() {
+    // Even a fully certified, verifiable component runs sandboxed when
+    // the user forces the Exokernel baseline.
+    let world = World::boot();
+    prepare(&world, "c", true, CertState::Kernel);
+    let report = world
+        .nucleus
+        .load("c", &LoadOptions::kernel("/kernel/c").sandboxed())
+        .unwrap();
+    assert_eq!(report.protection, Protection::Sandboxed);
+}
+
+#[test]
+fn user_placement_matrix() {
+    for (i, (cert, require_cert, ok)) in [
+        (CertState::None, false, true),
+        (CertState::None, true, false),
+        (CertState::UserOnly, true, true),
+        (CertState::Kernel, true, true),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let world = World::boot();
+        let name = format!("u{i}");
+        prepare(&world, &name, false, *cert);
+        let app = world
+            .nucleus
+            .create_domain("app", KERNEL_DOMAIN, [])
+            .unwrap();
+        let mut opts = LoadOptions::user(app.id, format!("/app/{name}"));
+        opts.require_user_cert = *require_cert;
+        let got = world.nucleus.load(&name, &opts);
+        if *ok {
+            assert_eq!(got.unwrap().protection, Protection::Hardware, "case {i}");
+        } else {
+            assert!(got.is_err(), "case {i}");
+        }
+    }
+}
+
+#[test]
+fn load_into_nonexistent_domain_fails_cleanly() {
+    let world = World::boot();
+    prepare(&world, "c", true, CertState::Kernel);
+    let err = world
+        .nucleus
+        .load("c", &LoadOptions::user(DomainId(99), "/x/c"))
+        .unwrap_err();
+    assert!(matches!(err, paramecium::core::CoreError::NoSuchDomain(99)));
+}
+
+#[test]
+fn duplicate_registration_path_fails_and_leaves_first_intact() {
+    let world = World::boot();
+    prepare(&world, "a", true, CertState::Kernel);
+    prepare(&world, "b", true, CertState::Kernel);
+    world
+        .nucleus
+        .load("a", &LoadOptions::kernel("/kernel/slot"))
+        .unwrap();
+    assert!(world
+        .nucleus
+        .load("b", &LoadOptions::kernel("/kernel/slot"))
+        .is_err());
+    let obj = world.nucleus.bind(KERNEL_DOMAIN, "/kernel/slot").unwrap();
+    assert_eq!(obj.class(), "a");
+}
+
+#[test]
+fn missing_component_is_a_clean_error() {
+    let world = World::boot();
+    assert!(matches!(
+        world.nucleus.load("ghost", &LoadOptions::kernel("/kernel/g")),
+        Err(paramecium::core::CoreError::NoSuchComponent(_))
+    ));
+}

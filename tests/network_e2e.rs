@@ -1,0 +1,204 @@
+//! Integration: the full network scenario — driver, stack, filters,
+//! interposition, placement.
+
+use paramecium::machine::dev::Nic;
+use paramecium::netstack::{
+    filter::{adapt_bytecode_filter, udp_port_filter_program},
+    install_driver, make_network_monitor, make_udp_stack, wire,
+};
+use paramecium::prelude::*;
+
+const MY_IP: u32 = 0x0A00_0001;
+const MY_MAC: wire::Mac = [2, 0, 0, 0, 0, 1];
+
+fn inject_udp(n: &paramecium::core::Nucleus, dst_port: u16, payload: &[u8]) {
+    let frame = wire::build_udp_frame(
+        [9; 6],
+        MY_MAC,
+        0x0A00_0002,
+        MY_IP,
+        5555,
+        dst_port,
+        payload,
+    );
+    let machine = n.machine().clone();
+    let mut m = machine.lock();
+    m.device_mut::<Nic>("nic").unwrap().inject_rx(frame);
+    m.tick(1);
+}
+
+#[test]
+fn udp_echo_end_to_end() {
+    let world = World::boot();
+    let n = &world.nucleus;
+    install_driver(n, KERNEL_DOMAIN).unwrap();
+    let dev = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
+    let stack = make_udp_stack(dev, MY_IP, MY_MAC);
+    stack.invoke("udp", "bind", &[Value::Int(7)]).unwrap();
+
+    inject_udp(n, 7, b"ping");
+    stack.invoke("udp", "pump", &[]).unwrap();
+    let d = stack.invoke("udp", "recv_from", &[Value::Int(7)]).unwrap();
+    let items = d.as_list().unwrap().to_vec();
+    assert_eq!(items[2].as_bytes().unwrap().as_ref(), b"ping");
+
+    // Echo it back; the reply appears on the wire, parseable.
+    stack
+        .invoke(
+            "udp",
+            "send_to",
+            &[items[0].clone(), items[1].clone(), Value::Int(7), items[2].clone()],
+        )
+        .unwrap();
+    let machine = n.machine().clone();
+    let reply = machine
+        .lock()
+        .device_mut::<Nic>("nic")
+        .unwrap()
+        .tx_take()
+        .expect("echo reply transmitted");
+    let (ip, udp, payload) = wire::parse_udp_frame(&reply).unwrap();
+    assert_eq!(ip.dst, 0x0A00_0002);
+    assert_eq!(udp.dst_port, 5555);
+    assert_eq!(payload, b"ping");
+}
+
+#[test]
+fn certified_bytecode_filter_in_kernel_filters_packets() {
+    let world = World::boot();
+    let n = &world.nucleus;
+    install_driver(n, KERNEL_DOMAIN).unwrap();
+    let dev = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
+    let stack = make_udp_stack(dev, MY_IP, MY_MAC);
+    stack.invoke("udp", "bind", &[Value::Int(53)]).unwrap();
+    stack.invoke("udp", "bind", &[Value::Int(80)]).unwrap();
+
+    // Download, certify (compiler: it is verifiable) and load the filter.
+    n.repository
+        .add_bytecode("dns-only", &udp_port_filter_program(53));
+    assert_eq!(world.certify("dns-only", &[Right::RunKernel]).unwrap(), 0);
+    let report = n
+        .load("dns-only", &LoadOptions::kernel("/kernel/dns-only").strict())
+        .unwrap();
+    assert_eq!(report.protection, Protection::CertifiedNative);
+    let filter = adapt_bytecode_filter(n.bind(KERNEL_DOMAIN, "/kernel/dns-only").unwrap());
+    stack
+        .invoke("udp", "set_filter", &[Value::Handle(filter)])
+        .unwrap();
+
+    inject_udp(n, 53, b"dns");
+    inject_udp(n, 80, b"http");
+    inject_udp(n, 53, b"dns2");
+    stack.invoke("udp", "pump", &[]).unwrap();
+    let stats = stack.invoke("udp", "stats", &[]).unwrap();
+    let s = stats.as_list().unwrap().to_vec();
+    assert_eq!(s[0], Value::Int(2), "two DNS packets delivered");
+    assert_eq!(s[2], Value::Int(1), "one HTTP packet filtered");
+}
+
+#[test]
+fn user_domain_filter_works_through_proxy_and_costs_more() {
+    let world = World::boot();
+    let n = &world.nucleus;
+    install_driver(n, KERNEL_DOMAIN).unwrap();
+
+    let run = |user_placed: bool| -> (u64, u64) {
+        let world = World::boot();
+        let n = &world.nucleus;
+        install_driver(n, KERNEL_DOMAIN).unwrap();
+        let dev = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
+        let stack = make_udp_stack(dev, MY_IP, MY_MAC);
+        stack.invoke("udp", "bind", &[Value::Int(53)]).unwrap();
+        let filter = if user_placed {
+            let app = n.create_domain("app", KERNEL_DOMAIN, []).unwrap();
+            let f = paramecium::netstack::make_native_port_filter(53);
+            n.register_shared(app.id, "/app/filter", f).unwrap();
+            n.bind(KERNEL_DOMAIN, "/app/filter").unwrap()
+        } else {
+            let f = paramecium::netstack::make_native_port_filter(53);
+            n.register(KERNEL_DOMAIN, "/kernel/filter", f).unwrap();
+            n.bind(KERNEL_DOMAIN, "/kernel/filter").unwrap()
+        };
+        stack
+            .invoke("udp", "set_filter", &[Value::Handle(filter)])
+            .unwrap();
+        for _ in 0..20 {
+            inject_udp(n, 53, b"x");
+        }
+        let t0 = n.now();
+        stack.invoke("udp", "pump", &[]).unwrap();
+        let cost = n.now() - t0;
+        let stats = stack.invoke("udp", "stats", &[]).unwrap();
+        let delivered = stats.as_list().unwrap()[0].as_int().unwrap() as u64;
+        (cost, delivered)
+    };
+
+    let (kernel_cost, kd) = run(false);
+    let (user_cost, ud) = run(true);
+    assert_eq!(kd, 20);
+    assert_eq!(ud, 20, "user-placed filter must still work");
+    assert!(
+        user_cost > kernel_cost * 2,
+        "cross-domain filtering ({user_cost}) should dwarf in-kernel ({kernel_cost})"
+    );
+}
+
+#[test]
+fn interposed_monitor_sees_traffic_of_existing_and_new_clients() {
+    let world = World::boot();
+    let n = &world.nucleus;
+    install_driver(n, KERNEL_DOMAIN).unwrap();
+
+    // Interpose.
+    let target = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
+    let (agent, stats) = make_network_monitor(target);
+    let old = n.interpose(KERNEL_DOMAIN, "/shared/network", agent).unwrap();
+    assert_eq!(old.class(), "nic-driver");
+
+    // A stack built after interposition.
+    let dev = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
+    assert_eq!(dev.class(), "netmon-agent");
+    let stack = make_udp_stack(dev, MY_IP, MY_MAC);
+    stack.invoke("udp", "bind", &[Value::Int(9)]).unwrap();
+    inject_udp(n, 9, b"observed");
+    stack.invoke("udp", "pump", &[]).unwrap();
+
+    use std::sync::atomic::Ordering;
+    assert_eq!(stats.rx_frames.load(Ordering::Relaxed), 1);
+    assert!(stats.rx_bytes.load(Ordering::Relaxed) > 42);
+
+    // De-interpose: put the original driver back; traffic is no longer
+    // counted.
+    n.interpose(KERNEL_DOMAIN, "/shared/network", old).unwrap();
+    let dev2 = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
+    assert_eq!(dev2.class(), "nic-driver");
+    let stack2 = make_udp_stack(dev2, MY_IP, MY_MAC);
+    stack2.invoke("udp", "bind", &[Value::Int(9)]).unwrap();
+    inject_udp(n, 9, b"unobserved");
+    stack2.invoke("udp", "pump", &[]).unwrap();
+    assert_eq!(stats.rx_frames.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn driver_stats_remain_consistent_under_mixed_traffic() {
+    let world = World::boot();
+    let n = &world.nucleus;
+    install_driver(n, KERNEL_DOMAIN).unwrap();
+    let dev = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
+    let stack = make_udp_stack(dev.clone(), MY_IP, MY_MAC);
+    stack.invoke("udp", "bind", &[Value::Int(1)]).unwrap();
+
+    let total = 50usize;
+    for i in 0..total {
+        inject_udp(n, if i % 2 == 0 { 1 } else { 2 }, &vec![i as u8; 10 + i]);
+    }
+    stack.invoke("udp", "pump", &[]).unwrap();
+    let dstats = dev.invoke("netdev", "stats", &[]).unwrap();
+    let d = dstats.as_list().unwrap().to_vec();
+    assert_eq!(d[0], Value::Int(total as i64), "all frames received");
+    let sstats = stack.invoke("udp", "stats", &[]).unwrap();
+    let s = sstats.as_list().unwrap().to_vec();
+    // Half delivered (port 1), half with no listener (port 2).
+    assert_eq!(s[0], Value::Int(25));
+    assert_eq!(s[1], Value::Int(25));
+}
