@@ -422,13 +422,13 @@ mod tests {
 
         // Copy transport.
         let t0 = ctx.machine.lock().now();
-        proxy.invoke("echo", "echo", &[big.clone()]).unwrap();
+        proxy.invoke("echo", "echo", std::slice::from_ref(&big)).unwrap();
         let copy_cost = ctx.machine.lock().now() - t0;
 
         // Map transport for payloads ≥ one page.
         ctx.stats.map_threshold.store(4096, Ordering::Relaxed);
         let t0 = ctx.machine.lock().now();
-        let out = proxy.invoke("echo", "echo", &[big.clone()]).unwrap();
+        let out = proxy.invoke("echo", "echo", std::slice::from_ref(&big)).unwrap();
         let map_cost = ctx.machine.lock().now() - t0;
         assert_eq!(out, big, "mapping is transparent to the callee");
         assert_eq!(ctx.stats.args_mapped.load(Ordering::Relaxed), 2); // Arg + result.

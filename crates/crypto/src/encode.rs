@@ -14,7 +14,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 
 /// Decodes lowercase or uppercase hex.
 pub fn from_hex(s: &str) -> Result<Vec<u8>, CryptoError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(CryptoError::InvalidInput("odd-length hex string".into()));
     }
     let bytes = s.as_bytes();

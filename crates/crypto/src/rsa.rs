@@ -169,7 +169,7 @@ mod tests {
         let kp = keypair();
         let digest = sha256(b"x");
         assert!(verify(&kp.public, &digest, &[]).is_err());
-        assert!(verify(&kp.public, &digest, &vec![0u8; 63]).is_err());
+        assert!(verify(&kp.public, &digest, &[0u8; 63]).is_err());
     }
 
     #[test]

@@ -76,13 +76,11 @@ impl Tlb {
             return;
         }
         // Replace an existing entry for the same (ctx, vpn) if present.
-        for e in self.entries.iter_mut() {
-            if let Some(entry) = e {
-                if entry.ctx == ctx && entry.vpn == vpn {
-                    entry.frame = frame;
-                    entry.perms = perms;
-                    return;
-                }
+        for entry in self.entries.iter_mut().flatten() {
+            if entry.ctx == ctx && entry.vpn == vpn {
+                entry.frame = frame;
+                entry.perms = perms;
+                return;
             }
         }
         self.entries[self.next] = Some(TlbEntry { ctx, vpn, frame, perms });

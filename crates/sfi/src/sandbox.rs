@@ -71,16 +71,13 @@ pub fn sandbox_rewrite(program: &Program) -> (Program, SandboxStats) {
         new_index.get(&t).copied().unwrap_or(cursor)
     };
     for insn in &program.code {
-        match needs_guard(insn) {
-            Some(r) => {
-                let guard = match insn {
-                    Insn::Jr { .. } => Insn::MaskCode { r },
-                    _ => Insn::MaskData { r },
-                };
-                out.push(guard);
-                guards += 1;
-            }
-            None => {}
+        if let Some(r) = needs_guard(insn) {
+            let guard = match insn {
+                Insn::Jr { .. } => Insn::MaskCode { r },
+                _ => Insn::MaskData { r },
+            };
+            out.push(guard);
+            guards += 1;
         }
         let rewritten = match *insn {
             Insn::Beq { rs1, rs2, target } => Insn::Beq { rs1, rs2, target: remap(target) },

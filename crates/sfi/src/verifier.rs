@@ -205,7 +205,7 @@ fn check_insn(pc: u32, insn: &Insn, state: &State, data_len: u64) -> Result<(), 
             }
             Av::Masked => size == 1 && off == 0 && data_len > 0,
             Av::MaskedAligned => {
-                data_len % 8 == 0
+                data_len.is_multiple_of(8)
                     && data_len >= 8
                     && off >= 0
                     && (off as u64) + size <= 8
@@ -265,13 +265,9 @@ fn apply_transfer(insn: &Insn, state: &mut State, _data_len: u64) {
         Insn::Add { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, u64::wrapping_add),
         Insn::Sub { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, u64::wrapping_sub),
         Insn::Mul { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, u64::wrapping_mul),
-        Insn::Divu { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }),
+        Insn::Divu { rd, rs1, rs2 } => {
+            binop(state, rd, rs1, rs2, |a, b| a.checked_div(b).unwrap_or(0))
+        }
         Insn::Or { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a | b),
         Insn::Xor { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a ^ b),
         Insn::Shl { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a << (b & 63)),

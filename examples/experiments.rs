@@ -208,7 +208,7 @@ fn e3_crossdomain() {
         let calls = 100u64;
         let t0 = n.now();
         for _ in 0..calls {
-            obj.invoke("echo", "echo", &[payload.clone()]).unwrap();
+            obj.invoke("echo", "echo", std::slice::from_ref(&payload)).unwrap();
         }
         let per = (n.now() - t0) / calls;
         println!("| {label} | {size} | {per} |");
@@ -254,13 +254,13 @@ fn e3_crossdomain() {
         n.proxy_stats().map_threshold.store(0, Ordering::Relaxed);
         let t0 = n.now();
         for _ in 0..50 {
-            cross.invoke("echo", "echo", &[payload.clone()]).unwrap();
+            cross.invoke("echo", "echo", std::slice::from_ref(&payload)).unwrap();
         }
         let copy = (n.now() - t0) / 50;
         n.proxy_stats().map_threshold.store(4096, Ordering::Relaxed);
         let t0 = n.now();
         for _ in 0..50 {
-            cross.invoke("echo", "echo", &[payload.clone()]).unwrap();
+            cross.invoke("echo", "echo", std::slice::from_ref(&payload)).unwrap();
         }
         let mapped = (n.now() - t0) / 50;
         n.proxy_stats().map_threshold.store(0, Ordering::Relaxed);
@@ -710,7 +710,8 @@ fn e9_crypto() {
         let reps_v = reps * 20;
         let t0 = Instant::now();
         for _ in 0..reps_v {
-            std::hint::black_box(paramecium::crypto::rsa::verify(&kp.public, &digest, &sig).unwrap());
+            paramecium::crypto::rsa::verify(&kp.public, &digest, &sig).unwrap();
+            std::hint::black_box(());
         }
         let verify_us = t0.elapsed().as_secs_f64() * 1e6 / reps_v as f64;
         println!("| RSA-{bits} sign | {sign_ms:.2} ms/op |");

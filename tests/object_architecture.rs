@@ -94,8 +94,9 @@ fn delegation_shares_one_implementation_across_instances() {
     assert_eq!(slip.invoke("proto", "mtu", &[]).unwrap(), Value::Int(296));
     // The shared method is the same code, reached by delegation.
     let payload = Value::Bytes(bytes::Bytes::from_static(&[1, 2, 3]));
-    assert_eq!(jumbo.invoke("proto", "checksum", &[payload.clone()]).unwrap(), Value::Int(6));
-    assert_eq!(slip.invoke("proto", "checksum", &[payload]).unwrap(), Value::Int(6));
+    let args = std::slice::from_ref(&payload);
+    assert_eq!(jumbo.invoke("proto", "checksum", args).unwrap(), Value::Int(6));
+    assert_eq!(slip.invoke("proto", "checksum", args).unwrap(), Value::Int(6));
 }
 
 /// "The latter is the most common form of object composition since it

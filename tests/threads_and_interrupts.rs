@@ -251,7 +251,7 @@ fn popup_modes_behave_identically_just_at_different_cost() {
                 let sum = sum.clone();
                 let v = k.fetch_add(1, Ordering::Relaxed);
                 Box::new(move |ctx| {
-                    if ctx.entries == 1 && v % 3 == 0 {
+                    if ctx.entries == 1 && v.is_multiple_of(3) {
                         return Step::Yield; // Forces promotion in Proto mode.
                     }
                     sum.fetch_add(v, Ordering::Relaxed);

@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the Criterion API the bench targets use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!` —
+//! with a simple calibrated wall-clock measurement loop instead of
+//! Criterion's statistical machinery. Reported numbers are mean ns/iter.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards extra CLI args (e.g. `--bench`, a name
+        // filter). The first non-flag argument is treated as a substring
+        // filter, everything else is ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            filter: self.filter.clone(),
+            sample_size: 60,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Configures and runs a single benchmark (top-level convenience).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.clone());
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Identifies a benchmark within a group by function name and parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+/// Throughput annotation for a benchmark (bytes or elements per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    filter: Option<String>,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    // Ties the group to its parent Criterion like the real API does.
+    _marker: std::marker::PhantomData<&'a mut ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time hint (accepted, loosely honoured).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up time hint (accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&full, b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group (formatting no-op in this implementation).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    mean_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures the mean wall-clock time of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that runs long
+        // enough for the clock to resolve.
+        let mut iters: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        // Measurement: a handful of samples at the calibrated count, scaled
+        // down so total time stays bounded for slow routines.
+        let samples = self.sample_size.clamp(1, 10) as u64;
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            total_iters += iters;
+            if total > Duration::from_millis(500) {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    }
+
+    /// `iter_with_large_drop` — same as [`Bencher::iter`] here.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter(routine)
+    }
+}
+
+fn report(id: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let time = if mean_ns >= 1e9 {
+        format!("{:.3} s", mean_ns / 1e9)
+    } else if mean_ns >= 1e6 {
+        format!("{:.3} ms", mean_ns / 1e6)
+    } else if mean_ns >= 1e3 {
+        format!("{:.3} µs", mean_ns / 1e3)
+    } else {
+        format!("{mean_ns:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            let mibs = n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0);
+            println!("{id:<50} {time:>12}/iter  {mibs:>10.1} MiB/s");
+        }
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            let eps = n as f64 / (mean_ns / 1e9);
+            println!("{id:<50} {time:>12}/iter  {eps:>10.0} elem/s");
+        }
+        _ => println!("{id:<50} {time:>12}/iter"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

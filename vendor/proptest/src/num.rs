@@ -1,0 +1,174 @@
+//! Numeric strategies: `any::<int>()` and range strategies.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::{Arbitrary, TestRng};
+
+/// Strategy for "any value of `T`" (see [`crate::any`]).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// Draws uniformly from `[0, span)` where `span` may be up to 2^64
+/// (`span == 0` encodes the full 2^64 span).
+fn below_span(rng: &mut TestRng, span: u128) -> u128 {
+    if span == 0 || span > u128::from(u64::MAX) {
+        // Full-width draw.
+        u128::from(rng.next_u64())
+    } else {
+        u128::from(rng.next_u64()) % span
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any::default()
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {:?}..{:?}", self.start, self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + below_span(rng, span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start;
+                let span = (<$t>::MAX as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + below_span(rng, span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {lo:?}..={hi:?}");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + below_span(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+    fn arbitrary() -> Any<bool> {
+        Any::default()
+    }
+}
+
+fn draw_u128(rng: &mut TestRng) -> u128 {
+    (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+}
+
+impl Strategy for Any<u128> {
+    type Value = u128;
+    fn sample(&self, rng: &mut TestRng) -> u128 {
+        draw_u128(rng)
+    }
+}
+
+impl Arbitrary for u128 {
+    type Strategy = Any<u128>;
+    fn arbitrary() -> Any<u128> {
+        Any::default()
+    }
+}
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn sample(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + draw_u128(rng) % (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeFrom<u128> {
+    type Value = u128;
+    fn sample(&self, rng: &mut TestRng) -> u128 {
+        if self.start == 0 {
+            draw_u128(rng)
+        } else {
+            self.start + draw_u128(rng) % (u128::MAX - self.start + 1)
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<u128> {
+    type Value = u128;
+    fn sample(&self, rng: &mut TestRng) -> u128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        if lo == 0 && hi == u128::MAX {
+            draw_u128(rng)
+        } else {
+            lo + draw_u128(rng) % (hi - lo + 1)
+        }
+    }
+}
+
+/// Strategy for fixed-size arrays of arbitrary elements.
+pub struct ArrayStrategy<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.0.sample(rng))
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    type Strategy = ArrayStrategy<T::Strategy, N>;
+    fn arbitrary() -> Self::Strategy {
+        ArrayStrategy(T::arbitrary())
+    }
+}
+
+impl Strategy for Any<char> {
+    type Value = char;
+    fn sample(&self, rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated data readable.
+        char::from(0x20 + (rng.below(0x5f) as u8))
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = Any<char>;
+    fn arbitrary() -> Any<char> {
+        Any::default()
+    }
+}

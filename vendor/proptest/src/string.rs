@@ -1,0 +1,142 @@
+//! String strategies from (a small subset of) regex patterns.
+//!
+//! A `&str` used as a strategy is parsed as a sequence of atoms, where an
+//! atom is a literal character, an escaped character, or a `[...]`
+//! character class (with `a-z` ranges), optionally followed by a repetition
+//! `{n}`, `{m,n}`, `*`, `+` or `?`. This covers patterns like
+//! `"[a-zA-Z0-9/ ]{0,40}"`. Anything fancier panics loudly rather than
+//! silently generating wrong data.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in regex strategy {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing '\\' in {pattern:?}");
+                let escaped = chars[i + 1];
+                i += 2;
+                match escaped {
+                    'n' => vec!['\n'],
+                    't' => vec!['\t'],
+                    'r' => vec!['\r'],
+                    'd' => ('0'..='9').collect(),
+                    other => vec![other],
+                }
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            lit => {
+                assert!(
+                    !"(){}|^$*+?".contains(lit),
+                    "unsupported regex feature {lit:?} in strategy {pattern:?}"
+                );
+                i += 1;
+                vec![lit]
+            }
+        };
+        let (min, max) = parse_repeat(&chars, &mut i, pattern);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    if *i >= chars.len() {
+        return (1, 1);
+    }
+    match chars[*i] {
+        '{' => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in regex strategy {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                let lo = lo.trim().parse().expect("bad repeat lower bound");
+                let hi = if hi.trim().is_empty() {
+                    lo + 8
+                } else {
+                    hi.trim().parse().expect("bad repeat upper bound")
+                };
+                (lo, hi)
+            } else {
+                let n = body.trim().parse().expect("bad repeat count");
+                (n, n)
+            }
+        }
+        '*' => {
+            *i += 1;
+            (0, 8)
+        }
+        '+' => {
+            *i += 1;
+            (1, 8)
+        }
+        '?' => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.max - atom.min + 1) as u64;
+            let count = atom.min + rng.below(span) as usize;
+            for _ in 0..count {
+                let idx = rng.below(atom.choices.len() as u64) as usize;
+                out.push(atom.choices[idx]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        <str as Strategy>::sample(self.as_str(), rng)
+    }
+}
