@@ -21,7 +21,10 @@ fn bench(c: &mut Criterion) {
 
     let obj = counter_obj();
     g.bench_function("interface_dispatch", |b| {
-        b.iter(|| obj.invoke("ctr", "incr", std::hint::black_box(&args)).unwrap())
+        b.iter(|| {
+            obj.invoke("ctr", "incr", std::hint::black_box(&args))
+                .unwrap()
+        })
     });
 
     let delegated = {
@@ -32,7 +35,11 @@ fn bench(c: &mut Criterion) {
             .build()
     };
     g.bench_function("delegated_1hop", |b| {
-        b.iter(|| delegated.invoke("ctr", "incr", std::hint::black_box(&args)).unwrap())
+        b.iter(|| {
+            delegated
+                .invoke("ctr", "incr", std::hint::black_box(&args))
+                .unwrap()
+        })
     });
 
     for hops in [1usize, 2, 4, 8] {
@@ -41,7 +48,11 @@ fn bench(c: &mut Criterion) {
             wrapped = InterposerBuilder::new(wrapped).build();
         }
         g.bench_function(format!("interposed_x{hops}"), |b| {
-            b.iter(|| wrapped.invoke("ctr", "incr", std::hint::black_box(&args)).unwrap())
+            b.iter(|| {
+                wrapped
+                    .invoke("ctr", "incr", std::hint::black_box(&args))
+                    .unwrap()
+            })
         });
     }
     g.finish();

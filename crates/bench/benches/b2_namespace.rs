@@ -39,7 +39,13 @@ fn bench(c: &mut Criterion) {
 
         let over = NameSpace::child_of(
             &ns,
-            [(probe.clone(), NsEntry { obj: ObjectBuilder::new("o").build(), home: KERNEL_DOMAIN })],
+            [(
+                probe.clone(),
+                NsEntry {
+                    obj: ObjectBuilder::new("o").build(),
+                    home: KERNEL_DOMAIN,
+                },
+            )],
         );
         g.bench_with_input(BenchmarkId::new("lookup_override", size), &size, |b, _| {
             b.iter(|| over.lookup(std::hint::black_box(&probe)).unwrap())
@@ -55,7 +61,10 @@ fn bench(c: &mut Criterion) {
             let path = format!("/tmp/obj{k}");
             ns.register(
                 &path,
-                NsEntry { obj: ObjectBuilder::new("t").build(), home: KERNEL_DOMAIN },
+                NsEntry {
+                    obj: ObjectBuilder::new("t").build(),
+                    home: KERNEL_DOMAIN,
+                },
             )
             .unwrap();
             ns.unregister(&path).unwrap();
@@ -69,7 +78,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             ns.replace(
                 path,
-                NsEntry { obj: ObjectBuilder::new("agent").build(), home: KERNEL_DOMAIN },
+                NsEntry {
+                    obj: ObjectBuilder::new("agent").build(),
+                    home: KERNEL_DOMAIN,
+                },
             )
             .unwrap()
         })

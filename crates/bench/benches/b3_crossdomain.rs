@@ -15,17 +15,28 @@ fn bench(c: &mut Criterion) {
 
     let small = [Value::Bytes(bytes::Bytes::from_static(b"x"))];
     g.bench_function("same_domain_direct", |b| {
-        b.iter(|| same.invoke("echo", "echo", std::hint::black_box(&small)).unwrap())
+        b.iter(|| {
+            same.invoke("echo", "echo", std::hint::black_box(&small))
+                .unwrap()
+        })
     });
     g.bench_function("cross_domain_proxy", |b| {
-        b.iter(|| cross.invoke("echo", "echo", std::hint::black_box(&small)).unwrap())
+        b.iter(|| {
+            cross
+                .invoke("echo", "echo", std::hint::black_box(&small))
+                .unwrap()
+        })
     });
 
     for size in [0usize, 64, 1024, 4096] {
         let args = [Value::Bytes(bytes::Bytes::from(vec![0u8; size]))];
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::new("proxy_arg_bytes", size), &size, |b, _| {
-            b.iter(|| cross.invoke("echo", "echo", std::hint::black_box(&args)).unwrap())
+            b.iter(|| {
+                cross
+                    .invoke("echo", "echo", std::hint::black_box(&args))
+                    .unwrap()
+            })
         });
     }
 

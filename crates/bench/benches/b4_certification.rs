@@ -23,7 +23,12 @@ fn bench(c: &mut Criterion) {
     let world = World::boot();
     let cert = world
         .root
-        .certify("c", &image, vec![Right::RunKernel], CertifyMethod::Administrator)
+        .certify(
+            "c",
+            &image,
+            vec![Right::RunKernel],
+            CertifyMethod::Administrator,
+        )
         .unwrap();
     world.nucleus.certsvc.install(cert, vec![]);
     world.nucleus.certsvc.set_cache_enabled(false);
@@ -57,9 +62,11 @@ fn bench(c: &mut Criterion) {
         let native = workloads::checksum_loop(1024, iters);
         let (sandboxed, _) = sandbox_rewrite(&native);
         let verified = workloads::checksum_loop_verified(1024, iters);
-        g.bench_with_input(BenchmarkId::new("run_certified_native", iters), &iters, |b, _| {
-            b.iter(|| Interp::new(&native).run(u64::MAX).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("run_certified_native", iters),
+            &iters,
+            |b, _| b.iter(|| Interp::new(&native).run(u64::MAX).unwrap()),
+        );
         g.bench_with_input(BenchmarkId::new("run_verified", iters), &iters, |b, _| {
             b.iter(|| Interp::new(&verified).run(u64::MAX).unwrap())
         });

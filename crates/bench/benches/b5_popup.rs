@@ -12,7 +12,14 @@ use paramecium::machine::trap::{Trap, TrapKind};
 use paramecium::prelude::*;
 use paramecium::threads::popup::PopupFactory;
 
-fn setup(mode: PopupMode) -> (Arc<PopupEngine>, Scheduler, Arc<EventService>, Arc<parking_lot::Mutex<Machine>>) {
+fn setup(
+    mode: PopupMode,
+) -> (
+    Arc<PopupEngine>,
+    Scheduler,
+    Arc<EventService>,
+    Arc<parking_lot::Mutex<Machine>>,
+) {
     let machine = Arc::new(parking_lot::Mutex::new(Machine::new()));
     let scheduler = Scheduler::new(machine.clone());
     let engine = PopupEngine::new(scheduler.clone(), mode);
@@ -26,7 +33,12 @@ fn setup(mode: PopupMode) -> (Arc<PopupEngine>, Scheduler, Arc<EventService>, Ar
         })
     });
     engine
-        .attach(&events, TrapKind::Breakpoint.vector(), KERNEL_DOMAIN, factory)
+        .attach(
+            &events,
+            TrapKind::Breakpoint.vector(),
+            KERNEL_DOMAIN,
+            factory,
+        )
         .unwrap();
     (engine, scheduler, events, machine)
 }
@@ -42,9 +54,13 @@ fn bench(c: &mut Criterion) {
         let hits = Arc::new(AtomicU64::new(0));
         let h = hits.clone();
         events
-            .register(trap.vector, KERNEL_DOMAIN, Arc::new(move |_| {
-                h.fetch_add(1, Ordering::Relaxed);
-            }))
+            .register(
+                trap.vector,
+                KERNEL_DOMAIN,
+                Arc::new(move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
             .unwrap();
         g.bench_function("raw_callback", |b| {
             b.iter(|| events.deliver(&machine, std::hint::black_box(&trap)))

@@ -14,19 +14,26 @@ fn bench(c: &mut Criterion) {
         for _ in 0..monitors {
             let target = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
             let (agent, _) = make_network_monitor(target);
-            n.interpose(KERNEL_DOMAIN, "/shared/network", agent).unwrap();
+            n.interpose(KERNEL_DOMAIN, "/shared/network", agent)
+                .unwrap();
         }
         let dev = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
         let machine = n.machine().clone();
-        g.bench_with_input(BenchmarkId::new("recv_monitored", monitors), &monitors, |b, _| {
-            b.iter(|| {
-                {
-                    let mut m = machine.lock();
-                    m.device_mut::<Nic>("nic").unwrap().inject_rx(vec![0u8; 512]);
-                }
-                dev.invoke("netdev", "recv", &[]).unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("recv_monitored", monitors),
+            &monitors,
+            |b, _| {
+                b.iter(|| {
+                    {
+                        let mut m = machine.lock();
+                        m.device_mut::<Nic>("nic")
+                            .unwrap()
+                            .inject_rx(vec![0u8; 512]);
+                    }
+                    dev.invoke("netdev", "recv", &[]).unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -40,41 +40,57 @@ fn setup(which: &str) -> Setup {
             n.bind(KERNEL_DOMAIN, "/app/filter").unwrap()
         }
         "kernel_certified" => {
-            let image = n
-                .repository
-                .add_bytecode("f", &udp_port_filter_program(53));
+            let image = n.repository.add_bytecode("f", &udp_port_filter_program(53));
             let cert = world
                 .root
-                .certify("f", &image, vec![Right::RunKernel], CertifyMethod::Administrator)
+                .certify(
+                    "f",
+                    &image,
+                    vec![Right::RunKernel],
+                    CertifyMethod::Administrator,
+                )
                 .unwrap();
             n.certsvc.install(cert, vec![]);
-            n.load("f", &LoadOptions::kernel("/kernel/f").strict()).unwrap();
+            n.load("f", &LoadOptions::kernel("/kernel/f").strict())
+                .unwrap();
             adapt_bytecode_filter(n.bind(KERNEL_DOMAIN, "/kernel/f").unwrap())
         }
         "kernel_sandboxed" => {
             n.repository.add_bytecode("f", &udp_port_filter_program(53));
-            n.load("f", &LoadOptions::kernel("/kernel/f").sandboxed()).unwrap();
+            n.load("f", &LoadOptions::kernel("/kernel/f").sandboxed())
+                .unwrap();
             adapt_bytecode_filter(n.bind(KERNEL_DOMAIN, "/kernel/f").unwrap())
         }
         _ => unreachable!(),
     };
-    stack.invoke("udp", "set_filter", &[Value::Handle(filter)]).unwrap();
-    let frame = wire::build_udp_frame(
-        [9; 6], MY_MAC, 0x0A00_0002, MY_IP, 4444, 53, &[0xAB; 64],
-    );
-    Setup { world, stack, frame }
+    stack
+        .invoke("udp", "set_filter", &[Value::Handle(filter)])
+        .unwrap();
+    let frame = wire::build_udp_frame([9; 6], MY_MAC, 0x0A00_0002, MY_IP, 4444, 53, &[0xAB; 64]);
+    Setup {
+        world,
+        stack,
+        frame,
+    }
 }
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7_placement");
-    for which in ["kernel_native", "user_native", "kernel_certified", "kernel_sandboxed"] {
+    for which in [
+        "kernel_native",
+        "user_native",
+        "kernel_certified",
+        "kernel_sandboxed",
+    ] {
         let s = setup(which);
         let machine = s.world.nucleus.machine().clone();
         g.bench_function(which, |b| {
             b.iter(|| {
                 {
                     let mut m = machine.lock();
-                    m.device_mut::<Nic>("nic").unwrap().inject_rx(s.frame.clone());
+                    m.device_mut::<Nic>("nic")
+                        .unwrap()
+                        .inject_rx(s.frame.clone());
                 }
                 s.stack.invoke("udp", "pump", &[]).unwrap()
             })

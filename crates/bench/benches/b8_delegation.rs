@@ -28,7 +28,12 @@ fn bench(c: &mut Criterion) {
             prev = next;
         }
         let cert = prev
-            .certify("c", b"image", vec![Right::RunKernel], CertifyMethod::Administrator)
+            .certify(
+                "c",
+                b"image",
+                vec![Right::RunKernel],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         g.bench_with_input(BenchmarkId::new("validate_chain", depth), &depth, |b, _| {
             b.iter(|| validate_chain(root.public(), &chain, &cert).unwrap())
@@ -47,7 +52,11 @@ fn bench(c: &mut Criterion) {
     .unwrap();
     let verifiable = workloads::alu_loop(8).encode();
     g.bench_function("policy_first_signs", |b| {
-        b.iter(|| policy.certify("v", &verifiable, &[Right::RunKernel]).unwrap())
+        b.iter(|| {
+            policy
+                .certify("v", &verifiable, &[Right::RunKernel])
+                .unwrap()
+        })
     });
     g.bench_function("policy_escape_hatch_to_admin", |b| {
         b.iter(|| policy.certify("h", &honest, &[Right::RunKernel]).unwrap())

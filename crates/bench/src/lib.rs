@@ -27,7 +27,9 @@ pub fn counter_obj() -> ObjRef {
 pub fn echo_obj() -> ObjRef {
     ObjectBuilder::new("echo")
         .interface("echo", |i| {
-            i.method("echo", &[TypeTag::Bytes], TypeTag::Bytes, |_, args| Ok(args[0].clone()))
+            i.method("echo", &[TypeTag::Bytes], TypeTag::Bytes, |_, args| {
+                Ok(args[0].clone())
+            })
         })
         .build()
 }

@@ -37,6 +37,16 @@ impl Authority {
         }
     }
 
+    /// Creates an authority around an existing key pair (shared or cached
+    /// key material — key generation dominates everything else an
+    /// authority does).
+    pub fn from_keys(name: impl Into<String>, keys: KeyPair) -> Self {
+        Authority {
+            name: name.into(),
+            keys,
+        }
+    }
+
     /// The public key.
     pub fn public(&self) -> &PublicKey {
         &self.keys.public
@@ -136,17 +146,18 @@ pub fn validate_chain(
 mod tests {
     use super::*;
     use crate::certificate::CertifyMethod;
-    use rand::{rngs::StdRng, SeedableRng};
-
-    fn authority(name: &str, seed: u64) -> Authority {
-        Authority::new(name, &mut StdRng::seed_from_u64(seed), 512)
-    }
+    use crate::testkeys::authority;
 
     #[test]
     fn root_signed_certificate_validates_with_empty_chain() {
         let root = authority("root", 1);
         let cert = root
-            .certify("svc", b"image", vec![Right::RunKernel], CertifyMethod::Administrator)
+            .certify(
+                "svc",
+                b"image",
+                vec![Right::RunKernel],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         assert_eq!(validate_chain(root.public(), &[], &cert).unwrap(), 1);
     }
@@ -157,13 +168,22 @@ mod tests {
         let admin = authority("admin", 2);
         let compiler = authority("compiler", 3);
         let d1 = root
-            .delegate("admin", admin.public(), vec![Right::RunKernel, Right::RunUser])
+            .delegate(
+                "admin",
+                admin.public(),
+                vec![Right::RunKernel, Right::RunUser],
+            )
             .unwrap();
         let d2 = admin
             .delegate("compiler", compiler.public(), vec![Right::RunUser])
             .unwrap();
         let cert = compiler
-            .certify("lib", b"image", vec![Right::RunUser], CertifyMethod::TypeSafeCompiler)
+            .certify(
+                "lib",
+                b"image",
+                vec![Right::RunUser],
+                CertifyMethod::TypeSafeCompiler,
+            )
             .unwrap();
         let checks = validate_chain(root.public(), &[d1, d2], &cert).unwrap();
         assert_eq!(checks, 3);
@@ -175,7 +195,9 @@ mod tests {
         let admin = authority("admin", 2);
         let sub = authority("sub", 3);
         // Admin only holds RunUser…
-        let d1 = root.delegate("admin", admin.public(), vec![Right::RunUser]).unwrap();
+        let d1 = root
+            .delegate("admin", admin.public(), vec![Right::RunUser])
+            .unwrap();
         // …but tries to hand out RunKernel.
         let d2 = admin
             .delegate("sub", sub.public(), vec![Right::RunKernel])
@@ -193,9 +215,16 @@ mod tests {
     fn leaf_cannot_exceed_its_powers() {
         let root = authority("root", 1);
         let sub = authority("sub", 2);
-        let d = root.delegate("sub", sub.public(), vec![Right::RunUser]).unwrap();
+        let d = root
+            .delegate("sub", sub.public(), vec![Right::RunUser])
+            .unwrap();
         let cert = sub
-            .certify("svc", b"i", vec![Right::RunKernel], CertifyMethod::Administrator)
+            .certify(
+                "svc",
+                b"i",
+                vec![Right::RunKernel],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         assert_eq!(
             validate_chain(root.public(), &[d], &cert),
@@ -209,9 +238,16 @@ mod tests {
         let imposter = authority("imposter", 2);
         let sub = authority("sub", 3);
         // Delegation signed by the imposter, not the root.
-        let d = imposter.delegate("sub", sub.public(), vec![Right::RunUser]).unwrap();
+        let d = imposter
+            .delegate("sub", sub.public(), vec![Right::RunUser])
+            .unwrap();
         let cert = sub
-            .certify("svc", b"i", vec![Right::RunUser], CertifyMethod::Administrator)
+            .certify(
+                "svc",
+                b"i",
+                vec![Right::RunUser],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         assert!(matches!(
             validate_chain(root.public(), &[d], &cert),
@@ -224,10 +260,17 @@ mod tests {
         let root = authority("root", 1);
         let sub = authority("sub", 2);
         let other = authority("other", 3);
-        let d = root.delegate("sub", sub.public(), vec![Right::RunUser]).unwrap();
+        let d = root
+            .delegate("sub", sub.public(), vec![Right::RunUser])
+            .unwrap();
         // Certificate signed by a key that is not in the chain.
         let cert = other
-            .certify("svc", b"i", vec![Right::RunUser], CertifyMethod::Administrator)
+            .certify(
+                "svc",
+                b"i",
+                vec![Right::RunUser],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         assert!(validate_chain(root.public(), &[d], &cert).is_err());
     }
@@ -246,7 +289,12 @@ mod tests {
             prev = next;
         }
         let cert = prev
-            .certify("deep", b"i", vec![Right::RunKernel], CertifyMethod::Administrator)
+            .certify(
+                "deep",
+                b"i",
+                vec![Right::RunKernel],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         assert_eq!(validate_chain(root.public(), &chain, &cert).unwrap(), 6);
     }

@@ -130,9 +130,8 @@ impl Certificate {
                 self.component
             )));
         }
-        rsa::verify(issuer_key, &sha256(&self.to_be_signed()), &self.signature).map_err(|_| {
-            CertError::BadSignature(format!("certificate for `{}`", self.component))
-        })
+        rsa::verify(issuer_key, &sha256(&self.to_be_signed()), &self.signature)
+            .map_err(|_| CertError::BadSignature(format!("certificate for `{}`", self.component)))
     }
 
     /// True if the certificate grants `right`.
@@ -224,11 +223,9 @@ impl DelegationCert {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paramecium_crypto::rsa::generate;
-    use rand::{rngs::StdRng, SeedableRng};
 
     fn keys(seed: u64) -> paramecium_crypto::KeyPair {
-        generate(&mut StdRng::seed_from_u64(seed), 512)
+        crate::testkeys::keypair(seed)
     }
 
     #[test]

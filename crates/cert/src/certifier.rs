@@ -9,11 +9,7 @@
 //! before signing. A certifier can also *decline* — the signal the policy
 //! layer's escape hatch reacts to.
 
-use paramecium_sfi::{
-    bytecode::Program,
-    interp::Interp,
-    verifier,
-};
+use paramecium_sfi::{bytecode::Program, interp::Interp, verifier};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::{
@@ -94,12 +90,16 @@ impl Certifier for AdminCertifier {
                 reason: format!("{}: image not on my hand-checked list", self.name()),
             };
         }
-        match self
-            .authority
-            .certify(component, image, rights.to_vec(), CertifyMethod::Administrator)
-        {
+        match self.authority.certify(
+            component,
+            image,
+            rights.to_vec(),
+            CertifyMethod::Administrator,
+        ) {
             Ok(c) => CertifyOutcome::Certified(c),
-            Err(e) => CertifyOutcome::Declined { reason: e.to_string() },
+            Err(e) => CertifyOutcome::Declined {
+                reason: e.to_string(),
+            },
         }
     }
 
@@ -159,7 +159,9 @@ impl Certifier for CompilerCertifier {
                     CertifyMethod::TypeSafeCompiler,
                 ) {
                     Ok(c) => CertifyOutcome::Certified(c),
-                    Err(e) => CertifyOutcome::Declined { reason: e.to_string() },
+                    Err(e) => CertifyOutcome::Declined {
+                        reason: e.to_string(),
+                    },
                 }
             }
             Err(e) => CertifyOutcome::Declined {
@@ -242,7 +244,9 @@ impl Certifier for ProverCertifier {
                 CertifyMethod::Prover,
             ) {
                 Ok(c) => CertifyOutcome::Certified(c),
-                Err(e) => CertifyOutcome::Declined { reason: e.to_string() },
+                Err(e) => CertifyOutcome::Declined {
+                    reason: e.to_string(),
+                },
             },
             Err(e) => CertifyOutcome::Declined {
                 reason: format!("{}: proof refuted: {e}", self.name()),
@@ -309,9 +313,7 @@ impl Certifier for TestTeamCertifier {
             for r in 1..4u8 {
                 interp.set_reg(paramecium_sfi::Reg::new(r), rng.gen());
             }
-            let data: Vec<u8> = (0..program.data_len.min(256))
-                .map(|_| rng.gen())
-                .collect();
+            let data: Vec<u8> = (0..program.data_len.min(256)).map(|_| rng.gen()).collect();
             interp.load_data(0, &data);
             match interp.run(self.step_budget) {
                 Ok(out) => effort += out.steps,
@@ -319,20 +321,24 @@ impl Certifier for TestTeamCertifier {
                     effort += self.step_budget;
                 }
                 Err(e) => {
-                    self.effort.store(effort, std::sync::atomic::Ordering::Relaxed);
+                    self.effort
+                        .store(effort, std::sync::atomic::Ordering::Relaxed);
                     return CertifyOutcome::Declined {
                         reason: format!("{}: run {run} faulted: {e}", self.name()),
                     };
                 }
             }
         }
-        self.effort.store(effort, std::sync::atomic::Ordering::Relaxed);
+        self.effort
+            .store(effort, std::sync::atomic::Ordering::Relaxed);
         match self
             .authority
             .certify(component, image, rights.to_vec(), CertifyMethod::TestTeam)
         {
             Ok(c) => CertifyOutcome::Certified(c),
-            Err(e) => CertifyOutcome::Declined { reason: e.to_string() },
+            Err(e) => CertifyOutcome::Declined {
+                reason: e.to_string(),
+            },
         }
     }
 
@@ -344,12 +350,8 @@ impl Certifier for TestTeamCertifier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkeys::authority;
     use paramecium_sfi::workloads;
-    use rand::{rngs::StdRng, SeedableRng};
-
-    fn authority(name: &str, seed: u64) -> Authority {
-        Authority::new(name, &mut StdRng::seed_from_u64(seed), 512)
-    }
 
     #[test]
     fn admin_signs_only_allowlisted_images() {
@@ -424,8 +426,7 @@ mod tests {
     fn certificates_verify_against_certifier_key() {
         let compiler = CompilerCertifier::new(authority("m3c", 6));
         let image = workloads::alu_loop(3).encode();
-        if let CertifyOutcome::Certified(c) =
-            compiler.try_certify("alu", &image, &[Right::RunUser])
+        if let CertifyOutcome::Certified(c) = compiler.try_certify("alu", &image, &[Right::RunUser])
         {
             c.verify_signature(compiler.authority().public()).unwrap();
         } else {

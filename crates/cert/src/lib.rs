@@ -64,7 +64,9 @@ impl std::fmt::Display for CertError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CertError::BadSignature(w) => write!(f, "bad signature on {w}"),
-            CertError::DigestMismatch => write!(f, "component image does not match certified digest"),
+            CertError::DigestMismatch => {
+                write!(f, "component image does not match certified digest")
+            }
             CertError::BrokenChain(m) => write!(f, "broken delegation chain: {m}"),
             CertError::RightsEscalation { at } => write!(f, "rights escalation at {at}"),
             CertError::InsufficientRights(r) => {
@@ -80,3 +82,37 @@ impl std::fmt::Display for CertError {
 }
 
 impl std::error::Error for CertError {}
+
+#[cfg(test)]
+pub(crate) mod testkeys {
+    //! Shared per-seed RSA keys for this crate's unit tests.
+    //!
+    //! Every test module used to regenerate a 512-bit key pair per seed per
+    //! test; keygen dwarfs all other test work, so the cache makes each
+    //! (seed → key) generation happen once per test process.
+
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    use paramecium_crypto::{rsa, KeyPair};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    use crate::authority::Authority;
+
+    /// The cached 512-bit key pair for `seed`.
+    pub fn keypair(seed: u64) -> KeyPair {
+        static CACHE: OnceLock<Mutex<HashMap<u64, KeyPair>>> = OnceLock::new();
+        CACHE
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .unwrap()
+            .entry(seed)
+            .or_insert_with(|| rsa::generate(&mut StdRng::seed_from_u64(seed), 512))
+            .clone()
+    }
+
+    /// An authority holding the cached key pair for `seed`.
+    pub fn authority(name: &str, seed: u64) -> Authority {
+        Authority::from_keys(name, keypair(seed))
+    }
+}

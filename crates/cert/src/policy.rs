@@ -133,12 +133,8 @@ impl CertificationPolicy {
 mod tests {
     use super::*;
     use crate::certifier::{AdminCertifier, CompilerCertifier, ProverCertifier};
+    use crate::testkeys::authority;
     use paramecium_sfi::workloads;
-    use rand::{rngs::StdRng, SeedableRng};
-
-    fn authority(name: &str, seed: u64) -> Authority {
-        Authority::new(name, &mut StdRng::seed_from_u64(seed), 512)
-    }
 
     fn standard_policy(admin_images: &[&[u8]]) -> (Authority, CertificationPolicy) {
         let root = authority("root", 1);

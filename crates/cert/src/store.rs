@@ -59,7 +59,8 @@ impl CertStore {
     /// Installs a certificate with its delegation chain.
     pub fn install(&mut self, certificate: Certificate, chain: Vec<DelegationCert>) {
         self.validated.remove(&certificate.digest);
-        self.entries.insert(certificate.digest, (certificate, chain));
+        self.entries
+            .insert(certificate.digest, (certificate, chain));
     }
 
     /// Number of installed certificates.
@@ -117,10 +118,9 @@ impl CertStore {
 mod tests {
     use super::*;
     use crate::{authority::Authority, certificate::CertifyMethod};
-    use rand::{rngs::StdRng, SeedableRng};
 
     fn root() -> Authority {
-        Authority::new("root", &mut StdRng::seed_from_u64(1), 512)
+        crate::testkeys::authority("root", 1)
     }
 
     fn store_with(image: &[u8], rights: Vec<Right>) -> (CertStore, Authority) {
@@ -193,7 +193,12 @@ mod tests {
         let image = b"component";
         let root = root();
         let cert = root
-            .certify("comp", image, vec![Right::RunKernel], CertifyMethod::Administrator)
+            .certify(
+                "comp",
+                image,
+                vec![Right::RunKernel],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         let mut store = CertStore::new(root.public().clone());
         store.install(cert.clone(), vec![]);
@@ -207,9 +212,14 @@ mod tests {
     fn forged_certificate_rejected_at_validation() {
         let image = b"component";
         let root = root();
-        let imposter = Authority::new("imposter", &mut StdRng::seed_from_u64(9), 512);
+        let imposter = crate::testkeys::authority("imposter", 9);
         let cert = imposter
-            .certify("comp", image, vec![Right::RunKernel], CertifyMethod::Administrator)
+            .certify(
+                "comp",
+                image,
+                vec![Right::RunKernel],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         let mut store = CertStore::new(root.public().clone());
         store.install(cert, vec![]);

@@ -21,7 +21,7 @@ use paramecium_cert::{
 };
 use paramecium_machine::{cost::Cycles, Machine};
 
-use crate::{CoreResult};
+use crate::CoreResult;
 
 /// Default cost of one RSA signature verification, in simulated cycles.
 /// (A 512–1024-bit modular exponentiation with e = 65537 on early-90s

@@ -65,11 +65,15 @@ pub fn check_path(path: &str) -> CoreResult<&str> {
         )));
     }
     if path.ends_with('/') {
-        return Err(CoreError::Name(format!("path `{path}` has a trailing slash")));
+        return Err(CoreError::Name(format!(
+            "path `{path}` has a trailing slash"
+        )));
     }
     for seg in path[1..].split('/') {
         if seg.is_empty() || seg == "." || seg == ".." {
-            return Err(CoreError::Name(format!("path `{path}` has segment `{seg}`")));
+            return Err(CoreError::Name(format!(
+                "path `{path}` has segment `{seg}`"
+            )));
         }
     }
     Ok(path)
@@ -299,9 +303,15 @@ mod tests {
                 },
             )],
         );
-        assert_eq!(child.lookup("/lib/alloc").unwrap().obj.class(), "debug-alloc");
+        assert_eq!(
+            child.lookup("/lib/alloc").unwrap().obj.class(),
+            "debug-alloc"
+        );
         // The parent view is untouched.
-        assert_eq!(root.lookup("/lib/alloc").unwrap().obj.class(), "default-alloc");
+        assert_eq!(
+            root.lookup("/lib/alloc").unwrap().obj.class(),
+            "default-alloc"
+        );
     }
 
     #[test]
@@ -322,7 +332,10 @@ mod tests {
             .unwrap();
         assert_eq!(old.obj.class(), "nic");
         let sibling = NameSpace::child_of(&root, []);
-        assert_eq!(sibling.lookup("/shared/network").unwrap().obj.class(), "monitor");
+        assert_eq!(
+            sibling.lookup("/shared/network").unwrap().obj.class(),
+            "monitor"
+        );
     }
 
     #[test]
@@ -341,12 +354,18 @@ mod tests {
             &root,
             [(
                 "/a/one".to_owned(),
-                NsEntry { obj: obj("override"), home: KERNEL_DOMAIN },
+                NsEntry {
+                    obj: obj("override"),
+                    home: KERNEL_DOMAIN,
+                },
             )],
         );
         child.register("/a/four", entry("c1")).unwrap();
         assert_eq!(child.list("/a"), vec!["/a/four", "/a/one", "/a/two"]);
-        assert_eq!(child.list("/"), vec!["/a/four", "/a/one", "/a/two", "/b/three"]);
+        assert_eq!(
+            child.list("/"),
+            vec!["/a/four", "/a/one", "/a/two", "/b/three"]
+        );
         assert_eq!(child.lookup("/a/one").unwrap().obj.class(), "override");
     }
 

@@ -54,7 +54,9 @@ impl EventService {
     pub fn new() -> Self {
         EventService {
             vectors: (0..NUM_VECTORS).map(|_| RwLock::new(Vec::new())).collect(),
-            stats: (0..NUM_VECTORS).map(|_| Mutex::new(EventStats::default())).collect(),
+            stats: (0..NUM_VECTORS)
+                .map(|_| Mutex::new(EventStats::default()))
+                .collect(),
             next_id: Mutex::new(0),
         }
     }
@@ -224,12 +226,8 @@ mod tests {
     fn delivery_charges_trap_costs() {
         let es = EventService::new();
         let m = machine();
-        es.register(
-            TrapKind::Syscall.vector(),
-            KERNEL_DOMAIN,
-            Arc::new(|_| {}),
-        )
-        .unwrap();
+        es.register(TrapKind::Syscall.vector(), KERNEL_DOMAIN, Arc::new(|_| {}))
+            .unwrap();
         let before = m.lock().now();
         es.deliver(&m, &Trap::syscall(1));
         let elapsed = m.lock().now() - before;
@@ -256,7 +254,11 @@ mod tests {
         let elapsed = m.lock().now() - before;
         let (enter, exit, switch) = {
             let mm = m.lock();
-            (mm.cost.trap_enter, mm.cost.trap_exit, mm.cost.context_switch)
+            (
+                mm.cost.trap_enter,
+                mm.cost.trap_exit,
+                mm.cost.context_switch,
+            )
         };
         assert_eq!(elapsed, enter + exit + switch);
     }
@@ -279,9 +281,13 @@ mod tests {
         let h = hits.clone();
         let v = TrapKind::Breakpoint.vector();
         let id = es
-            .register(v, KERNEL_DOMAIN, Arc::new(move |_| {
-                h.fetch_add(1, Ordering::Relaxed);
-            }))
+            .register(
+                v,
+                KERNEL_DOMAIN,
+                Arc::new(move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
             .unwrap();
         assert_eq!(es.callback_count(v), 1);
         assert!(es.unregister(v, id));

@@ -18,12 +18,7 @@ use parking_lot::Mutex;
 
 use paramecium_machine::{cost::Cycles, Machine};
 use paramecium_obj::{ObjRef, ObjectBuilder, TypeTag, Value};
-use paramecium_sfi::{
-    bytecode::Program,
-    interp::Interp,
-    sandbox::sandbox_rewrite,
-    verifier,
-};
+use paramecium_sfi::{bytecode::Program, interp::Interp, sandbox::sandbox_rewrite, verifier};
 
 use crate::domain::DomainId;
 
@@ -178,9 +173,7 @@ pub fn make_bytecode_object(
                 this.with_state(|s: &mut BcState| Ok(Value::Int(s.last_steps as i64)))
             })
             .method("protection", &[], TypeTag::Str, |this, _| {
-                this.with_state(|s: &mut BcState| {
-                    Ok(Value::Str(format!("{:?}", s.protection)))
-                })
+                this.with_state(|s: &mut BcState| Ok(Value::Str(format!("{:?}", s.protection))))
             })
         })
         .build()

@@ -6,10 +6,7 @@
 //! have fault call-backs associated with them. … The memory management
 //! service also provides I/O space allocation." (paper, section 3).
 
-use std::{
-    collections::HashMap,
-    sync::Arc,
-};
+use std::{collections::HashMap, sync::Arc};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -134,14 +131,15 @@ impl MemService {
         let mut frames = Vec::with_capacity(pages);
         for i in 0..pages {
             let va = src_vaddr + (i as u64) * PAGE_SIZE as u64;
-            let entry = m.mmu.entry(src_domain.context(), va).ok_or(
-                MachineError::Fault(Fault {
+            let entry = m
+                .mmu
+                .entry(src_domain.context(), va)
+                .ok_or(MachineError::Fault(Fault {
                     ctx: src_domain.context(),
                     vaddr: va,
                     access: paramecium_machine::mmu::Access::Read,
                     kind: paramecium_machine::mmu::FaultKind::NotMapped,
-                }),
-            )?;
+                }))?;
             frames.push(entry.frame);
         }
         for (i, frame) in frames.iter().enumerate() {
@@ -171,7 +169,9 @@ impl MemService {
                     m.phys.free_frame(entry.frame);
                 }
             }
-            self.fault_handlers.write().remove(&(domain.0, va / PAGE_SIZE as u64));
+            self.fault_handlers
+                .write()
+                .remove(&(domain.0, va / PAGE_SIZE as u64));
         }
         Ok(())
     }
@@ -444,9 +444,13 @@ mod tests {
         let hit = Arc::new(Mutex::new(None));
         let h = hit.clone();
         let vaddr = 0x40_0000u64;
-        svc.set_fault_handler(user, vaddr, Arc::new(move |f: &Fault| {
-            *h.lock() = Some(f.vaddr);
-        }));
+        svc.set_fault_handler(
+            user,
+            vaddr,
+            Arc::new(move |f: &Fault| {
+                *h.lock() = Some(f.vaddr);
+            }),
+        );
         let fault = Fault {
             ctx: user.context(),
             vaddr: vaddr + 123, // Same page.
@@ -456,7 +460,10 @@ mod tests {
         assert!(svc.handle_fault(&fault));
         assert_eq!(*hit.lock(), Some(vaddr + 123));
         // A different page has no handler.
-        let other = Fault { vaddr: vaddr + PAGE_SIZE as u64, ..fault };
+        let other = Fault {
+            vaddr: vaddr + PAGE_SIZE as u64,
+            ..fault
+        };
         assert!(!svc.handle_fault(&other));
         let s = svc.stats();
         assert_eq!((s.faults_handled, s.faults_unhandled), (1, 1));
@@ -494,16 +501,21 @@ mod tests {
         // Nothing resident yet.
         assert_eq!(machine.lock().phys.allocated_frames(), 0);
         // Touch page 2: exactly one frame appears, zeroed, then usable.
-        svc.write(user, base + 2 * PAGE_SIZE as u64 + 100, b"lazy!").unwrap();
+        svc.write(user, base + 2 * PAGE_SIZE as u64 + 100, b"lazy!")
+            .unwrap();
         assert_eq!(machine.lock().phys.allocated_frames(), 1);
         let mut buf = [0u8; 5];
-        svc.read(user, base + 2 * PAGE_SIZE as u64 + 100, &mut buf).unwrap();
+        svc.read(user, base + 2 * PAGE_SIZE as u64 + 100, &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"lazy!");
         // A read touching two further pages faults them both in.
         let mut big = vec![0u8; PAGE_SIZE + 10];
         svc.read(user, base, &mut big).unwrap();
         assert_eq!(machine.lock().phys.allocated_frames(), 3);
-        assert!(big.iter().all(|&b| b == 0), "demand-zero pages read as zero");
+        assert!(
+            big.iter().all(|&b| b == 0),
+            "demand-zero pages read as zero"
+        );
         assert_eq!(svc.stats().faults_handled, 3);
     }
 
@@ -540,9 +552,13 @@ mod tests {
         let svc = Arc::new(MemService::new(machine));
         let hits = Arc::new(Mutex::new(0u32));
         let h = hits.clone();
-        svc.set_fault_handler(user, 0x7000, Arc::new(move |_| {
-            *h.lock() += 1;
-        }));
+        svc.set_fault_handler(
+            user,
+            0x7000,
+            Arc::new(move |_| {
+                *h.lock() += 1;
+            }),
+        );
         let mut buf = [0u8; 4];
         assert!(svc.read(user, 0x7000, &mut buf).is_err());
         assert_eq!(*hits.lock(), 1, "handler ran once, no retry loop");

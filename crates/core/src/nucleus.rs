@@ -14,10 +14,7 @@ use parking_lot::{Mutex, RwLock};
 use paramecium_cert::{certificate::Right, store::CertStore};
 use paramecium_crypto::keys::PublicKey;
 use paramecium_machine::{cost::Cycles, trap::TrapKind, Machine};
-use paramecium_obj::{
-    compose::CompositionBuilder,
-    ObjRef, ObjectBuilder, TypeTag, Value,
-};
+use paramecium_obj::{compose::CompositionBuilder, ObjRef, ObjectBuilder, TypeTag, Value};
 use paramecium_sfi::bytecode::Program;
 
 use crate::{
@@ -73,16 +70,10 @@ impl Nucleus {
     }
 
     /// Boots on an existing machine (custom cost model or sizing).
-    pub fn boot_on(
-        machine: Arc<Mutex<Machine>>,
-        root_key: PublicKey,
-    ) -> CoreResult<Arc<Nucleus>> {
+    pub fn boot_on(machine: Arc<Mutex<Machine>>, root_key: PublicKey) -> CoreResult<Arc<Nucleus>> {
         let events = Arc::new(EventService::new());
         let mem = Arc::new(MemService::new(machine.clone()));
-        let certsvc = Arc::new(CertService::new(
-            machine.clone(),
-            CertStore::new(root_key),
-        ));
+        let certsvc = Arc::new(CertService::new(machine.clone(), CertStore::new(root_key)));
         let repository = Arc::new(Repository::new());
         let root_ns = NameSpace::root();
 
@@ -118,7 +109,10 @@ impl Nucleus {
 
         // The kernel domain sees the root name space directly.
         let kernel_domain = Domain::new(KERNEL_DOMAIN, "kernel", root_ns.clone());
-        nucleus.domains.write().insert(KERNEL_DOMAIN.0, kernel_domain);
+        nucleus
+            .domains
+            .write()
+            .insert(KERNEL_DOMAIN.0, kernel_domain);
 
         // Wire the page-fault vector to the memory service's per-page
         // handlers — the mechanism cross-domain proxies ride on.
@@ -228,7 +222,9 @@ impl Nucleus {
     /// Registers an object at `path` in `domain`'s name space with that
     /// domain as its home.
     pub fn register(&self, domain: DomainId, path: &str, obj: ObjRef) -> CoreResult<()> {
-        let d = self.domain(domain).ok_or(CoreError::NoSuchDomain(domain.0))?;
+        let d = self
+            .domain(domain)
+            .ok_or(CoreError::NoSuchDomain(domain.0))?;
         d.namespace.register(path, NsEntry { obj, home: domain })
     }
 
@@ -246,12 +242,7 @@ impl Nucleus {
     /// Replaces the binding at `path` with an interposing agent living in
     /// `agent_home`. Returns the previous object handle (which the agent
     /// typically wraps).
-    pub fn interpose(
-        &self,
-        agent_home: DomainId,
-        path: &str,
-        agent: ObjRef,
-    ) -> CoreResult<ObjRef> {
+    pub fn interpose(&self, agent_home: DomainId, path: &str, agent: ObjRef) -> CoreResult<ObjRef> {
         let d = self
             .domain(agent_home)
             .ok_or(CoreError::NoSuchDomain(agent_home.0))?;
@@ -385,9 +376,7 @@ impl Nucleus {
                             self.step_budget,
                         );
                         (KERNEL_DOMAIN, Protection::CertifiedNative, obj)
-                    } else if !options.allow_software_protection
-                        && self.online.read().is_none()
-                    {
+                    } else if !options.allow_software_protection && self.online.read().is_none() {
                         // Strict: report the precise certificate problem.
                         return Err(match cert_check {
                             Some(Err(e)) => e,
@@ -398,8 +387,10 @@ impl Nucleus {
                         // minted certificate and run native. Subsequent
                         // loads of the same image hit the normal
                         // (cached) certificate path.
-                        self.certsvc
-                            .install(cert, self.online.read().as_ref().expect("set").chain.clone());
+                        self.certsvc.install(
+                            cert,
+                            self.online.read().as_ref().expect("set").chain.clone(),
+                        );
                         self.certsvc.validate_for(&bc, Right::RunKernel)?;
                         let obj = make_bytecode_object(
                             component,
@@ -421,9 +412,7 @@ impl Nucleus {
                         );
                         (KERNEL_DOMAIN, protection, obj)
                     } else {
-                        return Err(CoreError::Cert(
-                            paramecium_cert::CertError::NotCertified,
-                        ));
+                        return Err(CoreError::Cert(paramecium_cert::CertError::NotCertified));
                     }
                 }
             },
@@ -479,10 +468,15 @@ fn events_object(events: &Arc<EventService>) -> ObjRef {
                     Value::Int(s.unhandled as i64),
                 ]))
             })
-            .method("callbacks", &[TypeTag::Int], TypeTag::Int, move |_, args| {
-                let v = args[0].as_int()? as u32;
-                Ok(Value::Int(e2.callback_count(v) as i64))
-            })
+            .method(
+                "callbacks",
+                &[TypeTag::Int],
+                TypeTag::Int,
+                move |_, args| {
+                    let v = args[0].as_int()? as u32;
+                    Ok(Value::Int(e2.callback_count(v) as i64))
+                },
+            )
         })
         .build()
 }
@@ -517,9 +511,12 @@ fn directory_object(ns: &Arc<NameSpace>) -> ObjRef {
                     n1.list(prefix).into_iter().map(Value::Str).collect(),
                 ))
             })
-            .method("registered", &[TypeTag::Str], TypeTag::Bool, move |_, args| {
-                Ok(Value::Bool(n2.lookup(args[0].as_str()?).is_ok()))
-            })
+            .method(
+                "registered",
+                &[TypeTag::Str],
+                TypeTag::Bool,
+                move |_, args| Ok(Value::Bool(n2.lookup(args[0].as_str()?).is_ok())),
+            )
         })
         .build()
 }
@@ -530,9 +527,12 @@ fn cert_object(certsvc: &Arc<CertService>) -> ObjRef {
     let c2 = certsvc.clone();
     ObjectBuilder::new("nucleus-certification")
         .interface("certification", |i| {
-            i.method("is_certified", &[TypeTag::Bytes], TypeTag::Bool, move |_, args| {
-                Ok(Value::Bool(c1.is_certified(args[0].as_bytes()?)))
-            })
+            i.method(
+                "is_certified",
+                &[TypeTag::Bytes],
+                TypeTag::Bool,
+                move |_, args| Ok(Value::Bool(c1.is_certified(args[0].as_bytes()?))),
+            )
             .method("stats", &[], TypeTag::List, move |_, _| {
                 let s = c2.stats();
                 Ok(Value::List(vec![
@@ -595,9 +595,7 @@ mod tests {
         let obj = n.bind(app.id, "/nucleus/events").unwrap();
         assert!(obj.class().starts_with("proxy<"));
         // And it works: a syscall-style invocation through the proxy.
-        let r = obj
-            .invoke("events", "callbacks", &[Value::Int(1)])
-            .unwrap();
+        let r = obj.invoke("events", "callbacks", &[Value::Int(1)]).unwrap();
         assert_eq!(r, Value::Int(1)); // The page-fault handler from boot.
         assert_eq!(n.proxy_stats().crossings(), 1);
     }
@@ -614,7 +612,10 @@ mod tests {
                 KERNEL_DOMAIN,
                 [(
                     "/svc/thing".to_owned(),
-                    NsEntry { obj: fake, home: KERNEL_DOMAIN },
+                    NsEntry {
+                        obj: fake,
+                        home: KERNEL_DOMAIN,
+                    },
                 )],
             )
             .unwrap();
@@ -632,10 +633,17 @@ mod tests {
             .repository
             .add_bytecode("csum", &workloads::checksum_loop(64, 1));
         let cert = root
-            .certify("csum", &image, vec![Right::RunKernel], CertifyMethod::Administrator)
+            .certify(
+                "csum",
+                &image,
+                vec![Right::RunKernel],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         n.certsvc.install(cert, vec![]);
-        let report = n.load("csum", &LoadOptions::kernel("/kernel/csum")).unwrap();
+        let report = n
+            .load("csum", &LoadOptions::kernel("/kernel/csum"))
+            .unwrap();
         assert_eq!(report.protection, Protection::CertifiedNative);
         assert_eq!(report.domain, KERNEL_DOMAIN);
         assert!(report.load_cycles >= crate::certsvc::DEFAULT_SIG_CHECK_COST);
@@ -645,7 +653,10 @@ mod tests {
             .invoke(
                 "component",
                 "run",
-                &[Value::Bytes(bytes::Bytes::from(vec![1u8; 64])), Value::Int(0)],
+                &[
+                    Value::Bytes(bytes::Bytes::from(vec![1u8; 64])),
+                    Value::Int(0),
+                ],
             )
             .unwrap();
         assert_eq!(r, Value::Int(64));
@@ -661,7 +672,9 @@ mod tests {
 
         n.repository
             .add_bytecode("nice", &workloads::checksum_loop_verified(64, 1));
-        let report = n.load("nice", &LoadOptions::kernel("/kernel/nice")).unwrap();
+        let report = n
+            .load("nice", &LoadOptions::kernel("/kernel/nice"))
+            .unwrap();
         assert_eq!(report.protection, Protection::Verified);
     }
 
@@ -669,13 +682,14 @@ mod tests {
     fn online_certification_mints_and_caches_certificates() {
         let (n, root) = booted();
         // The kernel hosts a compiler certifier empowered by the root.
-        let online_authority = paramecium_cert::Authority::new(
-            "kernel-online",
-            &mut StdRng::seed_from_u64(33),
-            512,
-        );
+        let online_authority =
+            paramecium_cert::Authority::new("kernel-online", &mut StdRng::seed_from_u64(33), 512);
         let chain = vec![root
-            .delegate("kernel-online", online_authority.public(), vec![Right::RunKernel])
+            .delegate(
+                "kernel-online",
+                online_authority.public(),
+                vec![Right::RunKernel],
+            )
             .unwrap()];
         n.enable_online_certification(
             Box::new(paramecium_cert::CompilerCertifier::new(online_authority)),
@@ -704,7 +718,9 @@ mod tests {
         n.disable_online_certification();
         n.repository
             .add_bytecode("later", &workloads::checksum_loop_verified(128, 1));
-        let report = n.load("later", &LoadOptions::kernel("/kernel/later")).unwrap();
+        let report = n
+            .load("later", &LoadOptions::kernel("/kernel/later"))
+            .unwrap();
         assert_eq!(report.protection, Protection::Verified);
     }
 
@@ -754,7 +770,9 @@ mod tests {
         let (n, _) = booted();
         let svc = ObjectBuilder::new("svc")
             .interface("svc", |i| {
-                i.method("who", &[], TypeTag::Str, |_, _| Ok(Value::Str("real".into())))
+                i.method("who", &[], TypeTag::Str, |_, _| {
+                    Ok(Value::Str("real".into()))
+                })
             })
             .build();
         n.register(KERNEL_DOMAIN, "/shared/svc", svc).unwrap();

@@ -24,15 +24,8 @@ use std::sync::{
 
 use parking_lot::Mutex;
 
-use paramecium_machine::{
-    mmu::Access,
-    trap::Trap,
-    Machine, MachineError,
-};
-use paramecium_obj::{
-    interface::Interface,
-    ObjError, ObjRef, ObjectBuilder, Value,
-};
+use paramecium_machine::{mmu::Access, trap::Trap, Machine, MachineError};
+use paramecium_obj::{interface::Interface, ObjError, ObjRef, ObjectBuilder, Value};
 
 use crate::{domain::DomainId, events::EventService, memsvc::MemService};
 
@@ -131,7 +124,9 @@ pub fn make_proxy(
             let method = sig.name.clone();
             iface.insert_method(
                 sig,
-                Arc::new(move |_this: &ObjRef, args: &[Value]| cc.invoke(&iface_name, &method, args)),
+                Arc::new(move |_this: &ObjRef, args: &[Value]| {
+                    cc.invoke(&iface_name, &method, args)
+                }),
             );
         }
         let cc = shared.clone();
@@ -180,7 +175,9 @@ impl CrossCall {
         // 2. Deliver the trap: event service charges trap costs and runs
         //    the nucleus's page-fault call-back, which routes to our
         //    per-page handler.
-        self.ctx.events.deliver(&self.ctx.machine, &Trap::page_fault(fault));
+        self.ctx
+            .events
+            .deliver(&self.ctx.machine, &Trap::page_fault(fault));
 
         // 3. Map in (marshal) the arguments and switch to the target's
         //    context.
@@ -236,7 +233,10 @@ impl CrossCall {
     ) -> Result<(Value, usize), ObjError> {
         match v {
             Value::Handle(h) => {
-                self.ctx.stats.nested_proxies.fetch_add(1, Ordering::Relaxed);
+                self.ctx
+                    .stats
+                    .nested_proxies
+                    .fetch_add(1, Ordering::Relaxed);
                 let proxy = make_proxy(&self.ctx, h.clone(), from, to);
                 Ok((Value::Handle(proxy), v.marshalled_size()))
             }
@@ -250,9 +250,7 @@ impl CrossCall {
                 }
                 Ok((Value::List(out), bytes))
             }
-            Value::Bytes(b)
-                if self.map_threshold() > 0 && b.len() >= self.map_threshold() =>
-            {
+            Value::Bytes(b) if self.map_threshold() > 0 && b.len() >= self.map_threshold() => {
                 // Large payload: map the backing pages instead of copying.
                 // The page-table writes are charged here; the byte count
                 // recorded is 0 because no bytes move.
@@ -320,9 +318,12 @@ mod tests {
         ObjectBuilder::new("adder")
             .state(0i64)
             .interface("math", |i| {
-                i.method("add", &[TypeTag::Int, TypeTag::Int], TypeTag::Int, |_, args| {
-                    Ok(Value::Int(args[0].as_int()? + args[1].as_int()?))
-                })
+                i.method(
+                    "add",
+                    &[TypeTag::Int, TypeTag::Int],
+                    TypeTag::Int,
+                    |_, args| Ok(Value::Int(args[0].as_int()? + args[1].as_int()?)),
+                )
                 .method("acc", &[TypeTag::Int], TypeTag::Int, |this, args| {
                     let v = args[0].as_int()?;
                     this.with_state(|s: &mut i64| {
@@ -393,18 +394,29 @@ mod tests {
         let small_cost = {
             let before = ctx.machine.lock().now();
             proxy
-                .invoke("echo", "echo", &[Value::Bytes(bytes::Bytes::from(vec![0u8; 16]))])
+                .invoke(
+                    "echo",
+                    "echo",
+                    &[Value::Bytes(bytes::Bytes::from(vec![0u8; 16]))],
+                )
                 .unwrap();
             ctx.machine.lock().now() - before
         };
         let big_cost = {
             let before = ctx.machine.lock().now();
             proxy
-                .invoke("echo", "echo", &[Value::Bytes(bytes::Bytes::from(vec![0u8; 4096]))])
+                .invoke(
+                    "echo",
+                    "echo",
+                    &[Value::Bytes(bytes::Bytes::from(vec![0u8; 4096]))],
+                )
                 .unwrap();
             ctx.machine.lock().now() - before
         };
-        assert!(big_cost > small_cost, "big {big_cost} <= small {small_cost}");
+        assert!(
+            big_cost > small_cost,
+            "big {big_cost} <= small {small_cost}"
+        );
     }
 
     #[test]
@@ -422,13 +434,17 @@ mod tests {
 
         // Copy transport.
         let t0 = ctx.machine.lock().now();
-        proxy.invoke("echo", "echo", std::slice::from_ref(&big)).unwrap();
+        proxy
+            .invoke("echo", "echo", std::slice::from_ref(&big))
+            .unwrap();
         let copy_cost = ctx.machine.lock().now() - t0;
 
         // Map transport for payloads ≥ one page.
         ctx.stats.map_threshold.store(4096, Ordering::Relaxed);
         let t0 = ctx.machine.lock().now();
-        let out = proxy.invoke("echo", "echo", std::slice::from_ref(&big)).unwrap();
+        let out = proxy
+            .invoke("echo", "echo", std::slice::from_ref(&big))
+            .unwrap();
         let map_cost = ctx.machine.lock().now() - t0;
         assert_eq!(out, big, "mapping is transparent to the callee");
         assert_eq!(ctx.stats.args_mapped.load(Ordering::Relaxed), 2); // Arg + result.
@@ -440,7 +456,11 @@ mod tests {
         // Small args still copy even with mapping enabled.
         let before = ctx.stats.args_mapped.load(Ordering::Relaxed);
         proxy
-            .invoke("echo", "echo", &[Value::Bytes(bytes::Bytes::from_static(b"tiny"))])
+            .invoke(
+                "echo",
+                "echo",
+                &[Value::Bytes(bytes::Bytes::from_static(b"tiny"))],
+            )
             .unwrap();
         assert_eq!(ctx.stats.args_mapped.load(Ordering::Relaxed), before);
     }
@@ -497,10 +517,7 @@ mod tests {
         proxy
             .invoke("math", "add", &[Value::Int(1), Value::Int(2)])
             .unwrap();
-        assert_eq!(
-            ctx.machine.lock().mmu.current_context(),
-            user.context()
-        );
+        assert_eq!(ctx.machine.lock().mmu.current_context(), user.context());
     }
 
     #[test]

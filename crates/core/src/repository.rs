@@ -104,9 +104,12 @@ impl Repository {
     /// Registers a bytecode component under `name`. Returns its image.
     pub fn add_bytecode(&self, name: impl Into<String>, program: &Program) -> Vec<u8> {
         let image = program.encode();
-        self.components
-            .write()
-            .insert(name.into(), ComponentKind::Bytecode { image: image.clone() });
+        self.components.write().insert(
+            name.into(),
+            ComponentKind::Bytecode {
+                image: image.clone(),
+            },
+        );
         image
     }
 
@@ -144,9 +147,11 @@ mod tests {
     #[test]
     fn native_roundtrip() {
         let repo = Repository::new();
-        let image = repo.add_native("nic-driver", "1.0", Arc::new(|| {
-            Ok(ObjectBuilder::new("nic-driver").build())
-        }));
+        let image = repo.add_native(
+            "nic-driver",
+            "1.0",
+            Arc::new(|| Ok(ObjectBuilder::new("nic-driver").build())),
+        );
         assert_eq!(repo.image_of("nic-driver").unwrap(), image);
         match repo.get("nic-driver").unwrap() {
             ComponentKind::Native { factory, .. } => {
@@ -163,7 +168,10 @@ mod tests {
         let p = workloads::alu_loop(4);
         let image = repo.add_bytecode("alu", &p);
         assert_eq!(Program::decode(&image).unwrap(), p);
-        assert!(matches!(repo.get("alu").unwrap(), ComponentKind::Bytecode { .. }));
+        assert!(matches!(
+            repo.get("alu").unwrap(),
+            ComponentKind::Bytecode { .. }
+        ));
     }
 
     #[test]

@@ -2,12 +2,34 @@
 //!
 //! A minimal big-integer implementation sufficient for RSA: little-endian
 //! `u64` limbs, schoolbook multiplication, Knuth Algorithm D division,
-//! square-and-multiply modular exponentiation, and the extended Euclidean
+//! Montgomery-form modular exponentiation, and the extended Euclidean
 //! algorithm for modular inverses.
 //!
 //! The representation invariant is that `limbs` never has trailing zero
 //! limbs (so `Ubig::zero()` has an empty limb vector), which makes
 //! comparison by limb count correct.
+//!
+//! # Montgomery form
+//!
+//! The modular-exponentiation hot path ([`Ubig::modpow`]) runs in
+//! *Montgomery form* whenever the modulus is odd (always true for RSA
+//! moduli and prime candidates). With `k` limbs of modulus `n` and
+//! `R = 2^(64k)`, a value `a` is represented as `aR mod n`; the CIOS
+//! (coarsely integrated operand scanning) product of two such
+//! representatives yields `abR mod n` using only single-limb
+//! multiply-adds and one shift — no multi-limb division per step. That
+//! turns each modular multiplication from a `2k`-by-`k` Knuth division
+//! into `2k² + k` limb multiplies, a large constant-factor win.
+//!
+//! Exponentiation uses a fixed 4-bit window for large exponents: 16
+//! precomputed powers, then 4 squarings + at most 1 table multiply per
+//! window. For a `b`-bit exponent this costs `b + b/4 + 14` multiplies
+//! versus `1.5 b` for square-and-multiply — about 20% fewer at RSA sizes,
+//! on top of the Montgomery savings. Exponents of 64 bits or fewer (e.g.
+//! the public exponent 65537) skip the table and use plain
+//! square-and-multiply, since 14 precomputation multiplies would dominate.
+//! The pre-Montgomery path survives as [`Ubig::modpow_schoolbook`]: it
+//! handles even moduli and serves as the differential-testing oracle.
 
 use std::cmp::Ordering;
 
@@ -298,9 +320,7 @@ impl Ubig {
             let mut qhat = top / vn1;
             let mut rhat = top % vn1;
             // Correct qhat down to at most one off.
-            while qhat >= B
-                || qhat * vn2 > ((rhat << 64) | u128::from(u[j + n - 2]))
-            {
+            while qhat >= B || qhat * vn2 > ((rhat << 64) | u128::from(u[j + n - 2])) {
                 qhat -= 1;
                 rhat += vn1;
                 if rhat >= B {
@@ -344,17 +364,73 @@ impl Ubig {
         self.divrem(modulus).1
     }
 
+    /// Remainder of division by a single limb (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn rem_u64(&self, d: u64) -> u64 {
+        assert!(d != 0, "division by zero");
+        let mut rem: u128 = 0;
+        for &limb in self.limbs.iter().rev() {
+            rem = ((rem << 64) | u128::from(limb)) % u128::from(d);
+        }
+        rem as u64
+    }
+
+    /// Extracts `width` (≤ 64) bits starting at bit `i` (little-endian).
+    fn bits_at(&self, i: u32, width: u32) -> u64 {
+        debug_assert!((1..=64).contains(&width));
+        let li = (i / 64) as usize;
+        let off = i % 64;
+        let lo = self.limbs.get(li).copied().unwrap_or(0) >> off;
+        let hi = if off + width > 64 {
+            self.limbs.get(li + 1).copied().unwrap_or(0) << (64 - off)
+        } else {
+            0
+        };
+        let v = lo | hi;
+        if width == 64 {
+            v
+        } else {
+            v & ((1u64 << width) - 1)
+        }
+    }
+
     /// Modular multiplication `self * other mod m`.
     pub fn modmul(&self, other: &Ubig, m: &Ubig) -> Ubig {
         self.mul(other).rem(m)
     }
 
-    /// Modular exponentiation `self^exp mod m` by square-and-multiply.
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Odd moduli (the only kind RSA and Miller–Rabin ever present) take
+    /// the Montgomery-form windowed path; even moduli fall back to
+    /// [`Ubig::modpow_schoolbook`]. See the module docs for the cost model.
     ///
     /// # Panics
     ///
     /// Panics if `m` is zero.
     pub fn modpow(&self, exp: &Ubig, m: &Ubig) -> Ubig {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return Ubig::zero();
+        }
+        match Montgomery::new(m) {
+            Some(mont) => mont.pow(self, exp),
+            None => self.modpow_schoolbook(exp, m),
+        }
+    }
+
+    /// Modular exponentiation by plain square-and-multiply with a full
+    /// division per step. Handles even moduli (which Montgomery form
+    /// cannot) and serves as the differential-testing oracle for the fast
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow_schoolbook(&self, exp: &Ubig, m: &Ubig) -> Ubig {
         assert!(!m.is_zero(), "modpow with zero modulus");
         if m.is_one() {
             return Ubig::zero();
@@ -405,6 +481,241 @@ impl Ubig {
     }
 }
 
+/// Reusable Montgomery-form context for an odd modulus `n > 1`.
+///
+/// Construction pays one `R mod n` / `R² mod n` setup division; every
+/// subsequent multiplication is a division-free CIOS reduction. Callers
+/// that perform many multiplications under one modulus (modular
+/// exponentiation, Miller–Rabin witnesses) should build the context once
+/// and reuse it.
+pub struct Montgomery {
+    /// Modulus limbs (little-endian, exactly `k` limbs, top limb nonzero).
+    n: Vec<u64>,
+    /// `-n⁻¹ mod 2⁶⁴`, the per-limb reduction factor.
+    n0_inv: u64,
+    /// `R² mod n` (`R = 2^(64k)`), for converting into Montgomery form.
+    r2: Vec<u64>,
+    /// `R mod n`, the Montgomery representative of 1.
+    one: Vec<u64>,
+    /// Limb count of the modulus.
+    k: usize,
+}
+
+/// A residue in Montgomery form, produced by and only meaningful with the
+/// [`Montgomery`] context that created it. The representation is canonical
+/// (reduced below the modulus, fixed limb count), so `==` compares residues.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontElem {
+    limbs: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Builds a context for modulus `m`. Returns `None` if `m` is even or
+    /// less than 2 (Montgomery reduction requires `gcd(m, 2⁶⁴) = 1`).
+    pub fn new(m: &Ubig) -> Option<Montgomery> {
+        if m.is_even() || m.is_one() {
+            return None;
+        }
+        let n = m.limbs.clone();
+        let k = n.len();
+        // Newton–Hensel iteration: doubles correct low bits each step, so
+        // five steps lift the (trivially correct) 1-bit inverse to 64 bits.
+        let mut inv = n[0];
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n[0].wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+        // One-time setup divisions for R mod n and R² mod n.
+        let r = Ubig::one().shl_bits(64 * k as u32).rem(m);
+        let r2 = r.mul(&r).rem(m);
+        Some(Montgomery {
+            one: pad_limbs(&r, k),
+            r2: pad_limbs(&r2, k),
+            n,
+            n0_inv,
+            k,
+        })
+    }
+
+    /// The Montgomery representative of 1 (`R mod n`).
+    pub fn one(&self) -> MontElem {
+        MontElem {
+            limbs: self.one.clone(),
+        }
+    }
+
+    /// Converts `a` into Montgomery form (reducing mod `n` first if needed).
+    pub fn to_mont(&self, a: &Ubig) -> MontElem {
+        let oversized =
+            a.limbs.len() > self.k || (a.limbs.len() == self.k && !limbs_lt(&a.limbs, &self.n));
+        let reduced;
+        let a = if oversized {
+            reduced = a.rem(&Ubig::from_limbs(self.n.clone()));
+            &reduced
+        } else {
+            a
+        };
+        MontElem {
+            limbs: self.mul_limbs(&pad_limbs(a, self.k), &self.r2),
+        }
+    }
+
+    /// Converts back out of Montgomery form.
+    pub fn from_mont(&self, a: &MontElem) -> Ubig {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        Ubig::from_limbs(self.mul_limbs(&a.limbs, &one))
+    }
+
+    /// Montgomery product of two residues.
+    pub fn mul(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        MontElem {
+            limbs: self.mul_limbs(&a.limbs, &b.limbs),
+        }
+    }
+
+    /// `base^exp mod n`, staying in Montgomery form throughout.
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one();
+        }
+        self.from_mont(&self.pow_elem(&self.to_mont(base), exp))
+    }
+
+    /// `base^exp` on a residue already in Montgomery form.
+    ///
+    /// Exponents longer than 64 bits use a fixed 4-bit window (16-entry
+    /// table, 4 squarings + at most one table multiply per window); shorter
+    /// exponents use plain square-and-multiply, for which the table
+    /// precomputation would not pay for itself.
+    pub fn pow_elem(&self, base: &MontElem, exp: &Ubig) -> MontElem {
+        let bits = exp.bit_len();
+        // Two reusable buffers (result + CIOS scratch) serve the whole
+        // exponentiation: hundreds of multiplies, zero per-step allocation.
+        let mut out = vec![0u64; self.k];
+        let mut scratch = vec![0u64; self.k + 2];
+        if bits <= 64 {
+            let mut acc = self.one.clone();
+            for i in (0..bits).rev() {
+                self.mul_into(&acc, None, &mut scratch, &mut out);
+                std::mem::swap(&mut acc, &mut out);
+                if exp.bit(i) {
+                    self.mul_into(&acc, Some(&base.limbs), &mut scratch, &mut out);
+                    std::mem::swap(&mut acc, &mut out);
+                }
+            }
+            return MontElem { limbs: acc };
+        }
+        const WINDOW: u32 = 4;
+        let mut table = Vec::with_capacity(1 << WINDOW);
+        table.push(self.one.clone());
+        for i in 1..1usize << WINDOW {
+            table.push(self.mul_limbs(&table[i - 1], &base.limbs));
+        }
+        let nwin = bits.div_ceil(WINDOW);
+        let top = exp.bits_at((nwin - 1) * WINDOW, WINDOW) as usize;
+        let mut acc = table[top].clone();
+        for w in (0..nwin - 1).rev() {
+            for _ in 0..WINDOW {
+                self.mul_into(&acc, None, &mut scratch, &mut out);
+                std::mem::swap(&mut acc, &mut out);
+            }
+            let d = exp.bits_at(w * WINDOW, WINDOW) as usize;
+            if d != 0 {
+                self.mul_into(&acc, Some(&table[d]), &mut scratch, &mut out);
+                std::mem::swap(&mut acc, &mut out);
+            }
+        }
+        MontElem { limbs: acc }
+    }
+
+    /// Allocating convenience wrapper around [`Montgomery::mul_into`].
+    fn mul_limbs(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.k];
+        let mut scratch = vec![0u64; self.k + 2];
+        self.mul_into(a, Some(b), &mut scratch, &mut out);
+        out
+    }
+
+    /// CIOS (coarsely integrated operand scanning) Montgomery product:
+    /// writes `a · b · R⁻¹ mod n` into `out` for `k`-limb operands below
+    /// `n`, using `t` (length `k + 2`) as scratch. `b = None` squares `a`
+    /// (callers cannot alias `a` with `out` under the borrow rules, so the
+    /// common squaring step is spelled this way).
+    fn mul_into(&self, a: &[u64], b: Option<&[u64]>, t: &mut [u64], out: &mut [u64]) {
+        let k = self.k;
+        let b = b.unwrap_or(a);
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        debug_assert_eq!(t.len(), k + 2);
+        debug_assert_eq!(out.len(), k);
+        t.fill(0);
+        for &ai in a {
+            // t += a[i] · b
+            let ai = u128::from(ai);
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let v = ai * u128::from(b[j]) + u128::from(t[j]) + carry;
+                t[j] = v as u64;
+                carry = v >> 64;
+            }
+            let v = u128::from(t[k]) + carry;
+            t[k] = v as u64;
+            t[k + 1] = (v >> 64) as u64;
+            // t += m · n with m chosen so t becomes divisible by 2⁶⁴,
+            // then shift one limb right (fused into the same pass).
+            let m = u128::from(t[0].wrapping_mul(self.n0_inv));
+            let v = m * u128::from(self.n[0]) + u128::from(t[0]);
+            let mut carry = v >> 64;
+            for j in 1..k {
+                let v = m * u128::from(self.n[j]) + u128::from(t[j]) + carry;
+                t[j - 1] = v as u64;
+                carry = v >> 64;
+            }
+            let v = u128::from(t[k]) + carry;
+            t[k - 1] = v as u64;
+            t[k] = t[k + 1] + (v >> 64) as u64;
+            t[k + 1] = 0;
+        }
+        // Inputs below n keep the CIOS result below 2n, so one conditional
+        // subtraction canonicalises it.
+        let needs_sub = t[k] != 0 || !limbs_lt(&t[..k], &self.n);
+        if needs_sub {
+            let mut borrow = 0u64;
+            for (tj, &nj) in t.iter_mut().zip(&self.n) {
+                let (d1, b1) = tj.overflowing_sub(nj);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                *tj = d2;
+                borrow = u64::from(b1) | u64::from(b2);
+            }
+            debug_assert_eq!(borrow, t[k], "Montgomery result not below 2n");
+        }
+        out.copy_from_slice(&t[..k]);
+    }
+}
+
+/// Clones `v`'s limbs zero-extended to exactly `k` limbs.
+fn pad_limbs(v: &Ubig, k: usize) -> Vec<u64> {
+    debug_assert!(v.limbs.len() <= k);
+    let mut out = v.limbs.clone();
+    out.resize(k, 0);
+    out
+}
+
+/// `a < b` for equal-length little-endian limb slices.
+fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Less => return true,
+            Ordering::Greater => return false,
+            Ordering::Equal => {}
+        }
+    }
+    false
+}
+
 /// A signed big integer used internally by the extended Euclidean
 /// algorithm.
 #[derive(Clone, Debug)]
@@ -428,14 +739,26 @@ impl Signed {
     fn sub(&self, other: &Signed) -> Signed {
         match (self.neg, other.neg) {
             // a - (-b) = a + b ; (-a) - b = -(a + b)
-            (false, true) => Signed { neg: false, mag: self.mag.add(&other.mag) },
-            (true, false) => Signed { neg: true, mag: self.mag.add(&other.mag) },
+            (false, true) => Signed {
+                neg: false,
+                mag: self.mag.add(&other.mag),
+            },
+            (true, false) => Signed {
+                neg: true,
+                mag: self.mag.add(&other.mag),
+            },
             // Same sign: compare magnitudes.
             (sn, _) => {
                 if self.mag >= other.mag {
-                    Signed { neg: sn, mag: self.mag.sub(&other.mag) }
+                    Signed {
+                        neg: sn,
+                        mag: self.mag.sub(&other.mag),
+                    }
                 } else {
-                    Signed { neg: !sn, mag: other.mag.sub(&self.mag) }
+                    Signed {
+                        neg: !sn,
+                        mag: other.mag.sub(&self.mag),
+                    }
                 }
             }
         }
@@ -556,7 +879,10 @@ mod tests {
         assert_eq!(big(0).mul(&big(100)), big(0));
         assert_eq!(big(7).mul(&big(6)), big(42));
         let a = Ubig::from(u64::MAX);
-        assert_eq!(a.mul(&a), big((u128::from(u64::MAX)) * u128::from(u64::MAX)));
+        assert_eq!(
+            a.mul(&a),
+            big((u128::from(u64::MAX)) * u128::from(u64::MAX))
+        );
     }
 
     #[test]
@@ -609,10 +935,7 @@ mod tests {
     fn display_hex() {
         assert_eq!(Ubig::zero().to_string(), "0x0");
         assert_eq!(big(0xdeadbeef).to_string(), "0xdeadbeef");
-        assert_eq!(
-            big((1u128 << 64) + 2).to_string(),
-            "0x10000000000000002"
-        );
+        assert_eq!(big((1u128 << 64) + 2).to_string(), "0x10000000000000002");
     }
 
     proptest! {
@@ -710,6 +1033,91 @@ mod tests {
         #[test]
         fn prop_cmp_matches_u128(a in any::<u128>(), b in any::<u128>()) {
             prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn prop_rem_u64_matches_divrem(
+            a in proptest::collection::vec(any::<u64>(), 0..6),
+            d in 1u64..,
+        ) {
+            let a = Ubig::from_limbs(a);
+            prop_assert_eq!(a.rem_u64(d), a.rem(&Ubig::from(d)).low_u64());
+        }
+
+        /// The Montgomery windowed fast path must agree with the schoolbook
+        /// oracle for any modulus (odd moduli exercise Montgomery, even
+        /// ones the fallback) and any exponent length (both the ≤64-bit
+        /// square-and-multiply path and the windowed path).
+        #[test]
+        fn prop_modpow_matches_schoolbook(
+            base in proptest::collection::vec(any::<u64>(), 1..8),
+            exp in proptest::collection::vec(any::<u64>(), 1..4),
+            m in proptest::collection::vec(any::<u64>(), 1..6),
+        ) {
+            let base = Ubig::from_limbs(base);
+            let exp = Ubig::from_limbs(exp);
+            let m = Ubig::from_limbs(m);
+            prop_assume!(!m.is_zero() && !m.is_one());
+            prop_assert_eq!(
+                base.modpow(&exp, &m),
+                base.modpow_schoolbook(&exp, &m)
+            );
+        }
+
+        /// Montgomery round-trip and multiplication against plain modmul.
+        #[test]
+        fn prop_montgomery_mul_matches_modmul(
+            a in proptest::collection::vec(any::<u64>(), 1..6),
+            b in proptest::collection::vec(any::<u64>(), 1..6),
+            m in proptest::collection::vec(any::<u64>(), 1..6),
+        ) {
+            let a = Ubig::from_limbs(a);
+            let b = Ubig::from_limbs(b);
+            // Force the modulus odd so a context exists.
+            let mut m = m;
+            m[0] |= 1;
+            let m = Ubig::from_limbs(m);
+            prop_assume!(!m.is_one());
+            let mont = Montgomery::new(&m).expect("odd modulus > 1");
+            let (am, bm) = (mont.to_mont(&a), mont.to_mont(&b));
+            prop_assert_eq!(mont.from_mont(&am), a.rem(&m));
+            prop_assert_eq!(
+                mont.from_mont(&mont.mul(&am, &bm)),
+                a.modmul(&b, &m)
+            );
+        }
+    }
+
+    #[test]
+    fn montgomery_rejects_even_or_trivial_moduli() {
+        assert!(Montgomery::new(&Ubig::from(10u64)).is_none());
+        assert!(Montgomery::new(&Ubig::zero()).is_none());
+        assert!(Montgomery::new(&Ubig::one()).is_none());
+        assert!(Montgomery::new(&Ubig::from(9u64)).is_some());
+    }
+
+    #[test]
+    fn montgomery_one_is_multiplicative_identity() {
+        let m = Ubig::from(1_000_003u64);
+        let mont = Montgomery::new(&m).unwrap();
+        let x = mont.to_mont(&Ubig::from(123_456u64));
+        assert_eq!(mont.mul(&x, &mont.one()), x);
+        assert_eq!(mont.from_mont(&mont.one()), Ubig::one());
+    }
+
+    #[test]
+    fn windowed_pow_crosses_the_64_bit_exponent_boundary() {
+        // Exponents straddling the window-path threshold agree with the
+        // schoolbook oracle (fixed values, no proptest machinery).
+        let base = big(0xDEAD_BEEF_CAFE);
+        let m = big((1u128 << 89) - 1);
+        for shift in [63u32, 64, 65, 120] {
+            let exp = Ubig::one().shl_bits(shift).add_u64(0x1234);
+            assert_eq!(
+                base.modpow(&exp, &m),
+                base.modpow_schoolbook(&exp, &m),
+                "exponent 2^{shift}+0x1234"
+            );
         }
     }
 }

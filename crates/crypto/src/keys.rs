@@ -20,13 +20,35 @@ pub struct PublicKey {
     pub e: Ubig,
 }
 
-/// An RSA private key `(n, d)` (CRT parameters omitted for simplicity).
+/// Chinese-remainder-theorem precomputation for fast RSA signing.
+///
+/// Splitting `m^d mod n` into two half-size exponentiations mod `p` and
+/// `q` and recombining (`Garner's formula`) costs roughly a quarter of the
+/// full-width exponentiation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrtParams {
+    /// First prime factor of the modulus.
+    pub p: Ubig,
+    /// Second prime factor of the modulus.
+    pub q: Ubig,
+    /// `d mod (p-1)`.
+    pub d_p: Ubig,
+    /// `d mod (q-1)`.
+    pub d_q: Ubig,
+    /// `q⁻¹ mod p`.
+    pub q_inv: Ubig,
+}
+
+/// An RSA private key `(n, d)` with optional CRT acceleration parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PrivateKey {
     /// Modulus.
     pub n: Ubig,
     /// Private exponent.
     pub d: Ubig,
+    /// CRT precomputation (`None` for keys imported without factors; such
+    /// keys sign via the plain full-width exponentiation).
+    pub crt: Option<CrtParams>,
 }
 
 /// A public/private key pair.
@@ -93,15 +115,29 @@ impl PublicKey {
 }
 
 impl PrivateKey {
-    /// Serialises to bytes.
+    /// Serialises to bytes. CRT parameters, when present, follow `n` and
+    /// `d` behind a presence flag byte.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = vec![PRIV_MAGIC];
         put_int(&mut out, &self.n);
         put_int(&mut out, &self.d);
+        match &self.crt {
+            None => out.push(0),
+            Some(crt) => {
+                out.push(1);
+                put_int(&mut out, &crt.p);
+                put_int(&mut out, &crt.q);
+                put_int(&mut out, &crt.d_p);
+                put_int(&mut out, &crt.d_q);
+                put_int(&mut out, &crt.q_inv);
+            }
+        }
         out
     }
 
-    /// Deserialises from bytes produced by [`PrivateKey::to_bytes`].
+    /// Deserialises from bytes produced by [`PrivateKey::to_bytes`]. Older
+    /// encodings that end right after `d` (no CRT flag byte) are accepted
+    /// and yield a key without CRT parameters.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, CryptoError> {
         if buf.first() != Some(&PRIV_MAGIC) {
             return Err(CryptoError::MalformedKey("bad private key magic".into()));
@@ -109,10 +145,30 @@ impl PrivateKey {
         let mut pos = 1;
         let n = get_int(buf, &mut pos)?;
         let d = get_int(buf, &mut pos)?;
+        let crt = match buf.get(pos) {
+            None => None,
+            Some(0) => {
+                pos += 1;
+                None
+            }
+            Some(1) => {
+                pos += 1;
+                Some(CrtParams {
+                    p: get_int(buf, &mut pos)?,
+                    q: get_int(buf, &mut pos)?,
+                    d_p: get_int(buf, &mut pos)?,
+                    d_q: get_int(buf, &mut pos)?,
+                    q_inv: get_int(buf, &mut pos)?,
+                })
+            }
+            Some(_) => {
+                return Err(CryptoError::MalformedKey("bad CRT flag byte".into()));
+            }
+        };
         if pos != buf.len() {
             return Err(CryptoError::MalformedKey("trailing bytes".into()));
         }
-        Ok(PrivateKey { n, d })
+        Ok(PrivateKey { n, d, crt })
     }
 }
 
@@ -138,8 +194,49 @@ mod tests {
         let k = PrivateKey {
             n: Ubig::from(12345u64),
             d: Ubig::from(678u64),
+            crt: None,
         };
         assert_eq!(PrivateKey::from_bytes(&k.to_bytes()).unwrap(), k);
+    }
+
+    #[test]
+    fn private_key_roundtrip_preserves_crt_params() {
+        let k = PrivateKey {
+            n: Ubig::from(3233u64),
+            d: Ubig::from(413u64),
+            crt: Some(CrtParams {
+                p: Ubig::from(61u64),
+                q: Ubig::from(53u64),
+                d_p: Ubig::from(53u64),
+                d_q: Ubig::from(49u64),
+                q_inv: Ubig::from(38u64),
+            }),
+        };
+        assert_eq!(PrivateKey::from_bytes(&k.to_bytes()).unwrap(), k);
+    }
+
+    #[test]
+    fn pre_crt_private_key_encoding_still_decodes() {
+        // An encoding that stops after d (the format before CRT params
+        // existed) must decode to a key without CRT acceleration.
+        let mut legacy = vec![PRIV_MAGIC];
+        put_int(&mut legacy, &Ubig::from(12345u64));
+        put_int(&mut legacy, &Ubig::from(678u64));
+        let k = PrivateKey::from_bytes(&legacy).unwrap();
+        assert_eq!(k.n, Ubig::from(12345u64));
+        assert_eq!(k.crt, None);
+    }
+
+    #[test]
+    fn bad_crt_flag_rejected() {
+        let k = PrivateKey {
+            n: Ubig::from(5u64),
+            d: Ubig::from(3u64),
+            crt: None,
+        };
+        let mut b = k.to_bytes();
+        *b.last_mut().unwrap() = 7;
+        assert!(PrivateKey::from_bytes(&b).is_err());
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub mod prime;
 pub mod rsa;
 pub mod sha256;
 
-pub use bignum::Ubig;
-pub use keys::{KeyPair, PrivateKey, PublicKey};
+pub use bignum::{MontElem, Montgomery, Ubig};
+pub use keys::{CrtParams, KeyPair, PrivateKey, PublicKey};
 pub use sha256::{sha256, Sha256};
 
 /// Errors produced by cryptographic operations.

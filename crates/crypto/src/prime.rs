@@ -3,10 +3,16 @@
 //! Miller–Rabin with random bases, preceded by trial division against a
 //! small-prime sieve so that most composite candidates are rejected cheaply
 //! during key generation.
+//!
+//! Trial division uses single-limb remainders ([`Ubig::rem_u64`], no
+//! allocation) and the Miller–Rabin loop builds one [`Montgomery`] context
+//! per candidate: every witness exponentiation and every squaring in the
+//! `x² ≡ ±1` chain then runs division-free in Montgomery form, which is
+//! where key generation spends nearly all of its time.
 
 use rand::Rng;
 
-use crate::bignum::Ubig;
+use crate::bignum::{Montgomery, Ubig};
 
 /// Number of Miller–Rabin rounds. 2⁻⁶⁴ error probability is ample for a
 /// simulation's certification keys.
@@ -14,9 +20,9 @@ const MR_ROUNDS: usize = 32;
 
 /// Small primes used for trial division.
 const SMALL_PRIMES: [u64; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Draws a uniformly random value with exactly `bits` significant bits
@@ -60,11 +66,10 @@ pub fn is_probable_prime<R: Rng + ?Sized>(n: &Ubig, rng: &mut R) -> bool {
         return false;
     }
     for &p in &SMALL_PRIMES {
-        let p = Ubig::from(p);
-        if n == &p {
+        if n.low_u64() == p && n.bit_len() <= 8 {
             return true;
         }
-        if n.rem(&p).is_zero() {
+        if n.rem_u64(p) == 0 {
             return false;
         }
     }
@@ -77,16 +82,21 @@ pub fn is_probable_prime<R: Rng + ?Sized>(n: &Ubig, rng: &mut R) -> bool {
         r += 1;
     }
 
+    // Trial division leaves n odd and above every small prime, so a
+    // Montgomery context always exists; share it across all rounds.
+    let mont = Montgomery::new(n).expect("candidate is odd and > 1");
+    let one_m = mont.one();
+    let minus1_m = mont.to_mont(&n_minus_1);
     let two = Ubig::from(2u64);
     'witness: for _ in 0..MR_ROUNDS {
         let a = random_below(rng, &two, &n_minus_1);
-        let mut x = a.modpow(&d, n);
-        if x.is_one() || x == n_minus_1 {
+        let mut x = mont.pow_elem(&mont.to_mont(&a), &d);
+        if x == one_m || x == minus1_m {
             continue 'witness;
         }
         for _ in 0..r.saturating_sub(1) {
-            x = x.modmul(&x, n);
-            if x == n_minus_1 {
+            x = mont.mul(&x, &x);
+            if x == minus1_m {
                 continue 'witness;
             }
         }
@@ -134,7 +144,10 @@ mod tests {
     fn small_composites_are_composite() {
         let mut r = rng();
         for c in [0u64, 1, 4, 6, 9, 15, 91, 561, 6601, 65536, 4294967295] {
-            assert!(!is_probable_prime(&Ubig::from(c), &mut r), "{c} is composite");
+            assert!(
+                !is_probable_prime(&Ubig::from(c), &mut r),
+                "{c} is composite"
+            );
         }
     }
 

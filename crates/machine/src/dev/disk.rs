@@ -91,7 +91,9 @@ impl Device for Disk {
             regs::SECTOR_COUNT => Ok(self.sectors() as u32),
             regs::READS => Ok(self.reads as u32),
             regs::WRITES => Ok(self.writes as u32),
-            _ => Err(MachineError::Device(format!("disk: bad register {offset:#x}"))),
+            _ => Err(MachineError::Device(format!(
+                "disk: bad register {offset:#x}"
+            ))),
         }
     }
 

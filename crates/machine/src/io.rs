@@ -158,7 +158,10 @@ impl IoSpace {
 
     /// All regions belonging to `device`.
     pub fn regions_of(&self, device: &str) -> Vec<&IoRegion> {
-        self.regions.values().filter(|r| r.device == device).collect()
+        self.regions
+            .values()
+            .filter(|r| r.device == device)
+            .collect()
     }
 }
 

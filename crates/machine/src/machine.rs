@@ -115,12 +115,7 @@ impl Machine {
     }
 
     /// Translates one access, charging TLB hit/miss costs.
-    pub fn translate(
-        &mut self,
-        ctx: ContextId,
-        vaddr: u64,
-        access: Access,
-    ) -> MachineResult<u64> {
+    pub fn translate(&mut self, ctx: ContextId, vaddr: u64, access: Access) -> MachineResult<u64> {
         match self.mmu.translate(ctx, vaddr, access) {
             Ok(t) => {
                 self.counter.charge(if t.tlb_hit {
@@ -262,7 +257,10 @@ mod tests {
         m.tick(1);
         assert!(m.irq.has_pending());
         // Driver side: registers via I/O.
-        assert_eq!(m.io_read("nic", crate::dev::nic::regs::RX_AVAIL).unwrap(), 1);
+        assert_eq!(
+            m.io_read("nic", crate::dev::nic::regs::RX_AVAIL).unwrap(),
+            1
+        );
         assert!(m.io_read("ghost", 0).is_err());
     }
 
@@ -277,8 +275,10 @@ mod tests {
     #[test]
     fn timer_fires_through_machine_tick() {
         let mut m = Machine::new();
-        m.io_write("timer", crate::dev::timer::regs::PERIOD, 100).unwrap();
-        m.io_write("timer", crate::dev::timer::regs::CTRL, 1).unwrap();
+        m.io_write("timer", crate::dev::timer::regs::PERIOD, 100)
+            .unwrap();
+        m.io_write("timer", crate::dev::timer::regs::CTRL, 1)
+            .unwrap();
         m.tick(10); // Arms.
         m.tick(300);
         assert!(m.irq.has_pending());

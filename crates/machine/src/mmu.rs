@@ -8,11 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{
-    phys::FrameId,
-    tlb::Tlb,
-    MachineError, MachineResult,
-};
+use crate::{phys::FrameId, tlb::Tlb, MachineError, MachineResult};
 
 /// Page size in bytes (SPARC Reference MMU used 4 KiB pages).
 pub const PAGE_SIZE: usize = 4096;
@@ -266,7 +262,12 @@ impl Mmu {
     ) -> Result<Translation, Fault> {
         let vpn = vaddr / PAGE_SIZE as u64;
         let offset = vaddr % PAGE_SIZE as u64;
-        let fault = |kind| Fault { ctx, vaddr, access, kind };
+        let fault = |kind| Fault {
+            ctx,
+            vaddr,
+            access,
+            kind,
+        };
 
         if let Some((frame, perms)) = self.tlb.lookup(ctx, vpn) {
             if !perms.allows(access) {
@@ -397,7 +398,13 @@ mod tests {
         m.map(ctx, 0x4000, FrameId(1), Perms::RW).unwrap();
         m.translate(ctx, 0x4000, Access::Read).unwrap();
         let old = m.unmap(ctx, 0x4000).unwrap();
-        assert_eq!(old, Some(PageEntry { frame: FrameId(1), perms: Perms::RW }));
+        assert_eq!(
+            old,
+            Some(PageEntry {
+                frame: FrameId(1),
+                perms: Perms::RW
+            })
+        );
         assert!(m.translate(ctx, 0x4000, Access::Read).is_err());
         assert_eq!(m.unmap(ctx, 0x4000).unwrap(), None);
     }

@@ -83,7 +83,12 @@ impl Tlb {
                 return;
             }
         }
-        self.entries[self.next] = Some(TlbEntry { ctx, vpn, frame, perms });
+        self.entries[self.next] = Some(TlbEntry {
+            ctx,
+            vpn,
+            frame,
+            perms,
+        });
         self.next = (self.next + 1) % self.entries.len();
     }
 

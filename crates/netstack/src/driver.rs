@@ -18,11 +18,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use paramecium_core::{
-    domain::DomainId,
-    memsvc::MemService,
-    CoreResult, Nucleus,
-};
+use paramecium_core::{domain::DomainId, memsvc::MemService, CoreResult, Nucleus};
 use paramecium_machine::{
     dev::nic::{self, Nic},
     io::{IoRegionId, IoSharing},
@@ -67,7 +63,10 @@ pub fn make_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef
     let existing: Vec<(IoRegionId, IoSharing)> = {
         let machine = mem.machine().clone();
         let m = machine.lock();
-        m.io.regions_of("nic").iter().map(|r| (r.id, r.sharing)).collect()
+        m.io.regions_of("nic")
+            .iter()
+            .map(|r| (r.id, r.sharing))
+            .collect()
     };
     let regs = match existing.iter().find(|(_, s)| *s == IoSharing::Exclusive) {
         Some((id, _)) => *id,
@@ -198,7 +197,10 @@ mod tests {
         let (mem, driver) = setup();
         inject(&mem, vec![1, 2, 3]);
         inject(&mem, vec![4, 5]);
-        assert_eq!(driver.invoke("netdev", "pending", &[]).unwrap(), Value::Int(2));
+        assert_eq!(
+            driver.invoke("netdev", "pending", &[]).unwrap(),
+            Value::Int(2)
+        );
         let f1 = driver.invoke("netdev", "recv", &[]).unwrap();
         assert_eq!(f1.as_bytes().unwrap().as_ref(), &[1, 2, 3]);
         let f2 = driver.invoke("netdev", "recv", &[]).unwrap();
@@ -212,7 +214,11 @@ mod tests {
         let (mem, driver) = setup();
         let frame = build_udp_frame([2; 6], [4; 6], 1, 2, 10, 20, b"out");
         driver
-            .invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(frame.clone()))])
+            .invoke(
+                "netdev",
+                "send",
+                &[Value::Bytes(bytes::Bytes::from(frame.clone()))],
+            )
             .unwrap();
         let machine = mem.machine().clone();
         let got = machine.lock().device_mut::<Nic>("nic").unwrap().tx_take();
@@ -225,7 +231,11 @@ mod tests {
         inject(&mem, vec![0u8; 100]);
         driver.invoke("netdev", "recv", &[]).unwrap();
         driver
-            .invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(vec![0u8; 60]))])
+            .invoke(
+                "netdev",
+                "send",
+                &[Value::Bytes(bytes::Bytes::from(vec![0u8; 60]))],
+            )
             .unwrap();
         let stats = driver.invoke("netdev", "stats", &[]).unwrap();
         let s = stats.as_list().unwrap();
@@ -265,7 +275,11 @@ mod tests {
         let machine = mem.machine().clone();
         let before = machine.lock().now();
         driver
-            .invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(vec![0u8; 1500]))])
+            .invoke(
+                "netdev",
+                "send",
+                &[Value::Bytes(bytes::Bytes::from(vec![0u8; 1500]))],
+            )
             .unwrap();
         let elapsed = machine.lock().now() - before;
         let floor = {

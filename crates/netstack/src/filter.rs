@@ -83,9 +83,17 @@ pub fn udp_port_filter_program(port: u16) -> Program {
     a.li(r(1), DST_PORT_OFF);
     a.ldb(r(2), r(1), 0);
     a.li(r(3), 8);
-    a.raw(paramecium_sfi::Insn::Shl { rd: r(2), rs1: r(2), rs2: r(3) });
+    a.raw(paramecium_sfi::Insn::Shl {
+        rd: r(2),
+        rs1: r(2),
+        rs2: r(3),
+    });
     a.ldb(r(4), r(1), 1);
-    a.raw(paramecium_sfi::Insn::Or { rd: r(2), rs1: r(2), rs2: r(4) });
+    a.raw(paramecium_sfi::Insn::Or {
+        rd: r(2),
+        rs1: r(2),
+        rs2: r(4),
+    });
     a.li(r(5), i64::from(port));
     a.li(r(0), 0);
     a.bne(r(2), r(5), "reject");
@@ -106,9 +114,17 @@ pub fn checksumming_filter_program(port: u16) -> Program {
     a.li(r(1), DST_PORT_OFF);
     a.ldb(r(2), r(1), 0);
     a.li(r(3), 8);
-    a.raw(paramecium_sfi::Insn::Shl { rd: r(2), rs1: r(2), rs2: r(3) });
+    a.raw(paramecium_sfi::Insn::Shl {
+        rd: r(2),
+        rs1: r(2),
+        rs2: r(3),
+    });
     a.ldb(r(4), r(1), 1);
-    a.raw(paramecium_sfi::Insn::Or { rd: r(2), rs1: r(2), rs2: r(4) });
+    a.raw(paramecium_sfi::Insn::Or {
+        rd: r(2),
+        rs1: r(2),
+        rs2: r(4),
+    });
     a.li(r(5), i64::from(port));
     a.li(r(0), 0);
     a.bne(r(2), r(5), "reject");
@@ -140,14 +156,12 @@ pub fn adapt_bytecode_filter(component: ObjRef) -> ObjRef {
         .interface("filter", |i| {
             i.method("check", &[TypeTag::Bytes], TypeTag::Bool, |this, args| {
                 let frame = args[0].clone();
-                let component =
-                    this.with_state(|c: &mut ObjRef| Ok(c.clone()))?;
+                let component = this.with_state(|c: &mut ObjRef| Ok(c.clone()))?;
                 let r = component.invoke("component", "run", &[frame, Value::Int(0)])?;
                 Ok(Value::Bool(r.as_int()? != 0))
             })
             .method("stats", &[], TypeTag::List, |this, _| {
-                let component =
-                    this.with_state(|c: &mut ObjRef| Ok(c.clone()))?;
+                let component = this.with_state(|c: &mut ObjRef| Ok(c.clone()))?;
                 let steps = component.invoke("component", "steps", &[])?;
                 Ok(Value::List(vec![steps]))
             })
@@ -162,32 +176,43 @@ mod tests {
     use paramecium_sfi::{interp::Interp, verifier};
 
     fn frame_to(port: u16) -> Vec<u8> {
-        build_udp_frame([2; 6], [4; 6], 0x0A000001, 0x0A000002, 9999, port, b"payload")
+        build_udp_frame(
+            [2; 6], [4; 6], 0x0A000001, 0x0A000002, 9999, port, b"payload",
+        )
     }
 
     #[test]
     fn native_filter_matches_port() {
         let f = make_native_port_filter(53);
         let yes = f
-            .invoke("filter", "check", &[Value::Bytes(bytes::Bytes::from(frame_to(53)))])
+            .invoke(
+                "filter",
+                "check",
+                &[Value::Bytes(bytes::Bytes::from(frame_to(53)))],
+            )
             .unwrap();
         let no = f
-            .invoke("filter", "check", &[Value::Bytes(bytes::Bytes::from(frame_to(80)))])
+            .invoke(
+                "filter",
+                "check",
+                &[Value::Bytes(bytes::Bytes::from(frame_to(80)))],
+            )
             .unwrap();
         assert_eq!(yes, Value::Bool(true));
         assert_eq!(no, Value::Bool(false));
         let stats = f.invoke("filter", "stats", &[]).unwrap();
-        assert_eq!(
-            stats,
-            Value::List(vec![Value::Int(2), Value::Int(1)])
-        );
+        assert_eq!(stats, Value::List(vec![Value::Int(2), Value::Int(1)]));
     }
 
     #[test]
     fn native_filter_rejects_garbage() {
         let f = make_native_port_filter(53);
         let r = f
-            .invoke("filter", "check", &[Value::Bytes(bytes::Bytes::from(vec![0u8; 10]))])
+            .invoke(
+                "filter",
+                "check",
+                &[Value::Bytes(bytes::Bytes::from(vec![0u8; 10]))],
+            )
             .unwrap();
         assert_eq!(r, Value::Bool(false));
     }
@@ -217,9 +242,8 @@ mod tests {
 
     #[test]
     fn adapter_bridges_component_to_filter_interface() {
-        let machine = std::sync::Arc::new(parking_lot::Mutex::new(
-            paramecium_machine::Machine::new(),
-        ));
+        let machine =
+            std::sync::Arc::new(parking_lot::Mutex::new(paramecium_machine::Machine::new()));
         let component = paramecium_core::loader::make_bytecode_object(
             "port-filter-bc",
             udp_port_filter_program(53),
@@ -229,11 +253,19 @@ mod tests {
         );
         let filter = adapt_bytecode_filter(component);
         let yes = filter
-            .invoke("filter", "check", &[Value::Bytes(bytes::Bytes::from(frame_to(53)))])
+            .invoke(
+                "filter",
+                "check",
+                &[Value::Bytes(bytes::Bytes::from(frame_to(53)))],
+            )
             .unwrap();
         assert_eq!(yes, Value::Bool(true));
         let no = filter
-            .invoke("filter", "check", &[Value::Bytes(bytes::Bytes::from(frame_to(80)))])
+            .invoke(
+                "filter",
+                "check",
+                &[Value::Bytes(bytes::Bytes::from(frame_to(80)))],
+            )
             .unwrap();
         assert_eq!(no, Value::Bool(false));
     }

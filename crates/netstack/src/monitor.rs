@@ -88,7 +88,9 @@ pub fn make_network_monitor(target: ObjRef) -> (ObjRef, Arc<NetMonStats>) {
             if iface == "netdev" && method == "send" {
                 if let Some(Value::Bytes(b)) = args.first() {
                     tx_stats.tx_frames.fetch_add(1, Ordering::Relaxed);
-                    tx_stats.tx_bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+                    tx_stats
+                        .tx_bytes
+                        .fetch_add(b.len() as u64, Ordering::Relaxed);
                     tx_stats.record_size(b.len());
                 }
             }
@@ -98,7 +100,9 @@ pub fn make_network_monitor(target: ObjRef) -> (ObjRef, Arc<NetMonStats>) {
             if let Value::Bytes(b) = &result {
                 if !b.is_empty() {
                     rx_stats.rx_frames.fetch_add(1, Ordering::Relaxed);
-                    rx_stats.rx_bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+                    rx_stats
+                        .rx_bytes
+                        .fetch_add(b.len() as u64, Ordering::Relaxed);
                     rx_stats.record_size(b.len());
                 }
             }
@@ -129,7 +133,9 @@ mod tests {
     fn inject(mem: &Arc<MemService>, len: usize) {
         let machine = mem.machine().clone();
         let mut m = machine.lock();
-        m.device_mut::<Nic>("nic").unwrap().inject_rx(vec![0u8; len]);
+        m.device_mut::<Nic>("nic")
+            .unwrap()
+            .inject_rx(vec![0u8; len]);
         m.tick(1);
     }
 
@@ -142,7 +148,11 @@ mod tests {
         agent.invoke("netdev", "recv", &[]).unwrap();
         agent.invoke("netdev", "recv", &[]).unwrap(); // Empty: not counted.
         agent
-            .invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(vec![0u8; 64]))])
+            .invoke(
+                "netdev",
+                "send",
+                &[Value::Bytes(bytes::Bytes::from(vec![0u8; 64]))],
+            )
             .unwrap();
         assert_eq!(stats.rx_frames.load(Ordering::Relaxed), 2);
         assert_eq!(stats.rx_bytes.load(Ordering::Relaxed), 700);

@@ -74,31 +74,27 @@ pub fn make_udp_stack(netdev: ObjRef, ip: u32, mac: wire::Mac) -> ObjRef {
                     let payload = args[3].as_bytes()?.clone();
                     let (netdev, frame) = this.with_state(|s: &mut StackState| {
                         let frame = wire::build_udp_frame(
-                            s.mac,
-                            [0xFF; 6], // We have no ARP; broadcast MAC.
-                            s.ip,
-                            dst_ip,
-                            src_port,
-                            dst_port,
-                            &payload,
+                            s.mac, [0xFF; 6], // We have no ARP; broadcast MAC.
+                            s.ip, dst_ip, src_port, dst_port, &payload,
                         );
                         Ok((s.netdev.clone(), frame))
                     })?;
-                    netdev.invoke(
-                        "netdev",
-                        "send",
-                        &[Value::Bytes(bytes::Bytes::from(frame))],
-                    )?;
+                    netdev.invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(frame))])?;
                     Ok(Value::Unit)
                 },
             )
-            .method("set_filter", &[TypeTag::Handle], TypeTag::Unit, |this, args| {
-                let f = args[0].as_handle()?.clone();
-                this.with_state(|s: &mut StackState| {
-                    s.filter = Some(f);
-                    Ok(Value::Unit)
-                })
-            })
+            .method(
+                "set_filter",
+                &[TypeTag::Handle],
+                TypeTag::Unit,
+                |this, args| {
+                    let f = args[0].as_handle()?.clone();
+                    this.with_state(|s: &mut StackState| {
+                        s.filter = Some(f);
+                        Ok(Value::Unit)
+                    })
+                },
+            )
             .method("clear_filter", &[], TypeTag::Unit, |this, _| {
                 this.with_state(|s: &mut StackState| {
                     s.filter = None;
@@ -106,9 +102,8 @@ pub fn make_udp_stack(netdev: ObjRef, ip: u32, mac: wire::Mac) -> ObjRef {
                 })
             })
             .method("pump", &[], TypeTag::Int, |this, _| {
-                let (netdev, filter) = this.with_state(|s: &mut StackState| {
-                    Ok((s.netdev.clone(), s.filter.clone()))
-                })?;
+                let (netdev, filter) =
+                    this.with_state(|s: &mut StackState| Ok((s.netdev.clone(), s.filter.clone())))?;
                 let mut processed = 0i64;
                 loop {
                     let frame = netdev.invoke("netdev", "recv", &[])?;
@@ -134,19 +129,17 @@ pub fn make_udp_stack(netdev: ObjRef, ip: u32, mac: wire::Mac) -> ObjRef {
                     }
                     this.with_state(|s: &mut StackState| {
                         match wire::parse_udp_frame(&frame) {
-                            Ok((ip, udp, payload)) => {
-                                match s.ports.get_mut(&udp.dst_port) {
-                                    Some(q) => {
-                                        q.push_back(Datagram {
-                                            src_ip: ip.src,
-                                            src_port: udp.src_port,
-                                            payload: payload.to_vec(),
-                                        });
-                                        s.delivered += 1;
-                                    }
-                                    None => s.no_listener += 1,
+                            Ok((ip, udp, payload)) => match s.ports.get_mut(&udp.dst_port) {
+                                Some(q) => {
+                                    q.push_back(Datagram {
+                                        src_ip: ip.src,
+                                        src_port: udp.src_port,
+                                        payload: payload.to_vec(),
+                                    });
+                                    s.delivered += 1;
                                 }
-                            }
+                                None => s.no_listener += 1,
+                            },
                             Err(_) => s.malformed += 1,
                         }
                         Ok(())
@@ -232,7 +225,10 @@ mod tests {
         assert_eq!(items[2].as_bytes().unwrap().as_ref(), b"query-1");
         // Second datagram still queued.
         let d2 = stack.invoke("udp", "recv_from", &[Value::Int(53)]).unwrap();
-        assert_eq!(d2.as_list().unwrap()[2].as_bytes().unwrap().as_ref(), b"query-2");
+        assert_eq!(
+            d2.as_list().unwrap()[2].as_bytes().unwrap().as_ref(),
+            b"query-2"
+        );
         // Then empty.
         let d3 = stack.invoke("udp", "recv_from", &[Value::Int(53)]).unwrap();
         assert!(d3.as_list().unwrap().is_empty());
@@ -281,7 +277,7 @@ mod tests {
         let s = stats.as_list().unwrap();
         assert_eq!(s[0], Value::Int(1)); // delivered (port 53)
         assert_eq!(s[2], Value::Int(1)); // filtered (port 80)
-        // clear_filter lets everything through again.
+                                         // clear_filter lets everything through again.
         stack.invoke("udp", "clear_filter", &[]).unwrap();
         inject_udp(&mem, 80, b"now-passes");
         stack.invoke("udp", "pump", &[]).unwrap();

@@ -308,12 +308,31 @@ mod tests {
 
     #[test]
     fn non_ip_and_non_udp_rejected() {
-        let eth = EthHeader { dst: MAC_A, src: MAC_B, ethertype: 0x0806 };
+        let eth = EthHeader {
+            dst: MAC_A,
+            src: MAC_B,
+            ethertype: 0x0806,
+        };
         assert!(parse_udp_frame(&eth.build(&[0u8; 40])).is_err());
         // IPv4 but TCP.
-        let ip = Ipv4Header { src: 1, dst: 2, proto: 6, ttl: 64, total_len: 0 }.build(&[0u8; 20]);
-        let frame = EthHeader { dst: MAC_A, src: MAC_B, ethertype: ETHERTYPE_IPV4 }.build(&ip);
-        assert_eq!(parse_udp_frame(&frame), Err(WireError::Invalid("ip protocol")));
+        let ip = Ipv4Header {
+            src: 1,
+            dst: 2,
+            proto: 6,
+            ttl: 64,
+            total_len: 0,
+        }
+        .build(&[0u8; 20]);
+        let frame = EthHeader {
+            dst: MAC_A,
+            src: MAC_B,
+            ethertype: ETHERTYPE_IPV4,
+        }
+        .build(&ip);
+        assert_eq!(
+            parse_udp_frame(&frame),
+            Err(WireError::Invalid("ip protocol"))
+        );
     }
 
     proptest! {

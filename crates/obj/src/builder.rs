@@ -92,8 +92,10 @@ impl InterfaceBuilder {
     where
         F: Fn(&ObjRef, &[Value]) -> ObjResult<Value> + Send + Sync + 'static,
     {
-        self.iface
-            .insert_method(MethodSig::new(name, params, returns), std::sync::Arc::new(f));
+        self.iface.insert_method(
+            MethodSig::new(name, params, returns),
+            std::sync::Arc::new(f),
+        );
         self
     }
 
@@ -103,8 +105,10 @@ impl InterfaceBuilder {
     where
         F: Fn(&ObjRef, &[Value]) -> ObjResult<Value> + Send + Sync + 'static,
     {
-        self.iface
-            .insert_method(MethodSig::variadic(name, TypeTag::Any), std::sync::Arc::new(f));
+        self.iface.insert_method(
+            MethodSig::variadic(name, TypeTag::Any),
+            std::sync::Arc::new(f),
+        );
         self
     }
 
@@ -160,7 +164,8 @@ mod tests {
             })
             .build();
         assert_eq!(
-            obj.invoke("v", "count", &[Value::Unit, Value::Int(1)]).unwrap(),
+            obj.invoke("v", "count", &[Value::Unit, Value::Int(1)])
+                .unwrap(),
             Value::Int(2)
         );
     }

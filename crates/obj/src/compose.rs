@@ -258,7 +258,10 @@ mod tests {
         let r = comp.invoke(
             COMPOSITION_IFACE,
             "replace",
-            &[Value::Str("ghost".into()), Value::Handle(named_const("g", 0))],
+            &[
+                Value::Str("ghost".into()),
+                Value::Handle(named_const("g", 0)),
+            ],
         );
         assert!(matches!(r, Err(ObjError::Binding(_))));
     }

@@ -66,7 +66,9 @@ mod tests {
                         Ok(Value::Int(*n))
                     })
                 })
-                .method("name", &[], TypeTag::Str, |_, _| Ok(Value::Str("base".into())))
+                .method("name", &[], TypeTag::Str, |_, _| {
+                    Ok(Value::Str("base".into()))
+                })
             })
             .build()
     }
@@ -75,7 +77,9 @@ mod tests {
     fn delegated_methods_run_on_target_state() {
         let b = base();
         let iface = InterfaceBuilder::new("ctr")
-            .method("name", &[], TypeTag::Str, |_, _| Ok(Value::Str("child".into())))
+            .method("name", &[], TypeTag::Str, |_, _| {
+                Ok(Value::Str("child".into()))
+            })
             .finish();
         let child = ObjectBuilder::new("child")
             .raw_interface(delegate_interface(iface, b.clone()))

@@ -73,16 +73,30 @@ impl std::fmt::Display for ObjError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ObjError::NoSuchInterface { class, interface } => {
-                write!(f, "object of class `{class}` exports no interface `{interface}`")
+                write!(
+                    f,
+                    "object of class `{class}` exports no interface `{interface}`"
+                )
             }
             ObjError::NoSuchMethod { interface, method } => {
                 write!(f, "interface `{interface}` has no method `{method}`")
             }
-            ObjError::Arity { method, expected, got } => {
+            ObjError::Arity {
+                method,
+                expected,
+                got,
+            } => {
                 write!(f, "method `{method}` takes {expected} arguments, got {got}")
             }
-            ObjError::TypeMismatch { context, expected, got } => {
-                write!(f, "type mismatch in {context}: expected {expected}, got {got}")
+            ObjError::TypeMismatch {
+                context,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, got {got}"
+                )
             }
             ObjError::StateType { class } => {
                 write!(f, "instance state of `{class}` has unexpected type")

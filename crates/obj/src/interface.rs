@@ -39,7 +39,9 @@ pub struct Method {
 
 impl std::fmt::Debug for Method {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Method").field("sig", &self.sig).finish_non_exhaustive()
+        f.debug_struct("Method")
+            .field("sig", &self.sig)
+            .finish_non_exhaustive()
     }
 }
 
@@ -282,7 +284,11 @@ mod tests {
                 })
             })
             .build();
-        let bound = obj.interface("ctr").unwrap().bind_method(&obj, "incr").unwrap();
+        let bound = obj
+            .interface("ctr")
+            .unwrap()
+            .bind_method(&obj, "incr")
+            .unwrap();
         assert_eq!(bound.call(&[Value::Int(5)]).unwrap(), Value::Int(5));
         assert_eq!(bound.call(&[Value::Int(2)]).unwrap(), Value::Int(7));
         assert!(bound.call(&[Value::Str("x".into())]).is_err());
@@ -292,7 +298,11 @@ mod tests {
         );
         assert_eq!(bound.signature().name, "incr");
         // Missing and delegated methods cannot be bound.
-        assert!(obj.interface("ctr").unwrap().bind_method(&obj, "nope").is_none());
+        assert!(obj
+            .interface("ctr")
+            .unwrap()
+            .bind_method(&obj, "nope")
+            .is_none());
     }
 
     #[test]
@@ -303,7 +313,11 @@ mod tests {
                 i.method("get", &[], TypeTag::Int, |_, _| Ok(Value::Int(1)))
             })
             .build();
-        let bound = obj.interface("v").unwrap().bind_method(&obj, "get").unwrap();
+        let bound = obj
+            .interface("v")
+            .unwrap()
+            .bind_method(&obj, "get")
+            .unwrap();
         let mut replacement = Interface::new("v");
         replacement.insert_method(
             MethodSig::new("get", &[], TypeTag::Int),

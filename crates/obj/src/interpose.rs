@@ -302,7 +302,9 @@ mod tests {
             crate::typeinfo::MethodSig::new("zero", &[], TypeTag::Int),
             Arc::new(|_: &ObjRef, _: &[Value]| Ok(Value::Int(0))),
         );
-        let agent = InterposerBuilder::new(target()).extra_interface(extra).build();
+        let agent = InterposerBuilder::new(target())
+            .extra_interface(extra)
+            .build();
         assert!(agent.has_interface("svc"));
         assert!(agent.has_interface("stats"));
         assert_eq!(agent.invoke("stats", "zero", &[]).unwrap(), Value::Int(0));

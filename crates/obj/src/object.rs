@@ -17,11 +17,7 @@ use std::{
 use parking_lot::{Mutex, RwLock};
 
 use crate::{
-    error::ObjError,
-    interface::Interface,
-    typeinfo::InterfaceDescriptor,
-    value::Value,
-    ObjResult,
+    error::ObjError, interface::Interface, typeinfo::InterfaceDescriptor, value::Value, ObjResult,
 };
 
 /// A shared reference to an object instance — the paper's "object handle".
@@ -162,7 +158,11 @@ impl Object {
 
     /// Flattened type information for every exported interface.
     pub fn descriptors(&self) -> Vec<InterfaceDescriptor> {
-        self.interfaces.read().values().map(|i| i.descriptor()).collect()
+        self.interfaces
+            .read()
+            .values()
+            .map(|i| i.descriptor())
+            .collect()
     }
 
     /// Total number of invocations made through [`Object::invoke`].

@@ -166,9 +166,18 @@ mod tests {
     #[test]
     fn check_args_enforces_arity() {
         let sig = MethodSig::new("m", &[TypeTag::Int, TypeTag::Str], TypeTag::Unit);
-        assert!(sig.check_args(&[Value::Int(1), Value::Str("x".into())]).is_ok());
+        assert!(sig
+            .check_args(&[Value::Int(1), Value::Str("x".into())])
+            .is_ok());
         let err = sig.check_args(&[Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, ObjError::Arity { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            ObjError::Arity {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -177,7 +186,11 @@ mod tests {
         let err = sig.check_args(&[Value::Str("oops".into())]).unwrap_err();
         assert!(matches!(
             err,
-            ObjError::TypeMismatch { expected: TypeTag::Int, got: TypeTag::Str, .. }
+            ObjError::TypeMismatch {
+                expected: TypeTag::Int,
+                got: TypeTag::Str,
+                ..
+            }
         ));
     }
 

@@ -9,12 +9,7 @@
 
 use bytes::Bytes;
 
-use crate::{
-    error::ObjError,
-    object::ObjRef,
-    typeinfo::TypeTag,
-    ObjResult,
-};
+use crate::{error::ObjError, object::ObjRef, typeinfo::TypeTag, ObjResult};
 
 /// A dynamically typed value crossing an interface boundary.
 #[derive(Clone, Debug, Default)]
@@ -180,7 +175,9 @@ impl Value {
         Ok(match tag {
             0 => Value::Unit,
             1 => Value::Bool(take(pos, 1)?[0] != 0),
-            2 => Value::Int(i64::from_le_bytes(take(pos, 8)?.try_into().expect("8 bytes"))),
+            2 => Value::Int(i64::from_le_bytes(
+                take(pos, 8)?.try_into().expect("8 bytes"),
+            )),
             3 => {
                 let n = read_len(pos)?;
                 let s = std::str::from_utf8(take(pos, n)?)

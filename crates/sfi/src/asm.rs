@@ -137,17 +137,38 @@ impl Asm {
 
     /// Branch if equal.
     pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.branch(Insn::Beq { rs1, rs2, target: u32::MAX }, label)
+        self.branch(
+            Insn::Beq {
+                rs1,
+                rs2,
+                target: u32::MAX,
+            },
+            label,
+        )
     }
 
     /// Branch if not equal.
     pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.branch(Insn::Bne { rs1, rs2, target: u32::MAX }, label)
+        self.branch(
+            Insn::Bne {
+                rs1,
+                rs2,
+                target: u32::MAX,
+            },
+            label,
+        )
     }
 
     /// Branch if less-than (unsigned).
     pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.branch(Insn::Bltu { rs1, rs2, target: u32::MAX }, label)
+        self.branch(
+            Insn::Bltu {
+                rs1,
+                rs2,
+                target: u32::MAX,
+            },
+            label,
+        )
     }
 
     /// Unconditional jump.

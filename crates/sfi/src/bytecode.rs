@@ -123,10 +123,18 @@ impl Program {
             return Err(err("bad magic"));
         }
         let data_len = u32::from_le_bytes(
-            image.get(4..8).ok_or_else(|| err("truncated header"))?.try_into().expect("4"),
+            image
+                .get(4..8)
+                .ok_or_else(|| err("truncated header"))?
+                .try_into()
+                .expect("4"),
         );
         let count = u32::from_le_bytes(
-            image.get(8..12).ok_or_else(|| err("truncated header"))?.try_into().expect("4"),
+            image
+                .get(8..12)
+                .ok_or_else(|| err("truncated header"))?
+                .try_into()
+                .expect("4"),
         ) as usize;
         let mut pos = 12;
         let mut code = Vec::with_capacity(count.min(1 << 20));
@@ -237,9 +245,15 @@ fn decode_insn(buf: &[u8], pos: &mut usize) -> Result<Insn, ImageError> {
     Ok(match op {
         0 => {
             let rd = reg(pos)?;
-            Li { rd, imm: i64::from_le_bytes(take::<8>(buf, pos)?) }
+            Li {
+                rd,
+                imm: i64::from_le_bytes(take::<8>(buf, pos)?),
+            }
         }
-        1 => Mov { rd: reg(pos)?, rs: reg(pos)? },
+        1 => Mov {
+            rd: reg(pos)?,
+            rs: reg(pos)?,
+        },
         2..=10 => {
             let (rd, rs1, rs2) = (reg(pos)?, reg(pos)?, reg(pos)?);
             match op {
@@ -273,7 +287,9 @@ fn decode_insn(buf: &[u8], pos: &mut usize) -> Result<Insn, ImageError> {
                 _ => Bltu { rs1, rs2, target },
             }
         }
-        18 => Jmp { target: u32::from_le_bytes(take::<4>(buf, pos)?) },
+        18 => Jmp {
+            target: u32::from_le_bytes(take::<4>(buf, pos)?),
+        },
         19 => Jr { rs: reg(pos)? },
         20 => MaskData { r: reg(pos)? },
         21 => MaskCode { r: reg(pos)? },
@@ -294,13 +310,36 @@ mod tests {
         Program::new(
             vec![
                 Insn::Li { rd: r(0), imm: -7 },
-                Insn::Li { rd: r(1), imm: i64::MAX },
+                Insn::Li {
+                    rd: r(1),
+                    imm: i64::MAX,
+                },
                 Insn::Mov { rd: r(2), rs: r(1) },
-                Insn::Add { rd: r(0), rs1: r(1), rs2: r(2) },
-                Insn::Divu { rd: r(3), rs1: r(0), rs2: r(1) },
-                Insn::Ld { rd: r(4), base: r(5), off: -16 },
-                Insn::StB { rs: r(4), base: r(5), off: 1024 },
-                Insn::Beq { rs1: r(0), rs2: r(1), target: 9 },
+                Insn::Add {
+                    rd: r(0),
+                    rs1: r(1),
+                    rs2: r(2),
+                },
+                Insn::Divu {
+                    rd: r(3),
+                    rs1: r(0),
+                    rs2: r(1),
+                },
+                Insn::Ld {
+                    rd: r(4),
+                    base: r(5),
+                    off: -16,
+                },
+                Insn::StB {
+                    rs: r(4),
+                    base: r(5),
+                    off: 1024,
+                },
+                Insn::Beq {
+                    rs1: r(0),
+                    rs2: r(1),
+                    target: 9,
+                },
                 Insn::Jmp { target: 0 },
                 Insn::Jr { rs: r(6) },
                 Insn::MaskData { r: r(5) },

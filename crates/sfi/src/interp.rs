@@ -122,7 +122,10 @@ impl Interp {
             let insn = match self.code.get(pc as usize) {
                 Some(i) => *i,
                 None => {
-                    return Err(InterpError::BadJump { pc, target: u64::from(pc) });
+                    return Err(InterpError::BadJump {
+                        pc,
+                        target: u64::from(pc),
+                    });
                 }
             };
             steps += 1;
@@ -151,9 +154,7 @@ impl Interp {
                     if addr.checked_add(8).is_none() || addr + 8 > data_len {
                         return Err(InterpError::Fault { pc, addr });
                     }
-                    reg!(rd) = u64::from_le_bytes(
-                        self.data[a..a + 8].try_into().expect("8 bytes"),
-                    );
+                    reg!(rd) = u64::from_le_bytes(self.data[a..a + 8].try_into().expect("8 bytes"));
                 }
                 Insn::LdB { rd, base, off } => {
                     let addr = effective(reg!(base), off);
@@ -298,7 +299,10 @@ mod tests {
         a.ldb(r(0), r(1), -1);
         a.halt();
         let p = a.finish().unwrap();
-        assert!(matches!(Interp::new(&p).run(100), Err(InterpError::Fault { .. })));
+        assert!(matches!(
+            Interp::new(&p).run(100),
+            Err(InterpError::Fault { .. })
+        ));
     }
 
     #[test]
@@ -308,14 +312,21 @@ mod tests {
         a.jr(r(1));
         a.halt();
         let p = a.finish().unwrap();
-        assert!(matches!(Interp::new(&p).run(100), Err(InterpError::BadJump { .. })));
+        assert!(matches!(
+            Interp::new(&p).run(100),
+            Err(InterpError::BadJump { .. })
+        ));
     }
 
     #[test]
     fn divide_by_zero_traps() {
         let mut a = Asm::new(0);
         a.li(r(1), 5).li(r(2), 0);
-        a.raw(Insn::Divu { rd: r(0), rs1: r(1), rs2: r(2) });
+        a.raw(Insn::Divu {
+            rd: r(0),
+            rs1: r(1),
+            rs2: r(2),
+        });
         a.halt();
         let p = a.finish().unwrap();
         assert!(matches!(

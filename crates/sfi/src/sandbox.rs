@@ -80,10 +80,24 @@ pub fn sandbox_rewrite(program: &Program) -> (Program, SandboxStats) {
             guards += 1;
         }
         let rewritten = match *insn {
-            Insn::Beq { rs1, rs2, target } => Insn::Beq { rs1, rs2, target: remap(target) },
-            Insn::Bne { rs1, rs2, target } => Insn::Bne { rs1, rs2, target: remap(target) },
-            Insn::Bltu { rs1, rs2, target } => Insn::Bltu { rs1, rs2, target: remap(target) },
-            Insn::Jmp { target } => Insn::Jmp { target: remap(target) },
+            Insn::Beq { rs1, rs2, target } => Insn::Beq {
+                rs1,
+                rs2,
+                target: remap(target),
+            },
+            Insn::Bne { rs1, rs2, target } => Insn::Bne {
+                rs1,
+                rs2,
+                target: remap(target),
+            },
+            Insn::Bltu { rs1, rs2, target } => Insn::Bltu {
+                rs1,
+                rs2,
+                target: remap(target),
+            },
+            Insn::Jmp { target } => Insn::Jmp {
+                target: remap(target),
+            },
             // Immediate offsets are left intact: as in Wahbe et al., small
             // compiler-generated offsets are absorbed by *guard zones*
             // around the segment — in this model, the interpreter's bounds

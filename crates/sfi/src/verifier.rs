@@ -154,23 +154,23 @@ pub fn verify(program: &Program) -> Result<VerifyReport, VerifyError> {
         let mut next_state = state;
         apply_transfer(&insn, &mut next_state, data_len);
 
-        let push = |target: u32, st: State, states: &mut Vec<Option<State>>,
-                        worklist: &mut Vec<u32>| {
-            if target >= code_len {
-                // Falling off the end: a run-time BadJump, but not a kernel
-                // safety violation — the interpreter contains it.
-                return;
-            }
-            let slot = &mut states[target as usize];
-            let merged = match slot {
-                Some(old) => join_states(old, &st),
-                None => st,
+        let push =
+            |target: u32, st: State, states: &mut Vec<Option<State>>, worklist: &mut Vec<u32>| {
+                if target >= code_len {
+                    // Falling off the end: a run-time BadJump, but not a kernel
+                    // safety violation — the interpreter contains it.
+                    return;
+                }
+                let slot = &mut states[target as usize];
+                let merged = match slot {
+                    Some(old) => join_states(old, &st),
+                    None => st,
+                };
+                if slot.as_ref() != Some(&merged) {
+                    *slot = Some(merged);
+                    worklist.push(target);
+                }
             };
-            if slot.as_ref() != Some(&merged) {
-                *slot = Some(merged);
-                worklist.push(target);
-            }
-        };
 
         match insn {
             Insn::Halt => {}
@@ -205,10 +205,7 @@ fn check_insn(pc: u32, insn: &Insn, state: &State, data_len: u64) -> Result<(), 
             }
             Av::Masked => size == 1 && off == 0 && data_len > 0,
             Av::MaskedAligned => {
-                data_len.is_multiple_of(8)
-                    && data_len >= 8
-                    && off >= 0
-                    && (off as u64) + size <= 8
+                data_len.is_multiple_of(8) && data_len >= 8 && off >= 0 && (off as u64) + size <= 8
             }
             _ => false,
         };
@@ -274,8 +271,12 @@ fn apply_transfer(insn: &Insn, state: &mut State, _data_len: u64) {
         Insn::Shr { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a >> (b & 63)),
         Insn::Ld { rd, .. } | Insn::LdB { rd, .. } => set(state, rd, Av::Unknown),
         Insn::St { .. } | Insn::StB { .. } => {}
-        Insn::Beq { .. } | Insn::Bne { .. } | Insn::Bltu { .. } | Insn::Jmp { .. }
-        | Insn::Jr { .. } | Insn::Halt => {}
+        Insn::Beq { .. }
+        | Insn::Bne { .. }
+        | Insn::Bltu { .. }
+        | Insn::Jmp { .. }
+        | Insn::Jr { .. }
+        | Insn::Halt => {}
     }
 }
 
@@ -375,10 +376,7 @@ mod tests {
 
     #[test]
     fn bad_branch_target_rejected() {
-        let p = crate::bytecode::Program::new(
-            vec![crate::bytecode::Insn::Jmp { target: 99 }],
-            0,
-        );
+        let p = crate::bytecode::Program::new(vec![crate::bytecode::Insn::Jmp { target: 99 }], 0);
         assert_eq!(
             verify(&p),
             Err(VerifyError::BadBranchTarget { pc: 0, target: 99 })

@@ -176,7 +176,10 @@ mod tests {
         let mut w = Interp::new(&checksum_words_verified(64, 1));
         w.load_data(0, &data);
         // Eight words, each 0x0101010101010101.
-        assert_eq!(w.run(1_000_000).unwrap().result, 0x0101010101010101u64.wrapping_mul(8));
+        assert_eq!(
+            w.run(1_000_000).unwrap().result,
+            0x0101010101010101u64.wrapping_mul(8)
+        );
     }
 
     #[test]

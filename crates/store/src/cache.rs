@@ -120,54 +120,79 @@ pub fn make_block_cache(backing: ObjRef, capacity: usize) -> ObjRef {
                 let evicted = this.with_state(|s: &mut CacheState| {
                     s.clock += 1;
                     let stamp = s.clock;
-                    s.lines.insert(sector, Line { data, dirty: false, stamp });
+                    s.lines.insert(
+                        sector,
+                        Line {
+                            data,
+                            dirty: false,
+                            stamp,
+                        },
+                    );
                     Ok(s.evict_if_needed())
                 })?;
                 if let Some((victim, vdata)) = evicted {
                     backing.invoke(
                         "blockdev",
                         "write",
-                        &[Value::Int(victim), Value::Bytes(bytes::Bytes::copy_from_slice(&vdata))],
+                        &[
+                            Value::Int(victim),
+                            Value::Bytes(bytes::Bytes::copy_from_slice(&vdata)),
+                        ],
                     )?;
                 }
                 Ok(Value::Bytes(bytes::Bytes::copy_from_slice(&data)))
             })
-            .method("write", &[TypeTag::Int, TypeTag::Bytes], TypeTag::Unit, |this, args| {
-                let sector = args[0].as_int()?;
-                let incoming = args[1].as_bytes()?;
-                if incoming.len() != SECTOR_SIZE {
-                    return Err(ObjError::failed(format!(
-                        "sector writes must be exactly {SECTOR_SIZE} bytes"
-                    )));
-                }
-                let mut data = [0u8; SECTOR_SIZE];
-                data.copy_from_slice(incoming);
-                let (backing, evicted) = this.with_state(|s: &mut CacheState| {
-                    s.clock += 1;
-                    let stamp = s.clock;
-                    match s.lines.get_mut(&sector) {
-                        Some(line) => {
-                            s.hits += 1;
-                            line.data = data;
-                            line.dirty = true;
-                            line.stamp = stamp;
-                        }
-                        None => {
-                            s.misses += 1;
-                            s.lines.insert(sector, Line { data, dirty: true, stamp });
-                        }
+            .method(
+                "write",
+                &[TypeTag::Int, TypeTag::Bytes],
+                TypeTag::Unit,
+                |this, args| {
+                    let sector = args[0].as_int()?;
+                    let incoming = args[1].as_bytes()?;
+                    if incoming.len() != SECTOR_SIZE {
+                        return Err(ObjError::failed(format!(
+                            "sector writes must be exactly {SECTOR_SIZE} bytes"
+                        )));
                     }
-                    Ok((s.backing.clone(), s.evict_if_needed()))
-                })?;
-                if let Some((victim, vdata)) = evicted {
-                    backing.invoke(
-                        "blockdev",
-                        "write",
-                        &[Value::Int(victim), Value::Bytes(bytes::Bytes::copy_from_slice(&vdata))],
-                    )?;
-                }
-                Ok(Value::Unit)
-            })
+                    let mut data = [0u8; SECTOR_SIZE];
+                    data.copy_from_slice(incoming);
+                    let (backing, evicted) = this.with_state(|s: &mut CacheState| {
+                        s.clock += 1;
+                        let stamp = s.clock;
+                        match s.lines.get_mut(&sector) {
+                            Some(line) => {
+                                s.hits += 1;
+                                line.data = data;
+                                line.dirty = true;
+                                line.stamp = stamp;
+                            }
+                            None => {
+                                s.misses += 1;
+                                s.lines.insert(
+                                    sector,
+                                    Line {
+                                        data,
+                                        dirty: true,
+                                        stamp,
+                                    },
+                                );
+                            }
+                        }
+                        Ok((s.backing.clone(), s.evict_if_needed()))
+                    })?;
+                    if let Some((victim, vdata)) = evicted {
+                        backing.invoke(
+                            "blockdev",
+                            "write",
+                            &[
+                                Value::Int(victim),
+                                Value::Bytes(bytes::Bytes::copy_from_slice(&vdata)),
+                            ],
+                        )?;
+                    }
+                    Ok(Value::Unit)
+                },
+            )
             .method("sectors", &[], TypeTag::Int, |this, _| {
                 let backing = this.with_state(|s: &mut CacheState| Ok(s.backing.clone()))?;
                 backing.invoke("blockdev", "sectors", &[])
@@ -207,7 +232,10 @@ pub fn make_block_cache(backing: ObjRef, capacity: usize) -> ObjRef {
                     backing.invoke(
                         "blockdev",
                         "write",
-                        &[Value::Int(sector), Value::Bytes(bytes::Bytes::copy_from_slice(&data))],
+                        &[
+                            Value::Int(sector),
+                            Value::Bytes(bytes::Bytes::copy_from_slice(&data)),
+                        ],
                     )?;
                 }
                 Ok(Value::Int(count))
@@ -263,7 +291,11 @@ mod tests {
         let (_mem, driver, cache) = setup(2);
         for sec in 0..2i64 {
             cache
-                .invoke("blockdev", "write", &[Value::Int(sec), sector_of(sec as u8)])
+                .invoke(
+                    "blockdev",
+                    "write",
+                    &[Value::Int(sec), sector_of(sec as u8)],
+                )
                 .unwrap();
         }
         // Nothing on disk yet: write-back cache.
@@ -283,11 +315,17 @@ mod tests {
     #[test]
     fn lru_keeps_recently_used_lines() {
         let (_mem, _driver, cache) = setup(2);
-        cache.invoke("blockdev", "write", &[Value::Int(0), sector_of(0)]).unwrap();
-        cache.invoke("blockdev", "write", &[Value::Int(1), sector_of(1)]).unwrap();
+        cache
+            .invoke("blockdev", "write", &[Value::Int(0), sector_of(0)])
+            .unwrap();
+        cache
+            .invoke("blockdev", "write", &[Value::Int(1), sector_of(1)])
+            .unwrap();
         // Touch 0 so 1 becomes LRU.
         cache.invoke("blockdev", "read", &[Value::Int(0)]).unwrap();
-        cache.invoke("blockdev", "write", &[Value::Int(2), sector_of(2)]).unwrap();
+        cache
+            .invoke("blockdev", "write", &[Value::Int(2), sector_of(2)])
+            .unwrap();
         // 0 still resident (hit), 1 evicted (miss).
         let before: Vec<Value> = cache
             .invoke("cache", "stats", &[])
@@ -324,13 +362,19 @@ mod tests {
         let (_mem, driver, cache) = setup(8);
         for sec in 0..5i64 {
             cache
-                .invoke("blockdev", "write", &[Value::Int(sec), sector_of(0xC0 + sec as u8)])
+                .invoke(
+                    "blockdev",
+                    "write",
+                    &[Value::Int(sec), sector_of(0xC0 + sec as u8)],
+                )
                 .unwrap();
         }
         let flushed = cache.invoke("cache", "flush", &[]).unwrap();
         assert_eq!(flushed, Value::Int(5));
         for sec in 0..5i64 {
-            let v = driver.invoke("blockdev", "read", &[Value::Int(sec)]).unwrap();
+            let v = driver
+                .invoke("blockdev", "read", &[Value::Int(sec)])
+                .unwrap();
             assert_eq!(v.as_bytes().unwrap()[0], 0xC0 + sec as u8);
         }
         // Second flush is a no-op.
@@ -341,7 +385,8 @@ mod tests {
     fn caches_stack_like_any_blockdev() {
         let (_mem, _driver, l2) = setup(16);
         let l1 = make_block_cache(l2.clone(), 4);
-        l1.invoke("blockdev", "write", &[Value::Int(9), sector_of(0x99)]).unwrap();
+        l1.invoke("blockdev", "write", &[Value::Int(9), sector_of(0x99)])
+            .unwrap();
         let v = l1.invoke("blockdev", "read", &[Value::Int(9)]).unwrap();
         assert_eq!(v.as_bytes().unwrap()[0], 0x99);
     }

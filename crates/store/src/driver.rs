@@ -69,31 +69,36 @@ pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<O
                     Ok(Value::Bytes(bytes::Bytes::copy_from_slice(&data)))
                 })
             })
-            .method("write", &[TypeTag::Int, TypeTag::Bytes], TypeTag::Unit, |this, args| {
-                let sector = args[0].as_int()?;
-                let data = args[1].as_bytes()?;
-                if sector < 0 {
-                    return Err(ObjError::failed("negative sector"));
-                }
-                if data.len() != SECTOR_SIZE {
-                    return Err(ObjError::failed(format!(
-                        "sector writes must be exactly {SECTOR_SIZE} bytes, got {}",
-                        data.len()
-                    )));
-                }
-                let mut buf = [0u8; SECTOR_SIZE];
-                buf.copy_from_slice(data);
-                this.with_state(|s: &mut DriverState| {
-                    let mut m = s.machine.lock();
-                    m.charge(SECTOR_TRANSFER_COST);
-                    m.device_mut::<Disk>("disk")
-                        .ok_or_else(|| ObjError::failed("disk device missing"))?
-                        .write_sector(sector as u64, &buf)
-                        .map_err(|e| ObjError::failed(e.to_string()))?;
-                    s.writes += 1;
-                    Ok(Value::Unit)
-                })
-            })
+            .method(
+                "write",
+                &[TypeTag::Int, TypeTag::Bytes],
+                TypeTag::Unit,
+                |this, args| {
+                    let sector = args[0].as_int()?;
+                    let data = args[1].as_bytes()?;
+                    if sector < 0 {
+                        return Err(ObjError::failed("negative sector"));
+                    }
+                    if data.len() != SECTOR_SIZE {
+                        return Err(ObjError::failed(format!(
+                            "sector writes must be exactly {SECTOR_SIZE} bytes, got {}",
+                            data.len()
+                        )));
+                    }
+                    let mut buf = [0u8; SECTOR_SIZE];
+                    buf.copy_from_slice(data);
+                    this.with_state(|s: &mut DriverState| {
+                        let mut m = s.machine.lock();
+                        m.charge(SECTOR_TRANSFER_COST);
+                        m.device_mut::<Disk>("disk")
+                            .ok_or_else(|| ObjError::failed("disk device missing"))?
+                            .write_sector(sector as u64, &buf)
+                            .map_err(|e| ObjError::failed(e.to_string()))?;
+                        s.writes += 1;
+                        Ok(Value::Unit)
+                    })
+                },
+            )
             .method("sectors", &[], TypeTag::Int, |this, _| {
                 this.with_state(|s: &mut DriverState| {
                     let mut m = s.machine.lock();
@@ -142,10 +147,7 @@ mod tests {
         assert_eq!(data.as_bytes().unwrap()[0], 0xAB);
         assert!(mem.machine().lock().now() - t0 >= 2 * SECTOR_TRANSFER_COST);
         let stats = driver.invoke("blockdev", "stats", &[]).unwrap();
-        assert_eq!(
-            stats,
-            Value::List(vec![Value::Int(1), Value::Int(1)])
-        );
+        assert_eq!(stats, Value::List(vec![Value::Int(1), Value::Int(1)]));
     }
 
     #[test]
@@ -154,7 +156,10 @@ mod tests {
         let r = driver.invoke(
             "blockdev",
             "write",
-            &[Value::Int(0), Value::Bytes(bytes::Bytes::from_static(b"short"))],
+            &[
+                Value::Int(0),
+                Value::Bytes(bytes::Bytes::from_static(b"short")),
+            ],
         );
         assert!(r.is_err());
         assert!(driver

@@ -180,7 +180,13 @@ mod tests {
             capacity,
         )
         .unwrap();
-        Rig { endpoint, events, machine, scheduler, engine }
+        Rig {
+            endpoint,
+            events,
+            machine,
+            scheduler,
+            engine,
+        }
     }
 
     /// Delivers pending interrupts like the nucleus poll loop would.

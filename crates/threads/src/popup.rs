@@ -157,8 +157,7 @@ impl PopupEngine {
                                 _ => {
                                     // Proto run asked to be rescheduled;
                                     // continue the body on this entry.
-                                    let (_, mut body) =
-                                        slot.take().expect("just stored");
+                                    let (_, mut body) = slot.take().expect("just stored");
                                     let s = body(ctx);
                                     *slot = Some((Step::Yield, body));
                                     s
@@ -208,7 +207,14 @@ mod tests {
     use paramecium_core::domain::KERNEL_DOMAIN;
     use paramecium_machine::trap::TrapKind;
 
-    fn setup(mode: PopupMode) -> (Arc<PopupEngine>, Scheduler, Arc<EventService>, Arc<Mutex<Machine>>) {
+    fn setup(
+        mode: PopupMode,
+    ) -> (
+        Arc<PopupEngine>,
+        Scheduler,
+        Arc<EventService>,
+        Arc<Mutex<Machine>>,
+    ) {
         let machine = Arc::new(Mutex::new(Machine::new()));
         let scheduler = Scheduler::new(machine.clone());
         let engine = PopupEngine::new(scheduler.clone(), mode);
@@ -275,7 +281,12 @@ mod tests {
         let (proto, _, events_p, machine_p) = setup(PopupMode::Proto);
         let hits = Arc::new(AtomicU64::new(0));
         proto
-            .attach(&events_p, TrapKind::Breakpoint.vector(), KERNEL_DOMAIN, counting_factory(hits.clone()))
+            .attach(
+                &events_p,
+                TrapKind::Breakpoint.vector(),
+                KERNEL_DOMAIN,
+                counting_factory(hits.clone()),
+            )
             .unwrap();
         let t0 = machine_p.lock().now();
         for _ in 0..100 {
@@ -286,7 +297,12 @@ mod tests {
         let (eager, scheduler_e, events_e, machine_e) = setup(PopupMode::Eager);
         let hits_e = Arc::new(AtomicU64::new(0));
         eager
-            .attach(&events_e, TrapKind::Breakpoint.vector(), KERNEL_DOMAIN, counting_factory(hits_e.clone()))
+            .attach(
+                &events_e,
+                TrapKind::Breakpoint.vector(),
+                KERNEL_DOMAIN,
+                counting_factory(hits_e.clone()),
+            )
             .unwrap();
         let t0 = machine_e.lock().now();
         for _ in 0..100 {
@@ -323,7 +339,12 @@ mod tests {
             })
         });
         engine
-            .attach(&events, TrapKind::Breakpoint.vector(), KERNEL_DOMAIN, factory)
+            .attach(
+                &events,
+                TrapKind::Breakpoint.vector(),
+                KERNEL_DOMAIN,
+                factory,
+            )
             .unwrap();
 
         events.deliver(&machine, &Trap::exception(TrapKind::Breakpoint));
@@ -364,7 +385,12 @@ mod tests {
                 })
             });
             engine
-                .attach(&events, TrapKind::Breakpoint.vector(), KERNEL_DOMAIN, factory)
+                .attach(
+                    &events,
+                    TrapKind::Breakpoint.vector(),
+                    KERNEL_DOMAIN,
+                    factory,
+                )
                 .unwrap();
             let t0 = machine.lock().now();
             for _ in 0..100 {

@@ -143,7 +143,10 @@ impl Scheduler {
             let tcb = tcbs.get_mut(&tid).expect("ready thread has a TCB");
             tcb.state = TState::Running;
             tcb.entries += 1;
-            (tcb.body.take().expect("ready thread has a body"), tcb.entries)
+            (
+                tcb.body.take().expect("ready thread has a body"),
+                tcb.entries,
+            )
         };
         self.core.stats.lock().slices += 1;
 
@@ -227,10 +230,13 @@ mod tests {
         let hits = Arc::new(AtomicU64::new(0));
         for _ in 0..3 {
             let h = hits.clone();
-            s.spawn("worker", Box::new(move |_| {
-                h.fetch_add(1, Ordering::Relaxed);
-                Step::Done
-            }));
+            s.spawn(
+                "worker",
+                Box::new(move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                    Step::Done
+                }),
+            );
         }
         assert_eq!(s.run_until_idle(100), 3);
         assert_eq!(hits.load(Ordering::Relaxed), 3);
@@ -244,14 +250,17 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         for name in [1i32, 2] {
             let l = log.clone();
-            s.spawn(format!("t{name}"), Box::new(move |ctx| {
-                l.lock().push(name);
-                if ctx.entries < 3 {
-                    Step::Yield
-                } else {
-                    Step::Done
-                }
-            }));
+            s.spawn(
+                format!("t{name}"),
+                Box::new(move |ctx| {
+                    l.lock().push(name);
+                    if ctx.entries < 3 {
+                        Step::Yield
+                    } else {
+                        Step::Done
+                    }
+                }),
+            );
         }
         s.run_until_idle(100);
         assert_eq!(*log.lock(), vec![1, 2, 1, 2, 1, 2]);

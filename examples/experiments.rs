@@ -44,7 +44,11 @@ fn main() {
 }
 
 /// Iterations used for wall-clock micro-measurements.
-const WALL_ITERS: u32 = if cfg!(debug_assertions) { 20_000 } else { 400_000 };
+const WALL_ITERS: u32 = if cfg!(debug_assertions) {
+    20_000
+} else {
+    400_000
+};
 
 fn wall_ns(mut f: impl FnMut()) -> f64 {
     // Warm up, then measure.
@@ -96,7 +100,11 @@ fn e1_invocation() {
     println!("| interface method (`invoke`) | {iface:.1} |");
 
     // The paper's "run time inline techniques": pre-resolved dispatch.
-    let bound = obj.interface("ctr").unwrap().bind_method(&obj, "incr").unwrap();
+    let bound = obj
+        .interface("ctr")
+        .unwrap()
+        .bind_method(&obj, "incr")
+        .unwrap();
     let bound_ns = wall_ns(|| {
         bound.call(&args).unwrap();
     });
@@ -130,7 +138,10 @@ fn e1_invocation() {
     }
 
     println!("\nModelled overhead vs component grain size (simulated cycles;");
-    println!("dispatch = indirect call, {} cycles):\n", CostModel::default().indirect_call);
+    println!(
+        "dispatch = indirect call, {} cycles):\n",
+        CostModel::default().indirect_call
+    );
     println!("| work per call (cycles) | overhead |");
     println!("|---|---|");
     let model = CostModel::default();
@@ -149,14 +160,19 @@ fn e2_namespace() {
     use paramecium::core::domain::KERNEL_DOMAIN;
 
     println!("## E2 — name-space operations (paper §2, §3)\n");
-    println!("| namespace size | lookup (local) ns | lookup after 8-deep inherit ns | override hit ns |");
+    println!(
+        "| namespace size | lookup (local) ns | lookup after 8-deep inherit ns | override hit ns |"
+    );
     println!("|---|---|---|---|");
     for size in [10usize, 100, 1_000, 10_000] {
         let root = NameSpace::root();
         for i in 0..size {
             root.register(
                 &format!("/svc/dir{}/obj{i}", i % 16),
-                NsEntry { obj: ObjectBuilder::new("x").build(), home: KERNEL_DOMAIN },
+                NsEntry {
+                    obj: ObjectBuilder::new("x").build(),
+                    home: KERNEL_DOMAIN,
+                },
             )
             .unwrap();
         }
@@ -175,7 +191,13 @@ fn e2_namespace() {
 
         let over = NameSpace::child_of(
             &root,
-            [(probe.clone(), NsEntry { obj: ObjectBuilder::new("o").build(), home: KERNEL_DOMAIN })],
+            [(
+                probe.clone(),
+                NsEntry {
+                    obj: ObjectBuilder::new("o").build(),
+                    home: KERNEL_DOMAIN,
+                },
+            )],
         );
         let override_hit = wall_ns(|| {
             over.lookup(&probe).unwrap();
@@ -197,7 +219,9 @@ fn e3_crossdomain() {
     let n = &world.nucleus;
     let echo = ObjectBuilder::new("echo")
         .interface("echo", |i| {
-            i.method("echo", &[TypeTag::Bytes], TypeTag::Bytes, |_, args| Ok(args[0].clone()))
+            i.method("echo", &[TypeTag::Bytes], TypeTag::Bytes, |_, args| {
+                Ok(args[0].clone())
+            })
         })
         .build();
     n.register(KERNEL_DOMAIN, "/svc/echo", echo).unwrap();
@@ -208,7 +232,8 @@ fn e3_crossdomain() {
         let calls = 100u64;
         let t0 = n.now();
         for _ in 0..calls {
-            obj.invoke("echo", "echo", std::slice::from_ref(&payload)).unwrap();
+            obj.invoke("echo", "echo", std::slice::from_ref(&payload))
+                .unwrap();
         }
         let per = (n.now() - t0) / calls;
         println!("| {label} | {size} | {per} |");
@@ -226,14 +251,25 @@ fn e3_crossdomain() {
     // TLB ablation on the shared-memory path: 4 KiB reads out of a page
     // shared between the domains, TLB on vs off.
     {
-        let kbase = n.mem.alloc(KERNEL_DOMAIN, 4, paramecium::machine::Perms::RW).unwrap();
+        let kbase = n
+            .mem
+            .alloc(KERNEL_DOMAIN, 4, paramecium::machine::Perms::RW)
+            .unwrap();
         let ubase = n
             .mem
-            .share(KERNEL_DOMAIN, kbase, 4, app.id, paramecium::machine::Perms::R)
+            .share(
+                KERNEL_DOMAIN,
+                kbase,
+                4,
+                app.id,
+                paramecium::machine::Perms::R,
+            )
             .unwrap();
         let mut buf = vec![0u8; 4096];
-        for (label, enabled) in [("shared-page read 4 KiB, TLB on", true),
-                                 ("shared-page read 4 KiB, TLB off", false)] {
+        for (label, enabled) in [
+            ("shared-page read 4 KiB, TLB on", true),
+            ("shared-page read 4 KiB, TLB off", false),
+        ] {
             n.machine().lock().mmu.tlb.set_enabled(enabled);
             // Warm (or not) the TLB, then measure.
             n.mem.read(app.id, ubase, &mut buf).unwrap();
@@ -254,13 +290,17 @@ fn e3_crossdomain() {
         n.proxy_stats().map_threshold.store(0, Ordering::Relaxed);
         let t0 = n.now();
         for _ in 0..50 {
-            cross.invoke("echo", "echo", std::slice::from_ref(&payload)).unwrap();
+            cross
+                .invoke("echo", "echo", std::slice::from_ref(&payload))
+                .unwrap();
         }
         let copy = (n.now() - t0) / 50;
         n.proxy_stats().map_threshold.store(4096, Ordering::Relaxed);
         let t0 = n.now();
         for _ in 0..50 {
-            cross.invoke("echo", "echo", std::slice::from_ref(&payload)).unwrap();
+            cross
+                .invoke("echo", "echo", std::slice::from_ref(&payload))
+                .unwrap();
         }
         let mapped = (n.now() - t0) / 50;
         n.proxy_stats().map_threshold.store(0, Ordering::Relaxed);
@@ -307,18 +347,25 @@ fn e4_certification_vs_software() {
         let cert_run = Interp::new(&raw).run(u64::MAX).unwrap().steps;
         let cert_total = cert_load + cert_run;
 
-        let winner = [("SFI", sfi_total), ("Verified", ver_total), ("Certified", cert_total)]
-            .iter()
-            .min_by_key(|(_, v)| *v)
-            .unwrap()
-            .0;
+        let winner = [
+            ("SFI", sfi_total),
+            ("Verified", ver_total),
+            ("Certified", cert_total),
+        ]
+        .iter()
+        .min_by_key(|(_, v)| *v)
+        .unwrap()
+        .0;
         println!("| {iters} | {sfi_total} | {ver_total} | {cert_total} | {winner} |");
     }
 
     println!("\nSteady-state run cost only (load amortised away), 100 iterations:\n");
     println!("| regime | VM steps | overhead vs native |");
     println!("|---|---|---|");
-    let native = Interp::new(&workloads::checksum_loop(1024, 100)).run(u64::MAX).unwrap().steps;
+    let native = Interp::new(&workloads::checksum_loop(1024, 100))
+        .run(u64::MAX)
+        .unwrap()
+        .steps;
     let (sb, _) = sandbox_rewrite(&workloads::checksum_loop(1024, 100));
     let sfi = Interp::new(&sb).run(u64::MAX).unwrap().steps;
     let ver = Interp::new(&workloads::checksum_loop_verified(1024, 100))
@@ -326,8 +373,14 @@ fn e4_certification_vs_software() {
         .unwrap()
         .steps;
     println!("| Certified native | {native} | 1.00x |");
-    println!("| Verified (compiler guards) | {ver} | {:.2}x |", ver as f64 / native as f64);
-    println!("| SFI sandboxed | {sfi} | {:.2}x |", sfi as f64 / native as f64);
+    println!(
+        "| Verified (compiler guards) | {ver} | {:.2}x |",
+        ver as f64 / native as f64
+    );
+    println!(
+        "| SFI sandboxed | {sfi} | {:.2}x |",
+        sfi as f64 / native as f64
+    );
 
     // Certification cache ablation.
     println!("\nValidation-cache ablation (loading the same certified component 10×):\n");
@@ -341,7 +394,12 @@ fn e4_certification_vs_software() {
             .add_bytecode("c", &workloads::checksum_loop_verified(1024, 1));
         let cert = world
             .root
-            .certify("c", &image, vec![Right::RunKernel], CertifyMethod::Administrator)
+            .certify(
+                "c",
+                &image,
+                vec![Right::RunKernel],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         world.nucleus.certsvc.install(cert, vec![]);
         world.nucleus.certsvc.set_cache_enabled(cache);
@@ -354,7 +412,10 @@ fn e4_certification_vs_software() {
         }
         let cycles = world.nucleus.now() - t0;
         let checks = world.nucleus.certsvc.stats().signature_checks;
-        println!("| {} | {checks} | {cycles} |", if cache { "on" } else { "off" });
+        println!(
+            "| {} | {checks} | {cycles} |",
+            if cache { "on" } else { "off" }
+        );
     }
     println!();
 }
@@ -418,7 +479,9 @@ fn e5_popup() {
                         })
                     }
                 });
-                engine.attach(&events, trap.vector, KERNEL_DOMAIN, factory).unwrap();
+                engine
+                    .attach(&events, trap.vector, KERNEL_DOMAIN, factory)
+                    .unwrap();
                 let t0 = machine.lock().now();
                 for i in 0..n_irqs {
                     events.deliver(&machine, &trap);
@@ -467,7 +530,8 @@ fn e6_interpose() {
         for _ in 0..monitors {
             let target = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
             let (agent, _) = make_network_monitor(target);
-            n.interpose(KERNEL_DOMAIN, "/shared/network", agent).unwrap();
+            n.interpose(KERNEL_DOMAIN, "/shared/network", agent)
+                .unwrap();
         }
         let dev = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
         let frames = 1000u64;
@@ -517,7 +581,8 @@ fn e7_placement() {
         install_driver(n, KERNEL_DOMAIN).unwrap();
         let dev = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
         let stack = make_udp_stack(dev, 0x0A00_0001, [2, 0, 0, 0, 0, 1]);
-        n.register(KERNEL_DOMAIN, "/shared/udp", stack.clone()).unwrap();
+        n.register(KERNEL_DOMAIN, "/shared/udp", stack.clone())
+            .unwrap();
         stack.invoke("udp", "bind", &[Value::Int(53)]).unwrap();
 
         let filter: ObjRef = match which {
@@ -542,13 +607,21 @@ fn e7_placement() {
                     "bytecode-certified" => {
                         let cert = world
                             .root
-                            .certify("f", &image, vec![Right::RunKernel], CertifyMethod::Administrator)
+                            .certify(
+                                "f",
+                                &image,
+                                vec![Right::RunKernel],
+                                CertifyMethod::Administrator,
+                            )
                             .unwrap();
                         n.certsvc.install(cert, vec![]);
-                        n.load("f", &LoadOptions::kernel("/kernel/f").strict()).unwrap()
+                        n.load("f", &LoadOptions::kernel("/kernel/f").strict())
+                            .unwrap()
                     }
                     "bytecode-verified" => n.load("f", &LoadOptions::kernel("/kernel/f")).unwrap(),
-                    _ => n.load("f", &LoadOptions::kernel("/kernel/f").sandboxed()).unwrap(),
+                    _ => n
+                        .load("f", &LoadOptions::kernel("/kernel/f").sandboxed())
+                        .unwrap(),
                 };
                 let want = match which {
                     "bytecode-certified" => Protection::CertifiedNative,
@@ -561,7 +634,9 @@ fn e7_placement() {
             }
             _ => unreachable!(),
         };
-        stack.invoke("udp", "set_filter", &[Value::Handle(filter)]).unwrap();
+        stack
+            .invoke("udp", "set_filter", &[Value::Handle(filter)])
+            .unwrap();
 
         let frames = 500u64;
         let machine = n.machine().clone();
@@ -639,12 +714,18 @@ fn e8_delegation() {
             .repository
             .add_bytecode("c", &workloads::checksum_loop_verified(64, 1));
         let cert = prev
-            .certify("c", &image, vec![Right::RunKernel], CertifyMethod::Administrator)
+            .certify(
+                "c",
+                &image,
+                vec![Right::RunKernel],
+                CertifyMethod::Administrator,
+            )
             .unwrap();
         n.certsvc.install(cert, chain);
         n.certsvc.set_cache_enabled(false);
         let t0 = n.now();
-        n.load("c", &LoadOptions::kernel("/kernel/c").strict()).unwrap();
+        n.load("c", &LoadOptions::kernel("/kernel/c").strict())
+            .unwrap();
         let cycles = n.now() - t0;
         let checks = n.certsvc.stats().signature_checks;
         println!("| {depth} | {checks} | {cycles} |");
@@ -674,7 +755,11 @@ fn e8_delegation() {
             out.total_effort
         );
     }
-    match policy.certify("malicious", &workloads::wild_writer().encode(), &[Right::RunKernel]) {
+    match policy.certify(
+        "malicious",
+        &workloads::wild_writer().encode(),
+        &[Right::RunKernel],
+    ) {
         Err(e) => println!("| malicious | 3 | refused | — ({e}) |"),
         Ok(_) => unreachable!(),
     }

@@ -17,7 +17,9 @@
 //! cargo run --example extensible_driver
 //! ```
 
-use paramecium::cert::{AdminCertifier, Authority, CertificationPolicy, CompilerCertifier, ProverCertifier};
+use paramecium::cert::{
+    AdminCertifier, Authority, CertificationPolicy, CompilerCertifier, ProverCertifier,
+};
 use paramecium::netstack::filter::{checksumming_filter_program, udp_port_filter_program};
 use paramecium::prelude::*;
 use paramecium::sfi::workloads;
@@ -55,7 +57,9 @@ fn main() {
     )
     .unwrap();
     nucleus.repository.add_bytecode("csum-filter", &honest);
-    let outcome = policy.certify("csum-filter", &image, &[Right::RunKernel]).unwrap();
+    let outcome = policy
+        .certify("csum-filter", &image, &[Right::RunKernel])
+        .unwrap();
     println!("2. honest-but-unverifiable filter (escape hatch):");
     for line in &outcome.attempts {
         println!("   - {line}");
@@ -75,14 +79,22 @@ fn main() {
     }
     // Strict mode: cannot enter the kernel at all.
     let strict = nucleus.load("snooper", &LoadOptions::kernel("/kernel/snooper").strict());
-    println!("   strict kernel load: {:?}", strict.err().map(|e| e.to_string()));
+    println!(
+        "   strict kernel load: {:?}",
+        strict.err().map(|e| e.to_string())
+    );
     // Permissive mode: it gets in, but wearing an SFI straightjacket.
     let report = nucleus
         .load("snooper", &LoadOptions::kernel("/kernel/snooper"))
         .unwrap();
-    println!("   permissive kernel load: {:?} (run-time checks on every access)", report.protection);
+    println!(
+        "   permissive kernel load: {:?} (run-time checks on every access)",
+        report.protection
+    );
     // Or a user domain: hardware protection, no checks needed.
-    let app = nucleus.create_domain("untrusted-app", KERNEL_DOMAIN, []).unwrap();
+    let app = nucleus
+        .create_domain("untrusted-app", KERNEL_DOMAIN, [])
+        .unwrap();
     let report = nucleus
         .load("snooper", &LoadOptions::user(app.id, "/app/snooper"))
         .unwrap();

@@ -70,7 +70,12 @@ fn main() {
                 .invoke(
                     "udp",
                     "send_to",
-                    &[items[0].clone(), items[1].clone(), Value::Int(53), items[2].clone()],
+                    &[
+                        items[0].clone(),
+                        items[1].clone(),
+                        Value::Int(53),
+                        items[2].clone(),
+                    ],
                 )
                 .unwrap();
         }
@@ -79,8 +84,16 @@ fn main() {
     // The monitoring tool reads its superset interface.
     use std::sync::atomic::Ordering;
     println!("\nmonitor statistics:");
-    println!("  rx: {} frames, {} bytes", stats.rx_frames.load(Ordering::Relaxed), stats.rx_bytes.load(Ordering::Relaxed));
-    println!("  tx: {} frames, {} bytes", stats.tx_frames.load(Ordering::Relaxed), stats.tx_bytes.load(Ordering::Relaxed));
+    println!(
+        "  rx: {} frames, {} bytes",
+        stats.rx_frames.load(Ordering::Relaxed),
+        stats.rx_bytes.load(Ordering::Relaxed)
+    );
+    println!(
+        "  tx: {} frames, {} bytes",
+        stats.tx_frames.load(Ordering::Relaxed),
+        stats.tx_bytes.load(Ordering::Relaxed)
+    );
     let buckets: Vec<u64> = stats
         .size_buckets
         .iter()

@@ -102,7 +102,12 @@ fn main() {
         })
     });
     popup
-        .attach(&nucleus.events, TrapKind::Breakpoint.vector(), KERNEL_DOMAIN, factory)
+        .attach(
+            &nucleus.events,
+            TrapKind::Breakpoint.vector(),
+            KERNEL_DOMAIN,
+            factory,
+        )
         .unwrap();
     for _ in 0..50 {
         nucleus

@@ -4,8 +4,15 @@
 //! machine, a nucleus trusting some root key, and a certification policy
 //! with the standard subordinates (compiler → prover → administrator).
 //! [`World`] assembles them with deterministic keys.
+//!
+//! The four 512-bit RSA authorities are generated **once per process**
+//! (they are deterministic, so every boot would produce the same keys
+//! anyway) and shared by all [`World::boot`] calls; key generation used to
+//! dominate every test binary's wall clock. Tests that need key material
+//! distinct from the shared set boot via
+//! [`World::boot_with_fresh_keys`].
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -29,6 +36,38 @@ pub struct World {
     pub policy: CertificationPolicy,
 }
 
+/// The standard authority cast: root plus the three subordinates.
+struct HarnessAuthorities {
+    root: Authority,
+    compiler: Authority,
+    prover: Authority,
+    admin: Authority,
+}
+
+impl HarnessAuthorities {
+    /// Generates the four authorities from a seed (deterministic: the same
+    /// seed always yields the same keys, matching the pre-sharing
+    /// behaviour of `World::boot`).
+    fn generate(seed: u64) -> HarnessAuthorities {
+        let mut rng = StdRng::seed_from_u64(seed);
+        HarnessAuthorities {
+            root: Authority::new("root-ca", &mut rng, HARNESS_KEY_BITS),
+            compiler: Authority::new("m3-compiler", &mut rng, HARNESS_KEY_BITS),
+            prover: Authority::new("object-prover", &mut rng, HARNESS_KEY_BITS),
+            admin: Authority::new("sysadmin", &mut rng, HARNESS_KEY_BITS),
+        }
+    }
+
+    /// The process-wide shared set every plain `boot` uses.
+    fn shared() -> &'static HarnessAuthorities {
+        static SHARED: OnceLock<HarnessAuthorities> = OnceLock::new();
+        SHARED.get_or_init(|| HarnessAuthorities::generate(HARNESS_KEY_SEED))
+    }
+}
+
+/// Seed of the shared harness authority keys.
+const HARNESS_KEY_SEED: u64 = 0x50AE_C1A0;
+
 impl World {
     /// Boots with the default cost model.
     pub fn boot() -> World {
@@ -37,26 +76,32 @@ impl World {
 
     /// Boots with an explicit cost model (ablations).
     pub fn boot_with_cost(cost: CostModel) -> World {
+        Self::assemble(cost, HarnessAuthorities::shared())
+    }
+
+    /// Boots with authority keys generated from `seed` instead of the
+    /// shared process-wide set — the escape hatch for tests that need key
+    /// material isolated from (or distinct from) every other boot. Any
+    /// seed other than `0x50AE_C1A0` yields keys distinct from the shared
+    /// set.
+    pub fn boot_with_fresh_keys(seed: u64) -> World {
+        Self::assemble(CostModel::default(), &HarnessAuthorities::generate(seed))
+    }
+
+    fn assemble(cost: CostModel, auth: &HarnessAuthorities) -> World {
         let machine = Arc::new(parking_lot::Mutex::new(Machine::with_config(
             cost,
             paramecium_machine::machine::DEFAULT_FRAMES,
             paramecium_machine::machine::DEFAULT_TLB_ENTRIES,
         )));
-        let mut rng = StdRng::seed_from_u64(0x50AE_C1A0);
-        let root = Authority::new("root-ca", &mut rng, HARNESS_KEY_BITS);
+        let root = auth.root.clone();
         let nucleus =
             Nucleus::boot_on(machine, root.public().clone()).expect("nucleus boot cannot fail");
         let policy = CertificationPolicy::standard(
             &root,
-            CompilerCertifier::new(Authority::new("m3-compiler", &mut rng, HARNESS_KEY_BITS)),
-            ProverCertifier::new(
-                Authority::new("object-prover", &mut rng, HARNESS_KEY_BITS),
-                50_000,
-            ),
-            AdminCertifier::new(
-                Authority::new("sysadmin", &mut rng, HARNESS_KEY_BITS),
-                &[],
-            ),
+            CompilerCertifier::new(auth.compiler.clone()),
+            ProverCertifier::new(auth.prover.clone(), 50_000),
+            AdminCertifier::new(auth.admin.clone(), &[]),
             vec![
                 Right::RunUser,
                 Right::RunKernel,
@@ -82,7 +127,9 @@ impl World {
             .certify(component, &image, rights)
             .map_err(CoreError::Cert)?;
         let signer = outcome.signer_index;
-        self.nucleus.certsvc.install(outcome.certificate, outcome.chain);
+        self.nucleus
+            .certsvc
+            .install(outcome.certificate, outcome.chain);
         Ok(signer)
     }
 
@@ -141,6 +188,37 @@ mod tests {
             .load("svc", &LoadOptions::kernel("/kernel/svc"))
             .unwrap();
         assert_eq!(report.protection, crate::core::Protection::CertifiedNative);
+    }
+
+    #[test]
+    fn shared_keys_are_reused_across_boots_and_fresh_keys_differ() {
+        let a = World::boot();
+        let b = World::boot();
+        // Same shared authority set: byte-identical public keys.
+        assert_eq!(a.root.public(), b.root.public());
+        // The escape hatch mints a distinct key universe per seed…
+        let fresh = World::boot_with_fresh_keys(42);
+        assert_ne!(fresh.root.public(), a.root.public());
+        // …whose certificates the shared-key nucleus must reject.
+        let bytecode = workloads::checksum_loop_verified(64, 1);
+        fresh.nucleus.repository.add_bytecode("good", &bytecode);
+        a.nucleus.repository.add_bytecode("good", &bytecode);
+        fresh.certify("good", &[Right::RunKernel]).unwrap();
+        let image = fresh.nucleus.repository.image_of("good").unwrap();
+        let outcome = fresh
+            .policy
+            .certify("good", &image, &[Right::RunKernel])
+            .unwrap();
+        a.nucleus
+            .certsvc
+            .install(outcome.certificate, outcome.chain);
+        // The foreign-rooted certificate must not unlock the zero-check
+        // native path; the loader demotes the component to a sandboxed run.
+        let report = a
+            .nucleus
+            .load("good", &LoadOptions::kernel("/kernel/good"))
+            .unwrap();
+        assert_ne!(report.protection, crate::core::Protection::CertifiedNative);
     }
 
     #[test]

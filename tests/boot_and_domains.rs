@@ -9,9 +9,19 @@ fn boot_exposes_all_four_services_as_objects() {
     let world = World::boot();
     let n = &world.nucleus;
     for (path, iface, method, args) in [
-        ("/nucleus/events", "events", "callbacks", vec![Value::Int(1)]),
+        (
+            "/nucleus/events",
+            "events",
+            "callbacks",
+            vec![Value::Int(1)],
+        ),
         ("/nucleus/memory", "memory", "stats", vec![]),
-        ("/nucleus/directory", "directory", "list", vec![Value::Str("/".into())]),
+        (
+            "/nucleus/directory",
+            "directory",
+            "list",
+            vec![Value::Str("/".into())],
+        ),
         (
             "/nucleus/certification",
             "certification",
@@ -68,14 +78,24 @@ fn namespace_views_are_per_domain() {
     let n = &world.nucleus;
     // Kernel registers a default allocator; app A overrides it; app B
     // registers its own private object.
-    n.register(KERNEL_DOMAIN, "/lib/alloc", ObjectBuilder::new("default-alloc").build())
-        .unwrap();
+    n.register(
+        KERNEL_DOMAIN,
+        "/lib/alloc",
+        ObjectBuilder::new("default-alloc").build(),
+    )
+    .unwrap();
     let fake = ObjectBuilder::new("debug-alloc").build();
     let a = n
         .create_domain(
             "a",
             KERNEL_DOMAIN,
-            [("/lib/alloc".to_owned(), NsEntry { obj: fake, home: KERNEL_DOMAIN })],
+            [(
+                "/lib/alloc".to_owned(),
+                NsEntry {
+                    obj: fake,
+                    home: KERNEL_DOMAIN,
+                },
+            )],
         )
         .unwrap();
     let b = n.create_domain("b", KERNEL_DOMAIN, []).unwrap();
@@ -83,8 +103,14 @@ fn namespace_views_are_per_domain() {
         .unwrap();
 
     // A sees its override; B sees the default.
-    assert_eq!(n.bind(a.id, "/lib/alloc").unwrap().class(), "proxy<debug-alloc>");
-    assert_eq!(n.bind(b.id, "/lib/alloc").unwrap().class(), "proxy<default-alloc>");
+    assert_eq!(
+        n.bind(a.id, "/lib/alloc").unwrap().class(),
+        "proxy<debug-alloc>"
+    );
+    assert_eq!(
+        n.bind(b.id, "/lib/alloc").unwrap().class(),
+        "proxy<default-alloc>"
+    );
     // B's private object is invisible to A and to the kernel.
     assert!(n.bind(a.id, "/b/private").is_err());
     assert!(n.bind(KERNEL_DOMAIN, "/b/private").is_err());
@@ -107,9 +133,18 @@ fn domain_destruction_reclaims_everything() {
     assert_eq!(n.machine().lock().phys.allocated_frames(), 0);
     // Shared frames survive if another domain still maps them.
     let survivor = n.create_domain("survivor", KERNEL_DOMAIN, []).unwrap();
-    let kbase = n.mem.alloc(KERNEL_DOMAIN, 2, paramecium::machine::Perms::RW).unwrap();
+    let kbase = n
+        .mem
+        .alloc(KERNEL_DOMAIN, 2, paramecium::machine::Perms::RW)
+        .unwrap();
     n.mem
-        .share(KERNEL_DOMAIN, kbase, 2, survivor.id, paramecium::machine::Perms::R)
+        .share(
+            KERNEL_DOMAIN,
+            kbase,
+            2,
+            survivor.id,
+            paramecium::machine::Perms::R,
+        )
         .unwrap();
     n.destroy_domain(survivor.id).unwrap();
     assert_eq!(n.machine().lock().phys.allocated_frames(), 2);
@@ -121,7 +156,10 @@ fn cross_domain_memory_isolation_holds() {
     let n = &world.nucleus;
     let a = n.create_domain("a", KERNEL_DOMAIN, []).unwrap();
     let b = n.create_domain("b", KERNEL_DOMAIN, []).unwrap();
-    let base_a = n.mem.alloc(a.id, 1, paramecium::machine::Perms::RW).unwrap();
+    let base_a = n
+        .mem
+        .alloc(a.id, 1, paramecium::machine::Perms::RW)
+        .unwrap();
     n.mem.write(a.id, base_a, b"secret").unwrap();
     // B cannot read A's page, even at the same virtual address.
     let mut buf = [0u8; 6];

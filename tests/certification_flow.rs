@@ -20,7 +20,10 @@ fn compiler_to_kernel_pipeline() {
     let signer = world.certify("fast-path", &[Right::RunKernel]).unwrap();
     assert_eq!(signer, 0, "the compiler signs verifiable code first");
     let report = n
-        .load("fast-path", &LoadOptions::kernel("/kernel/fast-path").strict())
+        .load(
+            "fast-path",
+            &LoadOptions::kernel("/kernel/fast-path").strict(),
+        )
         .unwrap();
     assert_eq!(report.protection, Protection::CertifiedNative);
     let obj = n.bind(KERNEL_DOMAIN, "/kernel/fast-path").unwrap();
@@ -28,7 +31,10 @@ fn compiler_to_kernel_pipeline() {
         .invoke(
             "component",
             "run",
-            &[Value::Bytes(bytes::Bytes::from(vec![1u8; 1024])), Value::Int(0)],
+            &[
+                Value::Bytes(bytes::Bytes::from(vec![1u8; 1024])),
+                Value::Int(0),
+            ],
         )
         .unwrap();
     assert!(matches!(r, Value::Int(_)));
@@ -56,7 +62,9 @@ fn escape_hatch_orders_subordinates_by_preference() {
 
     // Unverifiable but hand-checked: falls through to the admin, and the
     // produced chain still validates against the root.
-    let out = policy.certify("h", &honest_raw, &[Right::RunKernel]).unwrap();
+    let out = policy
+        .certify("h", &honest_raw, &[Right::RunKernel])
+        .unwrap();
     assert_eq!(out.signer_index, 2);
     validate_chain(root.public(), &out.chain, &out.certificate).unwrap();
     assert_eq!(out.attempts.len(), 3);
@@ -96,7 +104,11 @@ fn testing_certifier_can_be_fooled_where_verification_cannot() {
     let mut a = Asm::new(16);
     a.li(r(2), 1);
     a.li(r(3), 63);
-    a.raw(paramecium::sfi::Insn::Shr { rd: r(4), rs1: r(1), rs2: r(3) });
+    a.raw(paramecium::sfi::Insn::Shr {
+        rd: r(4),
+        rs1: r(1),
+        rs2: r(3),
+    });
     a.bne(r(4), r(2), "ok"); // Top bit clear → behave.
     a.li(r(5), 0x7000_0000);
     a.stb(r(2), r(5), 0); // Bomb.
@@ -132,11 +144,9 @@ fn stolen_certificate_does_not_transfer_to_other_code() {
     // certificate: the digest lookup fails.
     let world = World::boot();
     let n = &world.nucleus;
-    n.repository
-        .add_bytecode("a", &workloads::alu_loop(4));
+    n.repository.add_bytecode("a", &workloads::alu_loop(4));
     world.certify("a", &[Right::RunKernel]).unwrap();
-    n.repository
-        .add_bytecode("b", &workloads::alu_loop(5)); // Different code.
+    n.repository.add_bytecode("b", &workloads::alu_loop(5)); // Different code.
     let err = n
         .load("b", &LoadOptions::kernel("/kernel/b").strict())
         .unwrap_err();
@@ -153,7 +163,12 @@ fn rights_are_checked_per_placement() {
         .add_bytecode("user-only", &workloads::alu_loop(4));
     let cert = world
         .root
-        .certify("user-only", &image, vec![Right::RunUser], CertifyMethod::Administrator)
+        .certify(
+            "user-only",
+            &image,
+            vec![Right::RunUser],
+            CertifyMethod::Administrator,
+        )
         .unwrap();
     n.certsvc.install(cert, vec![]);
     assert!(n
@@ -178,11 +193,14 @@ fn delegation_cannot_amplify_rights_end_to_end() {
         .root
         .delegate("sneaky", sub.public(), vec![Right::RunUser])
         .unwrap()];
-    let image = n
-        .repository
-        .add_bytecode("esc", &workloads::alu_loop(4));
+    let image = n.repository.add_bytecode("esc", &workloads::alu_loop(4));
     let cert = sub
-        .certify("esc", &image, vec![Right::RunKernel], CertifyMethod::Administrator)
+        .certify(
+            "esc",
+            &image,
+            vec![Right::RunKernel],
+            CertifyMethod::Administrator,
+        )
         .unwrap();
     n.certsvc.install(cert, chain);
     let err = n

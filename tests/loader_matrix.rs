@@ -35,9 +35,24 @@ fn kernel_placement_matrix() {
     // (verifiable, cert, strict, expected)
     let cases: &[(bool, CertState, bool, Option<Protection>)] = &[
         // Certified for kernel: always native, strict or not.
-        (true, CertState::Kernel, true, Some(Protection::CertifiedNative)),
-        (false, CertState::Kernel, true, Some(Protection::CertifiedNative)),
-        (false, CertState::Kernel, false, Some(Protection::CertifiedNative)),
+        (
+            true,
+            CertState::Kernel,
+            true,
+            Some(Protection::CertifiedNative),
+        ),
+        (
+            false,
+            CertState::Kernel,
+            true,
+            Some(Protection::CertifiedNative),
+        ),
+        (
+            false,
+            CertState::Kernel,
+            false,
+            Some(Protection::CertifiedNative),
+        ),
         // Uncertified, permissive: software protection by verifiability.
         (true, CertState::None, false, Some(Protection::Verified)),
         (false, CertState::None, false, Some(Protection::Sandboxed)),
@@ -143,7 +158,9 @@ fn duplicate_registration_path_fails_and_leaves_first_intact() {
 fn missing_component_is_a_clean_error() {
     let world = World::boot();
     assert!(matches!(
-        world.nucleus.load("ghost", &LoadOptions::kernel("/kernel/g")),
+        world
+            .nucleus
+            .load("ghost", &LoadOptions::kernel("/kernel/g")),
         Err(paramecium::core::CoreError::NoSuchComponent(_))
     ));
 }

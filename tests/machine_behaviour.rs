@@ -24,7 +24,11 @@ fn tlb_hit_rates_reflect_locality() {
     for _ in 0..100 {
         for p in 0..8u64 {
             n.mem
-                .read(app.id, base + p * paramecium::machine::PAGE_SIZE as u64, &mut buf)
+                .read(
+                    app.id,
+                    base + p * paramecium::machine::PAGE_SIZE as u64,
+                    &mut buf,
+                )
                 .unwrap();
         }
     }
@@ -39,7 +43,9 @@ fn context_switches_are_counted_per_real_switch() {
     let n = &world.nucleus;
     let a = n.create_domain("a", KERNEL_DOMAIN, []).unwrap();
     let echo = ObjectBuilder::new("echo")
-        .interface("e", |i| i.method("nop", &[], TypeTag::Unit, |_, _| Ok(Value::Unit)))
+        .interface("e", |i| {
+            i.method("nop", &[], TypeTag::Unit, |_, _| Ok(Value::Unit))
+        })
         .build();
     n.register(KERNEL_DOMAIN, "/svc/e", echo).unwrap();
     let proxy = n.bind(a.id, "/svc/e").unwrap();
@@ -49,7 +55,10 @@ fn context_switches_are_counted_per_real_switch() {
     }
     let switches = n.machine().lock().mmu.switch_count() - before;
     // Each crossing: caller→kernel (fault handler) →target(kernel, same) →caller.
-    assert!(switches >= 10, "at least two real switches per crossing, got {switches}");
+    assert!(
+        switches >= 10,
+        "at least two real switches per crossing, got {switches}"
+    );
 }
 
 #[test]
@@ -86,7 +95,8 @@ fn console_collects_kernel_log_output() {
         let machine = n.machine().clone();
         let mut m = machine.lock();
         for b in b"panic: just kidding\n" {
-            m.io_write("console", console::regs::PUTC, u32::from(*b)).unwrap();
+            m.io_write("console", console::regs::PUTC, u32::from(*b))
+                .unwrap();
         }
     }
     let machine = n.machine().clone();
@@ -138,7 +148,11 @@ fn interrupt_storm_coalesces_not_overflows() {
         assert_eq!(m.irq.coalesced_count(), 999);
     }
     n.events.drain_interrupts(n.machine());
-    assert_eq!(hits.load(Ordering::Relaxed), 1, "one delivery for the storm");
+    assert_eq!(
+        hits.load(Ordering::Relaxed),
+        1,
+        "one delivery for the storm"
+    );
 }
 
 #[test]
@@ -155,6 +169,9 @@ fn free_cost_model_still_computes_correctly() {
         .build();
     n.register(KERNEL_DOMAIN, "/svc/e", echo).unwrap();
     let proxy = n.bind(app.id, "/svc/e").unwrap();
-    assert_eq!(proxy.invoke("e", "id", &[Value::Int(9)]).unwrap(), Value::Int(9));
+    assert_eq!(
+        proxy.invoke("e", "id", &[Value::Int(9)]).unwrap(),
+        Value::Int(9)
+    );
     assert_eq!(n.now(), 0, "free model charges nothing");
 }

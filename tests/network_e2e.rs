@@ -12,15 +12,7 @@ const MY_IP: u32 = 0x0A00_0001;
 const MY_MAC: wire::Mac = [2, 0, 0, 0, 0, 1];
 
 fn inject_udp(n: &paramecium::core::Nucleus, dst_port: u16, payload: &[u8]) {
-    let frame = wire::build_udp_frame(
-        [9; 6],
-        MY_MAC,
-        0x0A00_0002,
-        MY_IP,
-        5555,
-        dst_port,
-        payload,
-    );
+    let frame = wire::build_udp_frame([9; 6], MY_MAC, 0x0A00_0002, MY_IP, 5555, dst_port, payload);
     let machine = n.machine().clone();
     let mut m = machine.lock();
     m.device_mut::<Nic>("nic").unwrap().inject_rx(frame);
@@ -47,7 +39,12 @@ fn udp_echo_end_to_end() {
         .invoke(
             "udp",
             "send_to",
-            &[items[0].clone(), items[1].clone(), Value::Int(7), items[2].clone()],
+            &[
+                items[0].clone(),
+                items[1].clone(),
+                Value::Int(7),
+                items[2].clone(),
+            ],
         )
         .unwrap();
     let machine = n.machine().clone();
@@ -78,7 +75,10 @@ fn certified_bytecode_filter_in_kernel_filters_packets() {
         .add_bytecode("dns-only", &udp_port_filter_program(53));
     assert_eq!(world.certify("dns-only", &[Right::RunKernel]).unwrap(), 0);
     let report = n
-        .load("dns-only", &LoadOptions::kernel("/kernel/dns-only").strict())
+        .load(
+            "dns-only",
+            &LoadOptions::kernel("/kernel/dns-only").strict(),
+        )
         .unwrap();
     assert_eq!(report.protection, Protection::CertifiedNative);
     let filter = adapt_bytecode_filter(n.bind(KERNEL_DOMAIN, "/kernel/dns-only").unwrap());
@@ -152,7 +152,9 @@ fn interposed_monitor_sees_traffic_of_existing_and_new_clients() {
     // Interpose.
     let target = n.bind(KERNEL_DOMAIN, "/shared/network").unwrap();
     let (agent, stats) = make_network_monitor(target);
-    let old = n.interpose(KERNEL_DOMAIN, "/shared/network", agent).unwrap();
+    let old = n
+        .interpose(KERNEL_DOMAIN, "/shared/network", agent)
+        .unwrap();
     assert_eq!(old.class(), "nic-driver");
 
     // A stack built after interposition.

@@ -85,7 +85,8 @@ fn delegation_shares_one_implementation_across_instances() {
         let spec = ObjectBuilder::new(name)
             .raw_interface(delegate_interface(iface, generic.clone()))
             .build();
-        n.register(KERNEL_DOMAIN, &format!("/proto/{name}"), spec).unwrap();
+        n.register(KERNEL_DOMAIN, &format!("/proto/{name}"), spec)
+            .unwrap();
     }
 
     let jumbo = n.bind(KERNEL_DOMAIN, "/proto/jumbo").unwrap();
@@ -95,8 +96,14 @@ fn delegation_shares_one_implementation_across_instances() {
     // The shared method is the same code, reached by delegation.
     let payload = Value::Bytes(bytes::Bytes::from_static(&[1, 2, 3]));
     let args = std::slice::from_ref(&payload);
-    assert_eq!(jumbo.invoke("proto", "checksum", args).unwrap(), Value::Int(6));
-    assert_eq!(slip.invoke("proto", "checksum", args).unwrap(), Value::Int(6));
+    assert_eq!(
+        jumbo.invoke("proto", "checksum", args).unwrap(),
+        Value::Int(6)
+    );
+    assert_eq!(
+        slip.invoke("proto", "checksum", args).unwrap(),
+        Value::Int(6)
+    );
 }
 
 /// "The latter is the most common form of object composition since it
@@ -117,10 +124,14 @@ fn dynamic_composition_supports_live_component_replacement() {
         .export("codec", "codec")
         .build()
         .unwrap();
-    n.register(KERNEL_DOMAIN, "/app/pipeline", pipeline).unwrap();
+    n.register(KERNEL_DOMAIN, "/app/pipeline", pipeline)
+        .unwrap();
 
     let client = n.bind(KERNEL_DOMAIN, "/app/pipeline").unwrap();
-    assert_eq!(client.invoke("codec", "version", &[]).unwrap(), Value::Int(1));
+    assert_eq!(
+        client.invoke("codec", "version", &[]).unwrap(),
+        Value::Int(1)
+    );
 
     // Hot-swap the codec inside the running composition.
     let v2 = ObjectBuilder::new("codec-v2")
@@ -136,7 +147,10 @@ fn dynamic_composition_supports_live_component_replacement() {
         )
         .unwrap();
     // The client's existing handle now reaches the new instance.
-    assert_eq!(client.invoke("codec", "version", &[]).unwrap(), Value::Int(2));
+    assert_eq!(
+        client.invoke("codec", "version", &[]).unwrap(),
+        Value::Int(2)
+    );
 }
 
 /// The bound-method fast path ("run time inline techniques", §2) agrees
@@ -155,7 +169,11 @@ fn inline_fast_path_agrees_with_dynamic_dispatch() {
             })
         })
         .build();
-    let bound = obj.interface("acc").unwrap().bind_method(&obj, "add").unwrap();
+    let bound = obj
+        .interface("acc")
+        .unwrap()
+        .bind_method(&obj, "add")
+        .unwrap();
     let mut expect = 0i64;
     for i in 0..1000i64 {
         expect += i;
@@ -177,8 +195,12 @@ fn override_locality_vs_interposition_globality() {
 
     let world = World::boot();
     let n = &world.nucleus;
-    n.register(KERNEL_DOMAIN, "/lib/log", ObjectBuilder::new("syslog").build())
-        .unwrap();
+    n.register(
+        KERNEL_DOMAIN,
+        "/lib/log",
+        ObjectBuilder::new("syslog").build(),
+    )
+    .unwrap();
 
     let quiet = n
         .create_domain(
@@ -186,7 +208,10 @@ fn override_locality_vs_interposition_globality() {
             KERNEL_DOMAIN,
             [(
                 "/lib/log".to_owned(),
-                NsEntry { obj: ObjectBuilder::new("null-log").build(), home: KERNEL_DOMAIN },
+                NsEntry {
+                    obj: ObjectBuilder::new("null-log").build(),
+                    home: KERNEL_DOMAIN,
+                },
             )],
         )
         .unwrap();
@@ -196,21 +221,39 @@ fn override_locality_vs_interposition_globality() {
             KERNEL_DOMAIN,
             [(
                 "/lib/log".to_owned(),
-                NsEntry { obj: ObjectBuilder::new("debug-log").build(), home: KERNEL_DOMAIN },
+                NsEntry {
+                    obj: ObjectBuilder::new("debug-log").build(),
+                    home: KERNEL_DOMAIN,
+                },
             )],
         )
         .unwrap();
     let plain = n.create_domain("plain", KERNEL_DOMAIN, []).unwrap();
 
-    assert_eq!(n.bind(quiet.id, "/lib/log").unwrap().class(), "proxy<null-log>");
-    assert_eq!(n.bind(verbose.id, "/lib/log").unwrap().class(), "proxy<debug-log>");
-    assert_eq!(n.bind(plain.id, "/lib/log").unwrap().class(), "proxy<syslog>");
+    assert_eq!(
+        n.bind(quiet.id, "/lib/log").unwrap().class(),
+        "proxy<null-log>"
+    );
+    assert_eq!(
+        n.bind(verbose.id, "/lib/log").unwrap().class(),
+        "proxy<debug-log>"
+    );
+    assert_eq!(
+        n.bind(plain.id, "/lib/log").unwrap().class(),
+        "proxy<syslog>"
+    );
 
     // Interpose on the *shared* binding: only inheritors without local
     // overrides see the agent.
     let target = n.bind(KERNEL_DOMAIN, "/lib/log").unwrap();
     let agent = InterposerBuilder::new(target).class("log-agent").build();
     n.interpose(KERNEL_DOMAIN, "/lib/log", agent).unwrap();
-    assert_eq!(n.bind(plain.id, "/lib/log").unwrap().class(), "proxy<log-agent>");
-    assert_eq!(n.bind(quiet.id, "/lib/log").unwrap().class(), "proxy<null-log>");
+    assert_eq!(
+        n.bind(plain.id, "/lib/log").unwrap().class(),
+        "proxy<log-agent>"
+    );
+    assert_eq!(
+        n.bind(quiet.id, "/lib/log").unwrap().class(),
+        "proxy<null-log>"
+    );
 }

@@ -23,8 +23,11 @@ fn cache_is_installed_by_interposition_and_shared_across_domains() {
                 .map_err(|e| paramecium::obj::ObjError::failed(e.to_string()))
         })
     });
-    world.certify_by_root("disk-driver", &[Right::RunKernel, Right::DeviceAccess]).unwrap();
-    n.load("disk-driver", &LoadOptions::kernel("/dev/disk")).unwrap();
+    world
+        .certify_by_root("disk-driver", &[Right::RunKernel, Right::DeviceAccess])
+        .unwrap();
+    n.load("disk-driver", &LoadOptions::kernel("/dev/disk"))
+        .unwrap();
 
     // Two non-cooperating user domains bind the raw disk.
     let alice = n.create_domain("alice", KERNEL_DOMAIN, []).unwrap();
@@ -42,7 +45,9 @@ fn cache_is_installed_by_interposition_and_shared_across_domains() {
     alice_disk
         .invoke("blockdev", "write", &[Value::Int(12), sector_of(0xAA)])
         .unwrap();
-    let v = bob_disk.invoke("blockdev", "read", &[Value::Int(12)]).unwrap();
+    let v = bob_disk
+        .invoke("blockdev", "read", &[Value::Int(12)])
+        .unwrap();
     assert_eq!(v.as_bytes().unwrap()[0], 0xAA);
 
     // The cache interface confirms the sharing (1 write miss + 1 read hit)
@@ -52,7 +57,11 @@ fn cache_is_installed_by_interposition_and_shared_across_domains() {
     let s = cstats.as_list().unwrap().to_vec();
     assert_eq!(s[0], Value::Int(1), "Bob's read hit Alice's line");
     let dstats = shared.invoke("blockdev", "stats", &[]).unwrap();
-    assert_eq!(dstats.as_list().unwrap()[1], Value::Int(0), "no disk write yet");
+    assert_eq!(
+        dstats.as_list().unwrap()[1],
+        Value::Int(0),
+        "no disk write yet"
+    );
 
     // Flush persists; the raw driver (still reachable via the cache's
     // backing) confirms.
@@ -79,7 +88,9 @@ fn cache_hides_disk_latency_for_hot_working_sets() {
     let t0 = n.now();
     for _ in 0..5 {
         for sec in 0..20i64 {
-            cache.invoke("blockdev", "read", &[Value::Int(sec)]).unwrap();
+            cache
+                .invoke("blockdev", "read", &[Value::Int(sec)])
+                .unwrap();
         }
     }
     let cached = n.now() - t0;

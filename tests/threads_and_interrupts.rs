@@ -72,7 +72,10 @@ fn nic_interrupts_drive_popup_pump_threads() {
 
     assert_eq!(pumped.load(Ordering::Relaxed), 20, "all frames pumped");
     let stats = engine.stats();
-    assert!(stats.fast_path >= 5, "interrupts coalesce but at least one per burst");
+    assert!(
+        stats.fast_path >= 5,
+        "interrupts coalesce but at least one per burst"
+    );
     assert_eq!(stats.promotions, 0, "pump never blocks");
     // All datagrams are queued on port 53.
     let mut received = 0;
@@ -197,7 +200,9 @@ fn cross_domain_active_messages_pay_the_crossing() {
 
     // The handler lives in a user domain; the kernel-side AM dispatcher
     // imports it through a proxy.
-    let app = n.create_domain("handler-domain", KERNEL_DOMAIN, []).unwrap();
+    let app = n
+        .create_domain("handler-domain", KERNEL_DOMAIN, [])
+        .unwrap();
     let handler = ObjectBuilder::new("handler")
         .state(0i64)
         .interface("h", |i| {

@@ -5,8 +5,15 @@
 //! `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!` —
 //! with a simple calibrated wall-clock measurement loop instead of
 //! Criterion's statistical machinery. Reported numbers are mean ns/iter.
+//!
+//! Besides the human-readable console lines, each bench run writes its
+//! results as `BENCH_<target>.json` (per-benchmark mean ns) into the
+//! directory named by the `BENCH_JSON_DIR` environment variable, or the
+//! working directory when unset — the machine-readable record CI archives
+//! to track the perf trajectory.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
@@ -22,9 +29,7 @@ impl Default for Criterion {
         // `cargo bench` forwards extra CLI args (e.g. `--bench`, a name
         // filter). The first non-flag argument is treated as a substring
         // filter, everything else is ignored.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 }
@@ -216,7 +221,62 @@ impl Bencher {
     }
 }
 
+/// Process-wide record of `(benchmark id, mean ns)` results, flushed to a
+/// JSON file when the driving [`Criterion`] is dropped.
+fn results() -> &'static Mutex<Vec<(String, f64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        // Flushing during unit tests of this crate itself would litter the
+        // tree with junk JSON; bench binaries are never built `cfg(test)`.
+        #[cfg(not(test))]
+        write_json_results();
+    }
+}
+
+/// Writes `BENCH_<target>.json` with every recorded result. The target
+/// name is recovered from the bench executable (Cargo names those
+/// `<target>-<metadata hash>`).
+#[cfg_attr(test, allow(dead_code))]
+fn write_json_results() {
+    let results = results().lock().unwrap_or_else(|e| e.into_inner());
+    if results.is_empty() {
+        return;
+    }
+    let exe = std::env::current_exe().unwrap_or_default();
+    let stem = exe.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
+    // Strip Cargo's trailing `-<16 hex>` disambiguation hash, if present.
+    let target = match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base
+        }
+        _ => stem,
+    };
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".into());
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"target\": \"{target}\",\n"));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, (id, mean_ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"mean_ns\": {mean_ns:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = format!("{dir}/BENCH_{target}.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion: could not write {path}: {e}");
+    }
+}
+
 fn report(id: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    results()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((id.to_owned(), mean_ns));
     let time = if mean_ns >= 1e9 {
         format!("{:.3} s", mean_ns / 1e9)
     } else if mean_ns >= 1e6 {
@@ -270,9 +330,14 @@ mod tests {
         let mut g = c.benchmark_group("g");
         g.sample_size(2);
         g.bench_function("noop", |b| b.iter(|| 1 + 1));
-        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| b.iter(|| x * 2));
         g.finish();
+        // Results are recorded for the JSON flush (mean time of a no-op
+        // iteration can legitimately calibrate to ~0, so only presence and
+        // non-negativity are asserted).
+        let recorded = results().lock().unwrap();
+        assert!(recorded.iter().any(|(id, _)| id == "g/noop"));
+        assert!(recorded.iter().any(|(id, _)| id == "g/param/3"));
+        assert!(recorded.iter().all(|(_, ns)| *ns >= 0.0));
     }
 }

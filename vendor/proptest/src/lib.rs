@@ -13,10 +13,10 @@
 
 use std::fmt;
 
-pub mod strategy;
 pub mod collection;
-pub mod string;
 pub mod num;
+pub mod strategy;
+pub mod string;
 
 pub use strategy::{Strategy, Union};
 
