@@ -27,6 +27,25 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // The cache-free reference path, recorded so the JSON trajectory shows
+    // what the inline cache buys on this machine.
+    g.bench_function("interface_dispatch_uncached", |b| {
+        b.iter(|| {
+            obj.invoke_uncached("ctr", "incr", std::hint::black_box(&args))
+                .unwrap()
+        })
+    });
+
+    // The paper's "run time inline technique": a pre-bound method handle.
+    let bound = obj
+        .interface("ctr")
+        .unwrap()
+        .bind_method(&obj, "incr")
+        .unwrap();
+    g.bench_function("bound_method", |b| {
+        b.iter(|| bound.call(std::hint::black_box(&args)).unwrap())
+    });
+
     let delegated = {
         let base = counter_obj();
         let iface = paramecium::obj::InterfaceBuilder::new("ctr").finish();

@@ -25,7 +25,11 @@ use std::sync::{
 use parking_lot::Mutex;
 
 use paramecium_machine::{mmu::Access, trap::Trap, Machine, MachineError};
-use paramecium_obj::{interface::Interface, ObjError, ObjRef, ObjectBuilder, Value};
+use paramecium_obj::{
+    interface::{CallCache, Interface},
+    value::ArgFrame,
+    ObjError, ObjRef, ObjectBuilder, Value,
+};
 
 use crate::{domain::DomainId, events::EventService, memsvc::MemService};
 
@@ -114,6 +118,12 @@ pub fn make_proxy(
         fault_vaddr,
     });
 
+    // Each proxy interface entry owns a `CallCache`: the target's `Method`
+    // handle is resolved once and revalidated against the target's export
+    // generation on every crossing, so repeated crossings skip the
+    // interface- and method-table lookups. A re-export on the target makes
+    // the cached handle miss cleanly and re-resolve — it can never call
+    // the superseded implementation.
     let mut builder =
         ObjectBuilder::new(format!("proxy<{}>", target.class())).state(shared.clone());
     for desc in target.descriptors() {
@@ -122,17 +132,19 @@ pub fn make_proxy(
             let cc = shared.clone();
             let iface_name = desc.interface.clone();
             let method = sig.name.clone();
+            let cache = CallCache::new();
             iface.insert_method(
                 sig,
                 Arc::new(move |_this: &ObjRef, args: &[Value]| {
-                    cc.invoke(&iface_name, &method, args)
+                    cc.invoke(&iface_name, &method, args, &cache)
                 }),
             );
         }
         let cc = shared.clone();
         let iface_name = desc.interface.clone();
+        let fwd_cache = CallCache::new();
         iface.set_fallback(Arc::new(move |_this, method, args| {
-            cc.invoke(&iface_name, method, args)
+            cc.invoke(&iface_name, method, args, &fwd_cache)
         }));
         builder = builder.raw_interface(iface);
     }
@@ -154,7 +166,13 @@ impl CrossCall {
     }
 
     /// Performs one cross-domain invocation.
-    fn invoke(&self, interface: &str, method: &str, args: &[Value]) -> Result<Value, ObjError> {
+    fn invoke(
+        &self,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+        cache: &CallCache,
+    ) -> Result<Value, ObjError> {
         // 1. Reference the fault page: a genuine MMU fault in the caller's
         //    context.
         let fault = {
@@ -180,9 +198,11 @@ impl CrossCall {
             .deliver(&self.ctx.machine, &Trap::page_fault(fault));
 
         // 3. Map in (marshal) the arguments and switch to the target's
-        //    context.
+        //    context. The translated frame lives in an `ArgFrame`: small
+        //    flat frames stay entirely on the stack instead of paying a
+        //    `Vec` allocation per crossing.
         let mut bytes = 0usize;
-        let mut sent = Vec::with_capacity(args.len());
+        let mut sent = ArgFrame::with_capacity(args.len());
         for a in args {
             let (v, n) = self.translate_value(a, self.caller, self.target_domain)?;
             bytes += n;
@@ -196,8 +216,15 @@ impl CrossCall {
                 .map_err(|e| ObjError::failed(format!("context switch: {e}")))?;
         }
 
-        // 4. Invoke the actual method in the target's domain.
-        let result = self.target.invoke(interface, method, &sent);
+        // 4. Invoke the actual method in the target's domain, through the
+        //    proxy entry's pinned method handle when it is still current.
+        let result = cache.invoke(
+            None,
+            || Ok(self.target.clone()),
+            interface,
+            method,
+            sent.as_slice(),
+        );
 
         // 5. Marshal the result back and return to the caller's context.
         let back = match result {

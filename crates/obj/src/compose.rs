@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use crate::{
     builder::ObjectBuilder,
     error::ObjError,
-    interface::Interface,
+    interface::{CallCache, Interface},
     object::ObjRef,
     typeinfo::{MethodSig, TypeTag},
     value::Value,
@@ -105,9 +105,12 @@ impl CompositionBuilder {
         }
         let mut builder = ObjectBuilder::new(self.class);
 
-        // One forwarding interface per export. The child is looked up from
-        // the composition's state on every call so that `replace` takes
-        // effect for existing clients — this is the late-binding property.
+        // One forwarding interface per export. The current child instance
+        // backs each call so that `replace` takes effect for existing
+        // clients — this is the late-binding property. Resolution is
+        // cached per hop ([`CallCache`]) and revalidated against the
+        // composition's export generation, which `replace` bumps; the
+        // argument slice is reused, never re-collected.
         for (iface_name, child_name) in &self.state.exports {
             let child = &self.state.children[child_name];
             let mut iface = Interface::new(iface_name.clone());
@@ -117,20 +120,20 @@ impl CompositionBuilder {
                 }
                 for sig in desc.methods {
                     let (i, c, m) = (iface_name.clone(), child_name.clone(), sig.name.clone());
+                    let cache = CallCache::new();
                     iface.insert_method(
                         sig,
                         std::sync::Arc::new(move |this: &ObjRef, args: &[Value]| {
-                            let target = lookup_child(this, &c)?;
-                            target.invoke(&i, &m, args)
+                            cache.invoke(Some(this), || lookup_child(this, &c), &i, &m, args)
                         }),
                     );
                 }
             }
             // Fallback covers methods added to the child after composition.
             let (i, c) = (iface_name.clone(), child_name.clone());
+            let fwd_cache = CallCache::new();
             iface.set_fallback(std::sync::Arc::new(move |this, method, args| {
-                let target = lookup_child(this, &c)?;
-                target.invoke(&i, method, args)
+                fwd_cache.invoke(Some(this), || lookup_child(this, &c), &i, method, args)
             }));
             builder = builder.raw_interface(iface);
         }
@@ -176,13 +179,15 @@ fn admin_interface() -> Interface {
         std::sync::Arc::new(|this: &ObjRef, args: &[Value]| {
             let name = args[0].as_str()?.to_owned();
             let new = args[1].as_handle()?.clone();
-            this.with_state(|s: &mut CompositionState| {
+            let old = this.with_state(|s: &mut CompositionState| {
                 let slot = s.children.get_mut(&name).ok_or_else(|| {
                     ObjError::Binding(format!("no child named `{name}` to replace"))
                 })?;
-                let old = std::mem::replace(slot, new.clone());
-                Ok(Value::Handle(old))
-            })
+                Ok(std::mem::replace(slot, new.clone()))
+            })?;
+            // Re-point every cached forward at the replacement instance.
+            this.bump_export_generation();
+            Ok(Value::Handle(old))
         }),
     );
     iface

@@ -40,8 +40,13 @@ use crate::{interface::Interface, object::ObjRef};
 pub fn delegate_interface(base: Interface, target: ObjRef) -> Interface {
     let iface_name = base.name().to_owned();
     let mut iface = base;
+    // Delegated calls reuse the incoming argument slice and cache the
+    // resolved target method per call site. The target instance is fixed
+    // (no holder generation to track); re-exports on the target itself
+    // invalidate the cached handle via its export generation.
+    let cache = crate::interface::CallCache::new();
     iface.set_fallback(std::sync::Arc::new(move |_this, method, args| {
-        target.invoke(&iface_name, method, args)
+        cache.invoke(None, || Ok(target.clone()), &iface_name, method, args)
     }));
     iface
 }

@@ -10,7 +10,8 @@ use std::{collections::BTreeMap, sync::Arc};
 
 use crate::{
     error::ObjError,
-    object::ObjRef,
+    object::{ObjRef, ResolvedMethod},
+    snapcell::SnapCell,
     typeinfo::{InterfaceDescriptor, MethodSig, TypeTag},
     value::Value,
     ObjResult,
@@ -45,11 +46,30 @@ impl std::fmt::Debug for Method {
     }
 }
 
+impl Method {
+    /// Runs this method on behalf of `this` with full signature checking.
+    ///
+    /// This is the one dispatch kernel shared by every call path — slow
+    /// lookup, dispatch-cache hit, bound methods and cached forwarders all
+    /// funnel through it, so fast and slow paths cannot drift apart.
+    #[inline]
+    pub fn call(&self, this: &ObjRef, args: &[Value]) -> ObjResult<Value> {
+        self.sig.check_args(args)?;
+        let result = (self.imp)(this, args)?;
+        self.sig.check_result(&result)?;
+        Ok(result)
+    }
+}
+
 /// A named set of methods with type information.
+///
+/// Methods are stored behind `Arc` so resolved handles can be cached by the
+/// dispatch fast path (per-object caches, [`CallCache`], cross-domain
+/// proxies) without cloning signatures.
 #[derive(Clone)]
 pub struct Interface {
     name: String,
-    methods: BTreeMap<String, Method>,
+    methods: BTreeMap<String, Arc<Method>>,
     fallback: Option<FallbackFn>,
 }
 
@@ -80,7 +100,15 @@ impl Interface {
 
     /// Adds (or replaces) a method.
     pub fn insert_method(&mut self, sig: MethodSig, imp: MethodFn) {
-        self.methods.insert(sig.name.clone(), Method { sig, imp });
+        self.methods
+            .insert(sig.name.clone(), Arc::new(Method { sig, imp }));
+    }
+
+    /// Returns the directly implemented method `name`, if any. Delegated
+    /// (fallback-only) methods are not returned — they have no resolvable
+    /// handle.
+    pub fn method(&self, name: &str) -> Option<&Arc<Method>> {
+        self.methods.get(name)
     }
 
     /// Sets the delegation fallback, called for any method not present.
@@ -120,14 +148,12 @@ impl Interface {
     /// Invokes `method` on behalf of `this`, checking arguments and result
     /// against the method signature. Falls back to the delegation handler
     /// when the method is not directly implemented.
+    ///
+    /// Arguments are passed through borrowed (`&[Value]`) end to end: no
+    /// hop in the dispatch stack re-collects them into a fresh `Vec`.
     pub fn call(&self, this: &ObjRef, method: &str, args: &[Value]) -> ObjResult<Value> {
         match self.methods.get(method) {
-            Some(m) => {
-                m.sig.check_args(args)?;
-                let result = (m.imp)(this, args)?;
-                m.sig.check_result(&result)?;
-                Ok(result)
-            }
+            Some(m) => m.call(this, args),
             None => match &self.fallback {
                 Some(fb) => fb(this, method, args),
                 None => Err(ObjError::NoSuchMethod {
@@ -150,30 +176,27 @@ impl Interface {
 /// default.
 #[derive(Clone)]
 pub struct BoundMethod {
-    sig: MethodSig,
-    imp: MethodFn,
+    method: Arc<Method>,
     this: ObjRef,
 }
 
 impl BoundMethod {
-    /// Invokes the bound method with full signature checking.
+    /// Invokes the bound method with full signature checking. Arguments are
+    /// borrowed straight through to the implementation — no per-call clone.
     pub fn call(&self, args: &[Value]) -> ObjResult<Value> {
-        self.sig.check_args(args)?;
-        let result = (self.imp)(&self.this, args)?;
-        self.sig.check_result(&result)?;
-        Ok(result)
+        self.method.call(&self.this, args)
     }
 
     /// Invokes without argument/result type checks — the fully inlined
     /// variant (the signature was checked when the call site was
     /// compiled, in the paper's framing).
     pub fn call_unchecked_types(&self, args: &[Value]) -> ObjResult<Value> {
-        (self.imp)(&self.this, args)
+        (self.method.imp)(&self.this, args)
     }
 
     /// The bound signature.
     pub fn signature(&self) -> &MethodSig {
-        &self.sig
+        &self.method.sig
     }
 }
 
@@ -181,12 +204,143 @@ impl Interface {
     /// Pre-resolves `method` against `this`, returning the inline-call
     /// handle. Returns `None` for delegated (fallback-only) methods —
     /// those cannot be snapshotted without freezing the delegation target.
+    ///
+    /// Binding shares the interface's `Arc<Method>` entry; nothing is
+    /// cloned beyond two reference counts.
     pub fn bind_method(&self, this: &ObjRef, method: &str) -> Option<BoundMethod> {
         self.methods.get(method).map(|m| BoundMethod {
-            sig: m.sig.clone(),
-            imp: m.imp.clone(),
+            method: m.clone(),
             this: this.clone(),
         })
+    }
+}
+
+/// A one-slot cache for forwarding a call to another object — the per-hop
+/// "run time inline technique" used by interposers, compositions,
+/// delegation and cross-domain proxies.
+///
+/// The cached resolution (target handle + method handle) is revalidated on
+/// every call against two export-generation counters
+/// ([`Object::export_generation`](crate::object::Object::export_generation)):
+///
+/// * the **holder**'s — the wrapper object whose forwarding topology can
+///   change (an interposer being retargeted, a composition child being
+///   replaced); wrappers bump their generation on such changes, and
+/// * the **target**'s — bumped when the target re-exports or revokes an
+///   interface.
+///
+/// A stale entry therefore misses cleanly and re-resolves; it can never
+/// call an outdated implementation. On a hit the forward costs one atomic
+/// snapshot load, two atomic generation loads and a short scan — no lock,
+/// no name-space walk, no state downcast, no method-table lookup, and no
+/// allocation.
+#[derive(Default)]
+pub struct CallCache {
+    slot: SnapCell<Vec<CachedCall>>,
+}
+
+/// Pinned resolutions a [`CallCache`] holds: enough for a forwarding
+/// fallback alternating between a few hot methods. Fresh entries are never
+/// evicted; call sites spreading over more methods serve the excess
+/// through the target's own dispatch cache instead.
+const CALL_CACHE_SLOTS: usize = 4;
+
+#[derive(Clone)]
+struct CachedCall {
+    holder_gen: u64,
+    method: String,
+    target: ObjRef,
+    resolved: ResolvedMethod,
+}
+
+impl CallCache {
+    /// Creates an empty cache. One `CallCache` serves one forwarding call
+    /// site (a fixed interface; the method may vary, e.g. in a delegation
+    /// fallback).
+    pub fn new() -> Self {
+        CallCache::default()
+    }
+
+    /// Forwards `interface::method(args)` to the object produced by
+    /// `resolve_target`, caching the resolution.
+    ///
+    /// `holder` is the wrapper whose generation guards the cached *target*
+    /// (pass `None` when the target can never be rebound, e.g. delegation
+    /// to a fixed instance). `resolve_target` is only run on a cache miss.
+    /// Methods served by a delegation fallback on the target are forwarded
+    /// uncached — they have no stable handle to pin.
+    #[inline]
+    pub fn invoke(
+        &self,
+        holder: Option<&ObjRef>,
+        resolve_target: impl FnOnce() -> ObjResult<ObjRef>,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> ObjResult<Value> {
+        let holder_gen = holder.map_or(0, |h| h.export_generation());
+        // Lock-free fast path: one snapshot load plus generation checks.
+        // The snapshot stays valid for the duration of the call even if a
+        // concurrent miss republishes (see `snapcell`).
+        if let Some(entries) = self.slot.load() {
+            if let Some(c) = entries.iter().find(|c| {
+                c.holder_gen == holder_gen && c.resolved.is_current(&c.target) && c.method == method
+            }) {
+                return c.resolved.call(&c.target, args);
+            }
+        }
+        self.invoke_miss(holder_gen, resolve_target, interface, method, args)
+    }
+
+    /// Slow path of [`CallCache::invoke`]: resolve the current target and
+    /// pin its method handle. Stale entries are dropped on republish;
+    /// fresh ones are never evicted, bounding snapshot churn.
+    #[cold]
+    fn invoke_miss(
+        &self,
+        holder_gen: u64,
+        resolve_target: impl FnOnce() -> ObjResult<ObjRef>,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> ObjResult<Value> {
+        let target = resolve_target()?;
+        match target.resolve_method(interface, method) {
+            Some(resolved) => {
+                let fresh = |c: &&CachedCall| {
+                    c.holder_gen == holder_gen && c.resolved.is_current(&c.target)
+                };
+                let mut entries: Vec<CachedCall> = match self.slot.load() {
+                    Some(t) => {
+                        if t.iter().filter(fresh).count() >= CALL_CACHE_SLOTS {
+                            // Full of current resolutions for other
+                            // methods: serve uncached, no churn.
+                            return resolved.call(&target, args);
+                        }
+                        t.iter().filter(fresh).cloned().collect()
+                    }
+                    None => Vec::with_capacity(1),
+                };
+                entries.push(CachedCall {
+                    holder_gen,
+                    method: method.to_owned(),
+                    target: target.clone(),
+                    resolved: resolved.clone(),
+                });
+                self.slot.publish(entries);
+                resolved.call(&target, args)
+            }
+            None => target.invoke(interface, method, args),
+        }
+    }
+}
+
+impl std::fmt::Debug for CallCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cached = self.slot.load().map_or(0, Vec::len);
+        f.debug_struct("CallCache")
+            .field("cached", &cached)
+            .finish()
     }
 }
 

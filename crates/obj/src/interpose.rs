@@ -15,7 +15,7 @@ use std::{collections::BTreeMap, sync::Arc};
 
 use crate::{
     builder::ObjectBuilder,
-    interface::{Interface, MethodFn},
+    interface::{CallCache, Interface, MethodFn},
     object::ObjRef,
     value::Value,
     ObjResult,
@@ -132,6 +132,7 @@ impl InterposerBuilder {
 
         let before = Arc::new(self.before);
         let after = Arc::new(self.after);
+        let no_hooks = before.is_empty() && after.is_empty();
 
         for iface_name in self.target.interface_names() {
             let mut iface = Interface::new(iface_name.clone());
@@ -147,39 +148,71 @@ impl InterposerBuilder {
                     let body: MethodFn = match self.overrides.get(&key) {
                         Some(ovr) => ovr.clone(),
                         None => {
+                            // Forwarding reuses the incoming argument slice
+                            // (no re-collect) and caches the resolved
+                            // target method per hop; `retarget` bumps the
+                            // agent's export generation so the cache
+                            // re-resolves.
                             let (fi, fm) = (i.clone(), m.clone());
+                            let cache = CallCache::new();
                             Arc::new(move |this: &ObjRef, args: &[Value]| {
-                                interposer_target(this)?.invoke(&fi, &fm, args)
+                                cache.invoke(Some(this), || interposer_target(this), &fi, &fm, args)
                             })
                         }
                     };
-                    let (b, a) = (before.clone(), after.clone());
-                    let wrapped: MethodFn = Arc::new(move |this: &ObjRef, args: &[Value]| {
-                        for h in b.iter() {
-                            h(&i, &m, args);
-                        }
-                        let r = body(this, args);
-                        for h in a.iter() {
-                            h(&i, &m, args);
-                        }
-                        r
-                    });
+                    // Without hooks the body is installed directly — one
+                    // fewer indirect call and capture block per hop.
+                    let wrapped: MethodFn = if no_hooks {
+                        body
+                    } else {
+                        let (b, a) = (before.clone(), after.clone());
+                        Arc::new(move |this: &ObjRef, args: &[Value]| {
+                            for h in b.iter() {
+                                h(&i, &m, args);
+                            }
+                            let r = body(this, args);
+                            for h in a.iter() {
+                                h(&i, &m, args);
+                            }
+                            r
+                        })
+                    };
                     iface.insert_method(sig, wrapped);
                 }
             }
-            // Forward methods unknown at wrap time.
+            // Forward methods unknown at wrap time (one shared cache per
+            // interface; the method name is revalidated on every hit).
             let fwd_iface = iface_name.clone();
-            let (b, a) = (before.clone(), after.clone());
-            iface.set_fallback(Arc::new(move |this, method, args| {
-                for h in b.iter() {
-                    h(&fwd_iface, method, args);
-                }
-                let r = interposer_target(this)?.invoke(&fwd_iface, method, args);
-                for h in a.iter() {
-                    h(&fwd_iface, method, args);
-                }
-                r
-            }));
+            let fwd_cache = CallCache::new();
+            if no_hooks {
+                iface.set_fallback(Arc::new(move |this, method, args| {
+                    fwd_cache.invoke(
+                        Some(this),
+                        || interposer_target(this),
+                        &fwd_iface,
+                        method,
+                        args,
+                    )
+                }));
+            } else {
+                let (b, a) = (before.clone(), after.clone());
+                iface.set_fallback(Arc::new(move |this, method, args| {
+                    for h in b.iter() {
+                        h(&fwd_iface, method, args);
+                    }
+                    let r = fwd_cache.invoke(
+                        Some(this),
+                        || interposer_target(this),
+                        &fwd_iface,
+                        method,
+                        args,
+                    );
+                    for h in a.iter() {
+                        h(&fwd_iface, method, args);
+                    }
+                    r
+                }));
+            }
             builder = builder.raw_interface(iface);
         }
 
@@ -212,9 +245,12 @@ fn admin_interface() -> Interface {
         ),
         Arc::new(|this: &ObjRef, args: &[Value]| {
             let new = args[0].as_handle()?.clone();
-            this.with_state(|s: &mut InterposerState| {
-                Ok(Value::Handle(std::mem::replace(&mut s.target, new)))
-            })
+            let old = this
+                .with_state(|s: &mut InterposerState| Ok(std::mem::replace(&mut s.target, new)))?;
+            // Invalidate every per-hop forward cache pointing at the old
+            // target: they revalidate against the agent's generation.
+            this.bump_export_generation();
+            Ok(Value::Handle(old))
         }),
     );
     iface

@@ -47,6 +47,8 @@ pub mod error;
 pub mod interface;
 pub mod interpose;
 pub mod object;
+pub(crate) mod snapcell;
+pub(crate) mod trylock;
 pub mod typeinfo;
 pub mod value;
 
@@ -54,10 +56,11 @@ pub use builder::{InterfaceBuilder, ObjectBuilder};
 pub use compose::CompositionBuilder;
 pub use delegate::delegate_interface;
 pub use error::ObjError;
-pub use interface::{BoundMethod, Interface, Method, MethodFn};
+pub use interface::{BoundMethod, CallCache, Interface, Method, MethodFn};
 pub use interpose::InterposerBuilder;
-pub use object::{ObjRef, Object};
+pub use object::{ObjRef, Object, ResolvedMethod};
 pub use typeinfo::{InterfaceDescriptor, MethodSig, TypeTag};
+pub use value::ArgFrame;
 pub use value::Value;
 
 /// Convenient result alias used throughout the object model.

@@ -14,14 +14,38 @@ use std::{
     },
 };
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use crate::{
-    error::ObjError, interface::Interface, typeinfo::InterfaceDescriptor, value::Value, ObjResult,
+    error::ObjError,
+    interface::{Interface, Method},
+    snapcell::SnapCell,
+    trylock::TryLock,
+    typeinfo::{InterfaceDescriptor, MethodSig},
+    value::Value,
+    ObjResult,
 };
 
 /// A shared reference to an object instance — the paper's "object handle".
 pub type ObjRef = Arc<Object>;
+
+/// Slots in the per-object dispatch cache. Eight covers every hot loop in
+/// the tree (most call sites hammer one or two methods per object) while
+/// keeping the linear revalidation scan trivially cheap. Objects invoking
+/// more distinct methods than this serve the excess from the slow path —
+/// the cache never evicts a fresh entry, which also bounds snapshot
+/// republishing (see `snapcell`).
+const DISPATCH_CACHE_SLOTS: usize = 8;
+
+/// One pinned `(interface, method)` resolution, valid while the object's
+/// export generation still matches `gen`.
+#[derive(Clone)]
+struct DispatchEntry {
+    gen: u64,
+    interface: String,
+    method: String,
+    imp: Arc<Method>,
+}
 
 /// An object instance: instance data plus exported interfaces.
 pub struct Object {
@@ -30,11 +54,24 @@ pub struct Object {
     /// Instance name assigned when registered in a name space, if any.
     instance_name: RwLock<Option<String>>,
     /// Instance data. Methods downcast it via [`Object::with_state`].
-    state: Mutex<Box<dyn Any + Send>>,
+    /// Guarded by a spin lock: state critical sections are short, never
+    /// re-entrant (see [`Object::with_state`]) and effectively uncontended
+    /// in the deterministic simulation, so the single-swap acquire keeps
+    /// state access off the dispatch path's cost ledger.
+    state: TryLock<Box<dyn Any + Send>>,
     /// Exported interfaces by name.
     interfaces: RwLock<BTreeMap<String, Arc<Interface>>>,
     /// Total method invocations through [`Object::invoke`].
     invocations: AtomicU64,
+    /// Export generation: bumped whenever the set of exported interfaces
+    /// changes (or a wrapper's forwarding topology changes, see
+    /// [`Object::bump_export_generation`]). Cached method handles carry the
+    /// generation they were resolved at and miss cleanly once it moves.
+    export_gen: AtomicU64,
+    /// Pinned method resolutions serving [`Object::invoke`]'s fast path:
+    /// an immutable snapshot republished (cold path only) when a
+    /// resolution is learned or invalidated. Readers pay one atomic load.
+    dispatch_cache: SnapCell<Vec<DispatchEntry>>,
 }
 
 impl std::fmt::Debug for Object {
@@ -62,7 +99,7 @@ impl Object {
         Arc::new(Object {
             class: class.into(),
             instance_name: RwLock::new(None),
-            state: Mutex::new(state),
+            state: TryLock::new(state),
             interfaces: RwLock::new(
                 interfaces
                     .into_iter()
@@ -70,6 +107,8 @@ impl Object {
                     .collect(),
             ),
             invocations: AtomicU64::new(0),
+            export_gen: AtomicU64::new(0),
+            dispatch_cache: SnapCell::new(),
         })
     }
 
@@ -149,11 +188,52 @@ impl Object {
         self.interfaces
             .write()
             .insert(iface.name().to_owned(), Arc::new(iface));
+        self.bump_export_generation();
     }
 
     /// Removes an exported interface, returning whether it existed.
     pub fn revoke_interface(&self, name: &str) -> bool {
-        self.interfaces.write().remove(name).is_some()
+        let removed = self.interfaces.write().remove(name).is_some();
+        if removed {
+            self.bump_export_generation();
+        }
+        removed
+    }
+
+    /// The current export generation.
+    ///
+    /// Any cached method handle ([`ResolvedMethod`], a
+    /// [`CallCache`](crate::interface::CallCache) slot, the per-object
+    /// dispatch cache) resolved at an older generation is stale and must
+    /// re-resolve before calling.
+    #[inline]
+    pub fn export_generation(&self) -> u64 {
+        self.export_gen.load(Ordering::Acquire)
+    }
+
+    /// Invalidates every cached method handle resolved against this object.
+    ///
+    /// Called automatically by [`Object::export_interface`] and
+    /// [`Object::revoke_interface`]. Wrapper objects whose *forwarding
+    /// topology* changes without their interface set changing — an
+    /// interposer being retargeted, a composition child being replaced —
+    /// call this explicitly so per-hop forward caches miss and re-resolve.
+    pub fn bump_export_generation(&self) {
+        self.export_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Resolves a directly implemented method to a cacheable handle, or
+    /// `None` if the interface is missing or the method is only reachable
+    /// through a delegation fallback.
+    pub fn resolve_method(&self, interface: &str, method: &str) -> Option<ResolvedMethod> {
+        let gen = self.export_generation();
+        let imp = self
+            .interfaces
+            .read()
+            .get(interface)?
+            .method(method)?
+            .clone();
+        Some(ResolvedMethod { gen, imp })
     }
 
     /// Flattened type information for every exported interface.
@@ -165,9 +245,50 @@ impl Object {
             .collect()
     }
 
-    /// Total number of invocations made through [`Object::invoke`].
+    /// Total method invocations through [`Object::invoke`].
     pub fn invocation_count(&self) -> u64 {
         self.invocations.load(Ordering::Relaxed)
+    }
+
+    /// Bumps the invocation statistic.
+    ///
+    /// Deliberately a plain load/store rather than an atomic RMW: the
+    /// counter is a monitoring statistic on the dispatch hot path, and a
+    /// locked `fetch_add` costs more than the rest of the fast path
+    /// combined on some hosts. Racing writers may drop a count; the value
+    /// is exact in the deterministic single-threaded simulation.
+    #[inline]
+    pub(crate) fn note_invocation(&self) {
+        self.invocations.store(
+            self.invocations.load(Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Records a resolution in the dispatch cache by republishing a new
+    /// snapshot. Stale entries (older generation) are dropped; fresh
+    /// entries are never evicted, so once the cache is full of current
+    /// resolutions additional methods stay on the slow path and no
+    /// snapshot churn occurs.
+    fn remember_method(&self, gen: u64, interface: &str, method: &str, imp: &Arc<Method>) {
+        let mut entries: Vec<DispatchEntry> = match self.dispatch_cache.load() {
+            Some(t) => {
+                // Full of current entries (and this pair is not one of
+                // them, else we would have hit): leave the cache alone.
+                if t.iter().filter(|e| e.gen == gen).count() >= DISPATCH_CACHE_SLOTS {
+                    return;
+                }
+                t.iter().filter(|e| e.gen == gen).cloned().collect()
+            }
+            None => Vec::with_capacity(1),
+        };
+        entries.push(DispatchEntry {
+            gen,
+            interface: interface.to_owned(),
+            method: method.to_owned(),
+            imp: imp.clone(),
+        });
+        self.dispatch_cache.publish(entries);
     }
 }
 
@@ -180,26 +301,141 @@ pub trait Invoke {
 
 impl Invoke for ObjRef {
     fn invoke(&self, interface: &str, method: &str, args: &[Value]) -> ObjResult<Value> {
-        let iface = self.interface(interface)?;
-        self.invocations.fetch_add(1, Ordering::Relaxed);
-        iface.call(self, method, args)
+        Object::invoke(self, interface, method, args)
     }
 }
 
 impl Object {
     /// Invokes `interface::method(args)` on this object.
     ///
-    /// Inherent convenience wrapper so call sites holding an `ObjRef` can
-    /// write `obj.invoke(..)` directly.
+    /// The common case is served by a per-object inline cache: a pinned
+    /// `Arc<Method>` handle revalidated against the export generation, so
+    /// repeated calls skip the interface-table and method-table lookups
+    /// entirely and the arguments stay borrowed end to end (no clone, no
+    /// allocation for flat frames). Any interface re-export or revocation
+    /// bumps the generation and sends the next call down the slow path.
+    ///
+    /// Fast and slow path run the identical dispatch kernel
+    /// ([`Method::call`]) — same signature checks, same invocation
+    /// accounting — which `tests/dispatch_conformance.rs` pins
+    /// differentially against [`Object::invoke_uncached`].
+    #[inline]
     pub fn invoke(
         self: &Arc<Self>,
         interface: &str,
         method: &str,
         args: &[Value],
     ) -> ObjResult<Value> {
+        // Lock-free fast path: one atomic load of the current snapshot,
+        // one of the generation, then a short scan. The snapshot reference
+        // stays valid for the whole call even if a concurrent re-export
+        // republishes (see `snapcell`), and the generation check rejects
+        // anything stale.
+        if let Some(entries) = self.dispatch_cache.load() {
+            let gen = self.export_gen.load(Ordering::Acquire);
+            if let Some(e) = entries
+                .iter()
+                .find(|e| e.gen == gen && e.method == method && e.interface == interface)
+            {
+                self.note_invocation();
+                return e.imp.call(self, args);
+            }
+        }
+        self.invoke_slow(interface, method, args)
+    }
+
+    /// Slow path: full name-space lookup, then populate the dispatch cache
+    /// for directly implemented methods.
+    #[cold]
+    fn invoke_slow(
+        self: &Arc<Self>,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> ObjResult<Value> {
+        // Generation is sampled *before* the interface read so a racing
+        // re-export can only make the recorded entry stale, never wrongly
+        // fresh.
+        let gen = self.export_generation();
         let iface = self.interface(interface)?;
-        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.note_invocation();
+        match iface.method(method) {
+            Some(m) => {
+                self.remember_method(gen, interface, method, m);
+                m.call(self, args)
+            }
+            // Fallback-served methods have no stable handle to pin.
+            None => iface.call(self, method, args),
+        }
+    }
+
+    /// Invokes `interface::method(args)` bypassing every dispatch cache —
+    /// the reference slow path.
+    ///
+    /// Semantically identical to [`Object::invoke`] (same lookups, checks
+    /// and accounting); it only skips cache consultation and population.
+    /// The dispatch conformance suite drives both and asserts equivalence.
+    pub fn invoke_uncached(
+        self: &Arc<Self>,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> ObjResult<Value> {
+        let iface = self.interface(interface)?;
+        self.note_invocation();
         iface.call(self, method, args)
+    }
+}
+
+/// A pinned method resolution: the target's `Arc<Method>` plus the export
+/// generation it was resolved at.
+///
+/// Produced by [`Object::resolve_method`] and cached by cross-domain
+/// proxies and per-hop forward caches. Callers must revalidate with
+/// [`ResolvedMethod::is_current`] against the *same object* the handle was
+/// resolved from before each call; a stale handle must be dropped and
+/// re-resolved (it would otherwise pin an implementation the object no
+/// longer exports).
+#[derive(Clone)]
+pub struct ResolvedMethod {
+    gen: u64,
+    imp: Arc<Method>,
+}
+
+impl ResolvedMethod {
+    /// The export generation this handle was resolved at.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// True while `obj` (the object this was resolved from) has not
+    /// re-exported or revoked any interface since resolution.
+    #[inline]
+    pub fn is_current(&self, obj: &Object) -> bool {
+        self.gen == obj.export_generation()
+    }
+
+    /// The resolved method's signature.
+    pub fn signature(&self) -> &MethodSig {
+        &self.imp.sig
+    }
+
+    /// Calls the resolved method on `this` with exactly the semantics of
+    /// [`Object::invoke`]: invocation accounting plus full signature
+    /// checking.
+    #[inline]
+    pub fn call(&self, this: &ObjRef, args: &[Value]) -> ObjResult<Value> {
+        this.note_invocation();
+        self.imp.call(this, args)
+    }
+}
+
+impl std::fmt::Debug for ResolvedMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolvedMethod")
+            .field("gen", &self.gen)
+            .field("sig", &self.imp.sig)
+            .finish()
     }
 }
 

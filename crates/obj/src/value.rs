@@ -205,6 +205,202 @@ impl Value {
     }
 }
 
+/// Number of values an [`ArgFrame`] stores inline before spilling to the
+/// heap.
+pub const ARG_FRAME_INLINE: usize = 4;
+
+/// An argument frame: the owned form of the `&[Value]` slices flowing
+/// through method dispatch.
+///
+/// Most of the invocation stack never materialises a frame at all — call
+/// paths borrow the caller's slice end to end. `ArgFrame` exists for the
+/// places that *must* build a new frame (the cross-domain proxy marshalling
+/// translated arguments, tooling that rewrites arguments per hop) and makes
+/// that cheap: frames of up to [`ARG_FRAME_INLINE`] values live entirely on
+/// the stack, so the common small flat (non-list) frame costs **zero heap
+/// allocations**; longer frames transparently spill to a `Vec<Value>`.
+///
+/// # Inline-capacity trade-off
+///
+/// The inline capacity is a balance between stack traffic and allocator
+/// traffic. Every interface method in this tree takes ≤ 3 arguments, so 4
+/// inline slots cover the entire workload; at ~4 machine words per `Value`
+/// the inline frame is ~5 cache lines worst case — still far cheaper than a
+/// `Vec` round trip through the allocator on every cross-domain crossing.
+/// Raising the capacity would only grow `memcpy` traffic for frames that
+/// are nearly always short; lowering it would push real calls back onto the
+/// heap. Frames behave identically (push/iter/`as_slice`) on both sides of
+/// the threshold — a property pinned by `arg_frame_matches_vec_model` in
+/// `tests/properties.rs`.
+#[derive(Clone, Debug)]
+pub struct ArgFrame {
+    repr: FrameRepr,
+}
+
+#[derive(Clone, Debug)]
+enum FrameRepr {
+    Inline {
+        len: u8,
+        slots: [Value; ARG_FRAME_INLINE],
+    },
+    Heap(Vec<Value>),
+}
+
+impl ArgFrame {
+    /// Creates an empty frame (inline, no allocation).
+    pub fn new() -> Self {
+        ArgFrame {
+            repr: FrameRepr::Inline {
+                len: 0,
+                slots: Default::default(),
+            },
+        }
+    }
+
+    /// Creates an empty frame sized for `n` values: inline when `n` fits,
+    /// a single up-front heap reservation otherwise.
+    pub fn with_capacity(n: usize) -> Self {
+        if n <= ARG_FRAME_INLINE {
+            ArgFrame::new()
+        } else {
+            ArgFrame {
+                repr: FrameRepr::Heap(Vec::with_capacity(n)),
+            }
+        }
+    }
+
+    /// Appends a value, spilling to the heap on overflow.
+    pub fn push(&mut self, value: Value) {
+        match &mut self.repr {
+            FrameRepr::Inline { len, slots } => {
+                let n = usize::from(*len);
+                if n < ARG_FRAME_INLINE {
+                    slots[n] = value;
+                    *len += 1;
+                } else {
+                    let mut heap: Vec<Value> = Vec::with_capacity(ARG_FRAME_INLINE * 2);
+                    heap.extend(slots.iter_mut().map(std::mem::take));
+                    heap.push(value);
+                    self.repr = FrameRepr::Heap(heap);
+                }
+            }
+            FrameRepr::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Number of values in the frame.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            FrameRepr::Inline { len, .. } => usize::from(*len),
+            FrameRepr::Heap(v) => v.len(),
+        }
+    }
+
+    /// True if the frame holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The frame's values as the borrowed slice dispatch works with.
+    pub fn as_slice(&self) -> &[Value] {
+        match &self.repr {
+            FrameRepr::Inline { len, slots } => &slots[..usize::from(*len)],
+            FrameRepr::Heap(v) => v,
+        }
+    }
+
+    /// Iterates the frame's values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.as_slice().iter()
+    }
+
+    /// True while the frame still lives in its inline storage (exposed so
+    /// tests can pin the no-alloc property).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, FrameRepr::Inline { .. })
+    }
+
+    /// Converts into a plain `Vec<Value>` (allocates only if still inline).
+    pub fn into_vec(self) -> Vec<Value> {
+        match self.repr {
+            FrameRepr::Inline { len, mut slots } => slots[..usize::from(len)]
+                .iter_mut()
+                .map(std::mem::take)
+                .collect(),
+            FrameRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for ArgFrame {
+    fn default() -> Self {
+        ArgFrame::new()
+    }
+}
+
+impl std::ops::Deref for ArgFrame {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<Value>> for ArgFrame {
+    fn from(v: Vec<Value>) -> Self {
+        ArgFrame {
+            repr: FrameRepr::Heap(v),
+        }
+    }
+}
+
+impl From<&[Value]> for ArgFrame {
+    fn from(values: &[Value]) -> Self {
+        let mut frame = ArgFrame::with_capacity(values.len());
+        for v in values {
+            frame.push(v.clone());
+        }
+        frame
+    }
+}
+
+impl FromIterator<Value> for ArgFrame {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        let mut frame = ArgFrame::new();
+        for v in iter {
+            frame.push(v);
+        }
+        frame
+    }
+}
+
+impl Extend<Value> for ArgFrame {
+    fn extend<I: IntoIterator<Item = Value>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ArgFrame {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl PartialEq for ArgFrame {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[Value]> for ArgFrame {
+    fn eq(&self, other: &[Value]) -> bool {
+        self.as_slice() == other
+    }
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
@@ -373,6 +569,37 @@ mod tests {
         assert_eq!(Value::Str("abcd".into()).marshalled_size(), 9);
         let big = Value::Bytes(Bytes::from(vec![0u8; 1500]));
         assert_eq!(big.marshalled_size(), 1505);
+    }
+
+    #[test]
+    fn arg_frame_stays_inline_then_spills() {
+        let mut f = ArgFrame::new();
+        assert!(f.is_inline() && f.is_empty());
+        for i in 0..ARG_FRAME_INLINE {
+            f.push(Value::Int(i as i64));
+            assert!(f.is_inline(), "≤{ARG_FRAME_INLINE} values stay inline");
+        }
+        assert_eq!(f.len(), ARG_FRAME_INLINE);
+        f.push(Value::Str("spill".into()));
+        assert!(!f.is_inline(), "overflow moves to the heap");
+        assert_eq!(f.len(), ARG_FRAME_INLINE + 1);
+        assert_eq!(f.as_slice()[0], Value::Int(0));
+        assert_eq!(f.as_slice()[ARG_FRAME_INLINE], Value::Str("spill".into()));
+    }
+
+    #[test]
+    fn arg_frame_conversions_roundtrip() {
+        let values = vec![Value::Int(1), Value::Bool(true), Value::Unit];
+        let frame = ArgFrame::from(values.as_slice());
+        assert_eq!(frame.as_slice(), values.as_slice());
+        assert_eq!(frame.iter().count(), 3);
+        assert_eq!(frame.clone().into_vec(), values);
+        let heap = ArgFrame::from(values.clone());
+        assert!(!heap.is_inline(), "Vec conversion keeps the heap buffer");
+        assert_eq!(heap, frame);
+        assert_eq!(ArgFrame::with_capacity(10).len(), 0);
+        let collected: ArgFrame = values.clone().into_iter().collect();
+        assert_eq!(&collected[..], values.as_slice());
     }
 
     #[test]

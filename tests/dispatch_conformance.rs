@@ -1,0 +1,597 @@
+//! Dispatch conformance suite: fast path ≡ slow path, differentially.
+//!
+//! The invocation stack serves repeated calls from caches — a per-object
+//! inline cache behind `Object::invoke`, per-hop `CallCache`s inside
+//! interposers/compositions/delegation, and pinned method handles inside
+//! cross-domain proxies — all invalidated by export-generation counters.
+//! Because those caches silently touch every call path, this suite pins
+//! their semantics against the cache-free reference
+//! (`Object::invoke_uncached`) for every dispatch flavour: twin objects
+//! are built from one factory and driven through the same call script,
+//! one twin through the cached fast path (repeating each call so the warm
+//! path is actually exercised), the other through the uncached slow path;
+//! the transcripts must be identical, including errors and per-object
+//! invocation accounting.
+
+use paramecium::obj::{
+    compose::COMPOSITION_IFACE, delegate_interface, interpose::INTERPOSER_IFACE, InterfaceBuilder,
+    ObjError,
+};
+use paramecium::prelude::*;
+use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    Arc,
+};
+
+/// One scripted call: `(interface, method, args)`.
+type Call = (&'static str, &'static str, Vec<Value>);
+
+/// A transcript entry: the canonicalised outcome of one call.
+///
+/// `Value::Handle` compares by identity, which can never match across
+/// twins, so outcomes are canonicalised structurally (handles render as
+/// their class name).
+fn canon(r: &Result<Value, ObjError>) -> String {
+    fn v(val: &Value) -> String {
+        match val {
+            Value::Handle(h) => format!("handle<{}>", h.class()),
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(v).collect();
+                format!("[{}]", inner.join(","))
+            }
+            other => format!("{other:?}"),
+        }
+    }
+    match r {
+        Ok(val) => format!("ok:{}", v(val)),
+        Err(e) => format!("err:{e:?}"),
+    }
+}
+
+/// Drives `obj` through `script`. With `fast` each call runs three times
+/// through the cached path (cold populate, then two warm hits) and the
+/// transcript records the *last* (fully warm) outcome; without it, every
+/// call takes the uncached reference path exactly three times too, so
+/// state mutations and invocation counts stay comparable.
+fn drive(obj: &ObjRef, script: &[Call], fast: bool) -> Vec<String> {
+    script
+        .iter()
+        .map(|(iface, method, args)| {
+            let mut last = None;
+            for _ in 0..3 {
+                let r = if fast {
+                    obj.invoke(iface, method, args)
+                } else {
+                    obj.invoke_uncached(iface, method, args)
+                };
+                last = Some(r);
+            }
+            canon(&last.expect("script ran"))
+        })
+        .collect()
+}
+
+/// Builds twins from `factory`, runs `script` fast and slow, and asserts
+/// transcript + invocation-count equivalence.
+fn assert_conformance(factory: impl Fn() -> ObjRef, script: &[Call]) {
+    let fast_obj = factory();
+    let slow_obj = factory();
+    let fast = drive(&fast_obj, script, true);
+    let slow = drive(&slow_obj, script, false);
+    assert_eq!(fast, slow, "fast-path transcript diverged from slow path");
+    assert_eq!(
+        fast_obj.invocation_count(),
+        slow_obj.invocation_count(),
+        "invocation accounting diverged"
+    );
+}
+
+fn counter() -> ObjRef {
+    ObjectBuilder::new("counter")
+        .state(0i64)
+        .interface("ctr", |i| {
+            i.method("incr", &[TypeTag::Int], TypeTag::Int, |this, args| {
+                let by = args[0].as_int()?;
+                this.with_state(|n: &mut i64| {
+                    *n += by;
+                    Ok(Value::Int(*n))
+                })
+            })
+            .method("get", &[], TypeTag::Int, |this, _| {
+                this.with_state(|n: &mut i64| Ok(Value::Int(*n)))
+            })
+            .method("name", &[], TypeTag::Str, |_, _| {
+                Ok(Value::Str("counter".into()))
+            })
+        })
+        .build()
+}
+
+/// The standard probe script: state mutation, reads, arity error, type
+/// error, missing method, missing interface.
+fn counter_script() -> Vec<Call> {
+    vec![
+        ("ctr", "incr", vec![Value::Int(2)]),
+        ("ctr", "get", vec![]),
+        ("ctr", "name", vec![]),
+        ("ctr", "incr", vec![]),                       // arity error
+        ("ctr", "incr", vec![Value::Str("x".into())]), // type error
+        ("ctr", "nope", vec![]),                       // missing method
+        ("nope", "get", vec![]),                       // missing interface
+        ("ctr", "incr", vec![Value::Int(5)]),
+        ("ctr", "get", vec![]),
+    ]
+}
+
+// ------------------------------------------------------------- flavour 1
+
+#[test]
+fn direct_dispatch_fast_equals_slow() {
+    assert_conformance(counter, &counter_script());
+}
+
+#[test]
+fn direct_dispatch_many_methods_exceeding_cache_slots() {
+    // More hot methods than the dispatch cache holds: the overflow must be
+    // served correctly (from the slow path), not wrongly or not at all.
+    let factory = || {
+        let mut b = ObjectBuilder::new("wide").state(0i64);
+        b = b.interface("wide", |mut i| {
+            for k in 0..12i64 {
+                let name = format!("m{k}");
+                i = i.method(&name, &[], TypeTag::Int, move |_, _| Ok(Value::Int(k)));
+            }
+            i
+        });
+        b.build()
+    };
+    let script: Vec<Call> = (0..12usize)
+        .cycle()
+        .take(36)
+        .map(|k| {
+            let names = [
+                "m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7", "m8", "m9", "m10", "m11",
+            ];
+            ("wide", names[k], vec![])
+        })
+        .collect();
+    assert_conformance(factory, &script);
+}
+
+// ------------------------------------------------------------- flavour 2
+
+#[test]
+fn bound_method_equals_interface_call_and_invoke() {
+    let via_bound = counter();
+    let via_iface = counter();
+    let via_invoke = counter();
+    let bound = via_bound
+        .interface("ctr")
+        .unwrap()
+        .bind_method(&via_bound, "incr")
+        .unwrap();
+    let iface = via_iface.interface("ctr").unwrap();
+    for step in [3i64, -1, 40] {
+        let args = [Value::Int(step)];
+        let a = canon(&bound.call(&args));
+        let b = canon(&iface.call(&via_iface, "incr", &args));
+        let c = canon(&via_invoke.invoke("ctr", "incr", &args));
+        assert_eq!(a, b, "bound vs interface.call");
+        assert_eq!(b, c, "interface.call vs invoke");
+    }
+    // Type errors agree too.
+    let bad = [Value::Str("x".into())];
+    assert_eq!(
+        canon(&bound.call(&bad)),
+        canon(&via_invoke.invoke("ctr", "incr", &bad))
+    );
+    assert_eq!(bound.signature().name, "incr");
+}
+
+// ------------------------------------------------------------- flavour 3
+
+#[test]
+fn delegated_and_fallback_dispatch_fast_equals_slow() {
+    let factory = || {
+        let base = counter();
+        let iface = InterfaceBuilder::new("ctr")
+            .method("name", &[], TypeTag::Str, |_, _| {
+                Ok(Value::Str("child".into()))
+            })
+            .finish();
+        ObjectBuilder::new("child")
+            .raw_interface(delegate_interface(iface, base))
+            .build()
+    };
+    let script = vec![
+        ("ctr", "name", vec![]),                       // own method wins
+        ("ctr", "incr", vec![Value::Int(4)]),          // delegated, target state
+        ("ctr", "get", vec![]),                        // delegated read
+        ("ctr", "incr", vec![Value::Str("x".into())]), // type error at target
+        ("ctr", "ghost", vec![]),                      // missing everywhere
+        ("ctr", "incr", vec![Value::Int(1)]),
+    ];
+    assert_conformance(factory, &script);
+}
+
+#[test]
+fn delegation_chain_fast_equals_slow() {
+    let factory = || {
+        let base = counter();
+        let mid = ObjectBuilder::new("mid")
+            .raw_interface(delegate_interface(
+                InterfaceBuilder::new("ctr").finish(),
+                base,
+            ))
+            .build();
+        ObjectBuilder::new("top")
+            .raw_interface(delegate_interface(
+                InterfaceBuilder::new("ctr").finish(),
+                mid,
+            ))
+            .build()
+    };
+    assert_conformance(factory, &counter_script());
+}
+
+// ------------------------------------------------------------- flavour 4
+
+#[test]
+fn interposed_chain_fast_equals_slow_with_hooks_and_overrides() {
+    let fast_hooks = Arc::new(AtomicU64::new(0));
+    let slow_hooks = Arc::new(AtomicU64::new(0));
+    let factory = |hooks: Arc<AtomicU64>| {
+        move || {
+            let mut obj = counter();
+            for layer in 0..3 {
+                let mut b = InterposerBuilder::new(obj);
+                if layer == 1 {
+                    // One layer doubles every increment.
+                    b = b.override_method("ctr", "incr", |this, args| {
+                        let v = args[0].as_int()?;
+                        paramecium::obj::interpose::interposer_target(this)?.invoke(
+                            "ctr",
+                            "incr",
+                            &[Value::Int(v * 2)],
+                        )
+                    });
+                }
+                let h = hooks.clone();
+                b = b.before(move |_, _, _| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                });
+                obj = b.build();
+            }
+            obj
+        }
+    };
+    let script = counter_script();
+    let fast_obj = factory(fast_hooks.clone())();
+    let slow_obj = factory(slow_hooks.clone())();
+    let fast = drive(&fast_obj, &script, true);
+    let slow = drive(&slow_obj, &script, false);
+    assert_eq!(fast, slow);
+    assert_eq!(
+        fast_hooks.load(Ordering::Relaxed),
+        slow_hooks.load(Ordering::Relaxed),
+        "hooks must observe the same calls on both paths"
+    );
+}
+
+#[test]
+fn interposer_retarget_invalidates_cached_forward() {
+    // Warm the chain, retarget mid-stream, and require the very next call
+    // to reach the new target — a stale cached hop must re-resolve, never
+    // call the old instance.
+    let factory = || {
+        let a = counter();
+        let agent = InterposerBuilder::new(a.clone()).build();
+        (agent, a)
+    };
+    let (fast_agent, fast_a) = factory();
+    let (slow_agent, slow_a) = factory();
+    let b_fast = counter();
+    let b_slow = counter();
+    for _ in 0..3 {
+        fast_agent.invoke("ctr", "incr", &[Value::Int(1)]).unwrap();
+        slow_agent
+            .invoke_uncached("ctr", "incr", &[Value::Int(1)])
+            .unwrap();
+    }
+    fast_agent
+        .invoke(
+            INTERPOSER_IFACE,
+            "retarget",
+            &[Value::Handle(b_fast.clone())],
+        )
+        .unwrap();
+    slow_agent
+        .invoke_uncached(
+            INTERPOSER_IFACE,
+            "retarget",
+            &[Value::Handle(b_slow.clone())],
+        )
+        .unwrap();
+    let rf = fast_agent.invoke("ctr", "incr", &[Value::Int(10)]).unwrap();
+    let rs = slow_agent
+        .invoke_uncached("ctr", "incr", &[Value::Int(10)])
+        .unwrap();
+    assert_eq!(rf, Value::Int(10), "fast path must hit the NEW target");
+    assert_eq!(canon(&Ok(rf)), canon(&Ok(rs)));
+    // The old targets saw exactly the pre-retarget traffic.
+    assert_eq!(fast_a.invoke("ctr", "get", &[]).unwrap(), Value::Int(3));
+    assert_eq!(slow_a.invoke("ctr", "get", &[]).unwrap(), Value::Int(3));
+    assert_eq!(b_fast.invoke("ctr", "get", &[]).unwrap(), Value::Int(10));
+}
+
+// ------------------------------------------------------------- flavour 5
+
+#[test]
+fn composed_dispatch_fast_equals_slow() {
+    let factory = || {
+        CompositionBuilder::new("comp")
+            .child("c", counter())
+            .export("ctr", "c")
+            .build()
+            .unwrap()
+    };
+    assert_conformance(factory, &counter_script());
+}
+
+#[test]
+fn composition_replace_invalidates_cached_forward() {
+    let factory = || {
+        CompositionBuilder::new("comp")
+            .child("c", counter())
+            .export("ctr", "c")
+            .build()
+            .unwrap()
+    };
+    let fast_obj = factory();
+    let slow_obj = factory();
+    let script_pre = vec![("ctr", "incr", vec![Value::Int(7)])];
+    let fast_pre = drive(&fast_obj, &script_pre, true);
+    let slow_pre = drive(&slow_obj, &script_pre, false);
+    assert_eq!(fast_pre, slow_pre);
+    // Replace the child on both twins; calls must hit the fresh instance.
+    for (obj, fast) in [(&fast_obj, true), (&slow_obj, false)] {
+        let args = [Value::Str("c".into()), Value::Handle(counter())];
+        if fast {
+            obj.invoke(COMPOSITION_IFACE, "replace", &args).unwrap();
+        } else {
+            obj.invoke_uncached(COMPOSITION_IFACE, "replace", &args)
+                .unwrap();
+        }
+    }
+    let script_post = vec![("ctr", "get", vec![]), ("ctr", "incr", vec![Value::Int(1)])];
+    let fast_post = drive(&fast_obj, &script_post, true);
+    let slow_post = drive(&slow_obj, &script_post, false);
+    assert_eq!(fast_post, slow_post);
+    assert_eq!(
+        fast_post[0], "ok:Int(0)",
+        "cached forward must miss to the replacement"
+    );
+}
+
+// ------------------------------------------------------------- flavour 6
+
+#[test]
+fn cross_domain_proxy_fast_equals_slow() {
+    let world = World::boot();
+    let n = &world.nucleus;
+    n.register(KERNEL_DOMAIN, "/svc/fast", counter()).unwrap();
+    n.register(KERNEL_DOMAIN, "/svc/slow", counter()).unwrap();
+    let app = n.create_domain("app", KERNEL_DOMAIN, []).unwrap();
+    let fast_proxy = n.bind(app.id, "/svc/fast").unwrap();
+    let slow_target = n.bind(KERNEL_DOMAIN, "/svc/slow").unwrap();
+
+    // The proxy is driven warm (cached method handle); the reference twin
+    // is the *direct* uncached object — marshalling of flat values must be
+    // transparent, so the transcripts agree exactly. (The missing-interface
+    // probe is asserted by kind separately: that error legitimately names
+    // the proxy's own class, `proxy<counter>`.)
+    let script: Vec<Call> = counter_script()
+        .into_iter()
+        .filter(|(iface, _, _)| *iface != "nope")
+        .collect();
+    let fast = drive(&fast_proxy, &script, true);
+    let slow = drive(&slow_target, &script, false);
+    assert_eq!(fast, slow, "proxy dispatch must be transparent");
+    assert!(matches!(
+        fast_proxy.invoke("nope", "get", &[]),
+        Err(ObjError::NoSuchInterface { .. })
+    ));
+    assert!(matches!(
+        slow_target.invoke_uncached("nope", "get", &[]),
+        Err(ObjError::NoSuchInterface { .. })
+    ));
+    assert!(world.nucleus.proxy_stats().crossings() > 0);
+}
+
+#[test]
+fn cross_domain_proxy_marshalling_bytes_cold_equals_warm() {
+    // The cached-method fast path must not change what gets marshalled:
+    // byte counts for identical calls agree between the first (cold,
+    // resolving) crossing and later (warm, pinned-handle) crossings.
+    let world = World::boot();
+    let n = &world.nucleus;
+    n.register(KERNEL_DOMAIN, "/svc/echo2", paramecium_bench_echo())
+        .unwrap();
+    let app = n.create_domain("app", KERNEL_DOMAIN, []).unwrap();
+    let proxy = n.bind(app.id, "/svc/echo2").unwrap();
+    let stats = n.proxy_stats();
+    let args = [
+        Value::Bytes(bytes::Bytes::from(vec![7u8; 300])),
+        Value::Str("tag".into()),
+        Value::List(vec![Value::Int(1), Value::Unit]),
+    ];
+    let mut per_call = Vec::new();
+    for _ in 0..4 {
+        let before = stats.bytes();
+        proxy.invoke("echo", "echo", &args).unwrap();
+        per_call.push(stats.bytes() - before);
+    }
+    assert!(per_call[0] > 0);
+    assert!(
+        per_call.windows(2).all(|w| w[0] == w[1]),
+        "cold vs warm crossings must marshal identical byte counts: {per_call:?}"
+    );
+}
+
+fn paramecium_bench_echo() -> ObjRef {
+    ObjectBuilder::new("echo")
+        .interface("echo", |i| {
+            i.variadic_method("echo", |_, args| Ok(Value::List(args.to_vec())))
+        })
+        .build()
+}
+
+// ------------------------------------------------------------- flavour 7
+
+#[test]
+fn nested_handle_marshalling_fast_equals_slow() {
+    let world = World::boot();
+    let n = &world.nucleus;
+    // A kernel service invoking whatever handle it is given.
+    let invoker = ObjectBuilder::new("invoker")
+        .interface("run", |i| {
+            i.method("call", &[TypeTag::Handle], TypeTag::Int, |_, args| {
+                let h = args[0].as_handle()?;
+                h.invoke("ctr", "incr", &[Value::Int(21)])
+            })
+        })
+        .build();
+    n.register(KERNEL_DOMAIN, "/svc/invoker", invoker.clone())
+        .unwrap();
+    let app = n.create_domain("app", KERNEL_DOMAIN, []).unwrap();
+    let proxy = n.bind(app.id, "/svc/invoker").unwrap();
+
+    // Fast: repeated warm crossings with a handle argument (each crossing
+    // builds a fresh nested proxy). Slow: the same calls against the
+    // invoker directly, uncached.
+    let user_fast = counter();
+    let user_slow = counter();
+    let nested_before = n.proxy_stats().nested_proxies.load(Ordering::Relaxed);
+    for round in 1..=3i64 {
+        let f = proxy
+            .invoke("run", "call", &[Value::Handle(user_fast.clone())])
+            .unwrap();
+        let s = invoker
+            .invoke_uncached("run", "call", &[Value::Handle(user_slow.clone())])
+            .unwrap();
+        assert_eq!(canon(&Ok(f)), canon(&Ok(s)));
+        assert_eq!(
+            user_fast.invoke("ctr", "get", &[]).unwrap(),
+            Value::Int(21 * round),
+            "nested proxy must reach the caller's object"
+        );
+    }
+    assert_eq!(
+        n.proxy_stats().nested_proxies.load(Ordering::Relaxed) - nested_before,
+        3,
+        "each handle crossing synthesises one nested proxy"
+    );
+}
+
+// ------------------------------------------------------------- flavour 8
+
+#[test]
+fn re_export_invalidates_object_dispatch_cache() {
+    let factory = counter;
+    let fast_obj = factory();
+    let slow_obj = factory();
+    // Warm the fast twin's cache thoroughly.
+    let warm = vec![("ctr", "name", vec![])];
+    assert_eq!(
+        drive(&fast_obj, &warm, true),
+        drive(&slow_obj, &warm, false)
+    );
+    // Replace the interface with one whose `name` answers differently.
+    for obj in [&fast_obj, &slow_obj] {
+        let replacement = InterfaceBuilder::new("ctr")
+            .method("name", &[], TypeTag::Str, |_, _| {
+                Ok(Value::Str("reborn".into()))
+            })
+            .finish();
+        obj.export_interface(replacement);
+    }
+    let post = vec![
+        ("ctr", "name", vec![]),
+        ("ctr", "incr", vec![Value::Int(1)]), // dropped by the re-export
+    ];
+    let fast = drive(&fast_obj, &post, true);
+    let slow = drive(&slow_obj, &post, false);
+    assert_eq!(fast, slow);
+    assert_eq!(
+        fast[0], "ok:Str(\"reborn\")",
+        "stale cached method must never run"
+    );
+}
+
+#[test]
+fn re_export_invalidates_cached_proxy_method_handle() {
+    // The satellite case: interface re-export racing a warmed proxy. The
+    // pinned handle must miss cleanly and re-resolve — never call the old
+    // implementation — and revocation must surface as a clean error.
+    let world = World::boot();
+    let n = &world.nucleus;
+    let target = ObjectBuilder::new("svc")
+        .interface("svc", |i| {
+            i.method("ver", &[], TypeTag::Int, |_, _| Ok(Value::Int(1)))
+        })
+        .build();
+    n.register(KERNEL_DOMAIN, "/svc/ver", target.clone())
+        .unwrap();
+    let app = n.create_domain("app", KERNEL_DOMAIN, []).unwrap();
+    let proxy = n.bind(app.id, "/svc/ver").unwrap();
+
+    for _ in 0..3 {
+        assert_eq!(proxy.invoke("svc", "ver", &[]).unwrap(), Value::Int(1));
+    }
+    // Re-export with a new implementation behind the same interface name.
+    let v2 = InterfaceBuilder::new("svc")
+        .method("ver", &[], TypeTag::Int, |_, _| Ok(Value::Int(2)))
+        .finish();
+    target.export_interface(v2);
+    assert_eq!(
+        proxy.invoke("svc", "ver", &[]).unwrap(),
+        Value::Int(2),
+        "stale pinned handle called the superseded implementation"
+    );
+    // Revocation: the warmed handle must miss and report the missing
+    // interface, then recover after re-export.
+    assert!(target.revoke_interface("svc"));
+    assert!(matches!(
+        proxy.invoke("svc", "ver", &[]),
+        Err(ObjError::NoSuchInterface { .. })
+    ));
+    let v3 = InterfaceBuilder::new("svc")
+        .method("ver", &[], TypeTag::Int, |_, _| Ok(Value::Int(3)))
+        .finish();
+    target.export_interface(v3);
+    assert_eq!(proxy.invoke("svc", "ver", &[]).unwrap(), Value::Int(3));
+}
+
+#[test]
+fn re_export_invalidates_interposer_forward_cache() {
+    let target = counter();
+    let agent = InterposerBuilder::new(target.clone()).build();
+    for _ in 0..3 {
+        agent.invoke("ctr", "name", &[]).unwrap();
+    }
+    // Swap the *target's* interface out from under the warmed agent.
+    let replacement = InterfaceBuilder::new("ctr")
+        .method("name", &[], TypeTag::Str, |_, _| {
+            Ok(Value::Str("swapped".into()))
+        })
+        .finish();
+    target.export_interface(replacement);
+    assert_eq!(
+        agent.invoke("ctr", "name", &[]).unwrap(),
+        Value::Str("swapped".into()),
+        "cached hop must re-resolve against the re-exported target"
+    );
+    // Revoking the target interface surfaces cleanly through the agent.
+    assert!(target.revoke_interface("ctr"));
+    assert!(agent.invoke("ctr", "name", &[]).is_err());
+}

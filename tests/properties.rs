@@ -4,8 +4,55 @@
 use proptest::prelude::*;
 
 use paramecium::core::directory::{NameSpace, NsEntry};
+use paramecium::obj::value::{ArgFrame, ARG_FRAME_INLINE};
 use paramecium::prelude::*;
 use paramecium::sfi::{interp::Interp, sandbox::sandbox_rewrite, verifier};
+
+/// Strategy producing arbitrary [`Value`] trees (all variants, including
+/// handles and nested lists) up to a bounded depth.
+struct ValueTree {
+    depth: u32,
+}
+
+fn value_tree(depth: u32) -> ValueTree {
+    ValueTree { depth }
+}
+
+impl Strategy for ValueTree {
+    type Value = Value;
+    fn sample(&self, rng: &mut proptest::TestRng) -> Value {
+        sample_value(rng, self.depth)
+    }
+}
+
+fn sample_value(rng: &mut proptest::TestRng, depth: u32) -> Value {
+    // Lists only below the depth budget so generation terminates.
+    let variants = if depth == 0 { 6 } else { 7 };
+    match rng.below(variants) {
+        0 => Value::Unit,
+        1 => Value::Bool(rng.below(2) == 1),
+        2 => Value::Int(rng.next_u64() as i64),
+        3 => {
+            let len = rng.below(12) as usize;
+            Value::Str(
+                (0..len)
+                    .map(|_| char::from(b'a' + rng.below(26) as u8))
+                    .collect(),
+            )
+        }
+        4 => {
+            let len = rng.below(32) as usize;
+            Value::Bytes(bytes::Bytes::from(
+                (0..len).map(|_| rng.next_u64() as u8).collect::<Vec<u8>>(),
+            ))
+        }
+        5 => Value::Handle(ObjectBuilder::new("leaf").build()),
+        _ => {
+            let len = rng.below(4) as usize;
+            Value::List((0..len).map(|_| sample_value(rng, depth - 1)).collect())
+        }
+    }
+}
 
 /// An abstract name-space operation for the model-based test.
 #[derive(Clone, Debug)]
@@ -67,6 +114,74 @@ proptest! {
             }
         }
         prop_assert_eq!(ns.local_len(), model.len());
+    }
+
+    /// An [`ArgFrame`] behaves exactly like a `Vec<Value>` for arbitrary
+    /// value trees pushed through it — push / len / iter / `as_slice` /
+    /// indexing / `into_vec` all agree with the model, on both sides of
+    /// the inline-to-heap spill boundary.
+    #[test]
+    fn arg_frame_matches_vec_model(
+        values in proptest::collection::vec(value_tree(2), 0..10),
+        reserve in 0usize..12,
+    ) {
+        let mut frame = ArgFrame::with_capacity(reserve);
+        let mut model: Vec<Value> = Vec::new();
+        for v in &values {
+            frame.push(v.clone());
+            model.push(v.clone());
+            prop_assert_eq!(frame.len(), model.len());
+            prop_assert_eq!(frame.as_slice(), model.as_slice());
+        }
+        prop_assert_eq!(frame.is_empty(), model.is_empty());
+        // Inline exactly while it fits (unless pre-reserved onto the heap).
+        if reserve <= ARG_FRAME_INLINE {
+            prop_assert_eq!(frame.is_inline(), model.len() <= ARG_FRAME_INLINE);
+        } else {
+            prop_assert!(!frame.is_inline());
+        }
+        // Iteration and indexing agree with the model.
+        prop_assert!(frame.iter().zip(model.iter()).all(|(a, b)| a == b));
+        prop_assert_eq!(frame.iter().count(), model.len());
+        for (i, v) in model.iter().enumerate() {
+            prop_assert_eq!(&frame[i], v);
+        }
+        // Conversions round-trip.
+        let from_slice = ArgFrame::from(model.as_slice());
+        prop_assert_eq!(from_slice.as_slice(), model.as_slice());
+        prop_assert_eq!(frame.into_vec(), model);
+    }
+
+    /// The cross-domain proxy's cached-method fast path must not change
+    /// what gets marshalled: for arbitrary flat argument frames, a cold
+    /// (resolving) crossing and warm (pinned-handle) crossings record
+    /// identical byte counts, and a freshly bound proxy agrees with a
+    /// warmed one.
+    #[test]
+    fn proxy_marshalling_byte_count_parity(
+        ints in proptest::collection::vec(any::<i64>(), 0..4),
+        blob in proptest::collection::vec(any::<u8>(), 0..256),
+        s in "[a-z0-9]{0,24}",
+    ) {
+        let (nucleus, app) = shared_proxy_world();
+        let stats = nucleus.proxy_stats();
+        let args = vec![
+            Value::List(ints.iter().map(|&i| Value::Int(i)).collect()),
+            Value::Bytes(bytes::Bytes::from(blob.clone())),
+            Value::Str(s.clone()),
+        ];
+        // A fresh proxy: its first crossing resolves the method handle.
+        let proxy = nucleus.bind(*app, "/svc/echo").unwrap();
+        let mut per_call = Vec::new();
+        for _ in 0..3 {
+            let before = stats.bytes();
+            proxy.invoke("echo", "echo", &args).unwrap();
+            per_call.push(stats.bytes() - before);
+        }
+        prop_assert!(
+            per_call.windows(2).all(|w| w[0] == w[1]),
+            "cold vs warm byte counts diverged: {:?}", per_call
+        );
     }
 
     /// Values survive a cross-domain proxy round trip unchanged
@@ -191,6 +306,27 @@ proptest! {
         mutated[flip_byte] ^= 1 << flip_bit;
         prop_assert!(!cert.matches_image(&mutated));
     }
+}
+
+/// Shared booted world with an echo service at `/svc/echo` and one app
+/// domain, for properties that need to mint fresh proxies per case.
+fn shared_proxy_world() -> &'static (std::sync::Arc<Nucleus>, DomainId) {
+    static CELL: std::sync::OnceLock<(std::sync::Arc<Nucleus>, DomainId)> =
+        std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = World::boot();
+        let n = world.nucleus.clone();
+        let echo = ObjectBuilder::new("echo")
+            .interface("echo", |i| {
+                i.variadic_method("echo", |_, args| Ok(Value::List(args.to_vec())))
+            })
+            .build();
+        n.register(KERNEL_DOMAIN, "/svc/echo", echo).unwrap();
+        let app = n.create_domain("app", KERNEL_DOMAIN, []).unwrap();
+        let id = app.id;
+        std::mem::forget(world);
+        (n, id)
+    })
 }
 
 /// Shared proxy to an echo service in another domain (built once; boots

@@ -197,22 +197,28 @@ impl Bencher {
             iters *= 4;
         }
         // Measurement: a handful of samples at the calibrated count, scaled
-        // down so total time stays bounded for slow routines.
+        // down so total time stays bounded for slow routines. The reported
+        // figure is the *median* of the per-sample means: timer noise and
+        // scheduling interference are strictly additive, so the median is
+        // a far more stable estimate than the overall mean a single
+        // preempted sample can poison.
         let samples = self.sample_size.clamp(1, 10) as u64;
+        let mut per_sample = Vec::with_capacity(samples as usize);
         let mut total = Duration::ZERO;
-        let mut total_iters = 0u64;
         for _ in 0..samples {
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(routine());
             }
-            total += start.elapsed();
-            total_iters += iters;
+            let elapsed = start.elapsed();
+            per_sample.push(elapsed.as_nanos() as f64 / iters.max(1) as f64);
+            total += elapsed;
             if total > Duration::from_millis(500) {
                 break;
             }
         }
-        self.mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        per_sample.sort_by(|a, b| a.total_cmp(b));
+        self.mean_ns = per_sample[per_sample.len() / 2];
     }
 
     /// `iter_with_large_drop` — same as [`Bencher::iter`] here.

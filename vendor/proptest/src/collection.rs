@@ -56,11 +56,42 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.max_inclusive - self.size.min + 1) as u64;
         let len = self.size.min + rng.below(span) as usize;
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    /// Structural candidates first (shorter vectors, respecting the
+    /// minimum length), then element-wise shrinks: each of the first few
+    /// positions replaced by its own first shrink candidate.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.size.min;
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        if value.len() > min {
+            // Halve toward the minimum, drop the tail element, drop the
+            // head element.
+            let half_len = min.max(value.len() / 2);
+            if half_len < value.len() {
+                out.push(value[..half_len].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+            if value.len() > 1 {
+                out.push(value[1..].to_vec());
+            }
+        }
+        for (i, v) in value.iter().enumerate().take(8) {
+            if let Some(simpler) = self.element.shrink(v).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = simpler;
+                out.push(next);
+            }
+        }
+        out
     }
 }

@@ -7,8 +7,10 @@
 //! `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from the real crate: cases are generated from a fixed
-//! deterministic seed (per test name), there is **no shrinking** of failing
-//! inputs, and the regex string strategy supports only character classes
+//! deterministic seed (per test name), shrinking is greedy and minimal
+//! (integers step toward the strategy's origin, vectors shed elements and
+//! shrink the leading positions; combinators like `prop_map` do not
+//! shrink), and the regex string strategy supports only character classes
 //! with an optional `{m,n}` / `*` / `+` repetition.
 
 use std::fmt;
@@ -133,7 +135,10 @@ impl TestRng {
 
 /// Runs one property to completion: `cases` successful samples, tolerating
 /// `prop_assume!` rejections, panicking on the first failure (with the
-/// generating case index, since there is no shrinking).
+/// generating case index, since this entry point does no shrinking).
+///
+/// Kept for callers that drive the RNG themselves; the `proptest!` macro
+/// uses [`run_property_shrinking`], which reports minimal counterexamples.
 pub fn run_property(
     name: &str,
     config: &ProptestConfig,
@@ -162,6 +167,90 @@ pub fn run_property(
             }
         }
     }
+}
+
+/// Cap on how many shrink candidates are *tried* while minimising one
+/// failure. Greedy binary-search-style candidates converge in well under
+/// this; the cap only guards against pathological shrink cycles.
+const SHRINK_BUDGET: u32 = 1024;
+
+/// Runs one property with failure shrinking: the strategy's candidates
+/// are retried greedily until no simpler input still fails, and the panic
+/// reports that minimal counterexample.
+///
+/// Panics from inside the property body propagate immediately without
+/// shrinking (only `prop_assert*` failures are shrinkable — re-running a
+/// panicking body mid-shrink would abort the shrink loop anyway).
+pub fn run_property_shrinking<S>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut case: impl FnMut(S::Value) -> TestCaseResult,
+) where
+    S: Strategy,
+    S::Value: Clone + fmt::Debug,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut index = 0u64;
+    while passed < config.cases {
+        index += 1;
+        let value = strategy.sample(&mut rng);
+        match case(value.clone()) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many input rejections \
+                         ({rejected}) before reaching {} cases",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let (min_value, min_msg, steps) = shrink_failure(strategy, value, msg, &mut case);
+                panic!(
+                    "proptest '{name}' failed at case #{index}: {min_msg}\n\
+                     minimal counterexample (after {steps} shrink steps): {min_value:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Greedily minimises a failing input: take the first shrink candidate
+/// that still fails, repeat from there, stop when no candidate fails (or
+/// the budget runs out). Rejected candidates count as passing.
+fn shrink_failure<S>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    case: &mut impl FnMut(S::Value) -> TestCaseResult,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    S::Value: Clone,
+{
+    let mut steps = 0u32;
+    let mut budget = SHRINK_BUDGET;
+    'outer: while budget > 0 {
+        for candidate in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(m)) = case(candidate.clone()) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
 }
 
 /// Types with a canonical "any value" strategy.
@@ -274,7 +363,9 @@ macro_rules! proptest {
     };
 }
 
-/// Implementation detail of [`proptest!`].
+/// Implementation detail of [`proptest!`]: all argument strategies are
+/// bundled into one tuple strategy so the runner can shrink each argument
+/// independently while holding the others fixed.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_impl {
@@ -289,14 +380,20 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config = $config;
-                $crate::run_property(stringify!($name), &config, |rng| {
-                    $(let $arg = $crate::Strategy::sample(&($strategy), rng);)+
-                    let outcome: $crate::TestCaseResult = (|| {
-                        $body
-                        ::core::result::Result::Ok(())
-                    })();
-                    outcome
-                });
+                let strategy = ( $( $strategy, )+ );
+                $crate::run_property_shrinking(
+                    stringify!($name),
+                    &config,
+                    &strategy,
+                    |__proptest_values| {
+                        let ( $($arg,)+ ) = __proptest_values;
+                        let outcome: $crate::TestCaseResult = (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                        outcome
+                    },
+                );
             }
         )*
     };
@@ -311,6 +408,89 @@ mod tests {
         let mut a = crate::TestRng::from_name("x");
         let mut b = crate::TestRng::from_name("x");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn integer_shrink_steps_toward_origin() {
+        let range = 10u64..1000;
+        let candidates = Strategy::shrink(&range, &100);
+        assert_eq!(candidates, vec![10, 55, 99]);
+        assert!(
+            Strategy::shrink(&range, &10).is_empty(),
+            "origin is minimal"
+        );
+        // Signed values shrink toward zero from both sides.
+        let signed = crate::any::<i64>();
+        assert_eq!(Strategy::shrink(&signed, &-8), vec![0, -4, -7]);
+        assert_eq!(Strategy::shrink(&signed, &1), vec![0]);
+        assert!(Strategy::shrink(&signed, &0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_sheds_elements_but_respects_min_len() {
+        let strat = crate::collection::vec(0u8..10, 2..6);
+        let candidates = strat.shrink(&vec![9, 9, 9, 9]);
+        // Structural candidates first: halved, tail-dropped, head-dropped.
+        assert!(candidates.contains(&vec![9, 9]));
+        assert!(candidates.contains(&vec![9, 9, 9]));
+        // Element-wise: a leading element replaced by its first candidate.
+        assert!(candidates.contains(&vec![0, 9, 9, 9]));
+        // Never below the minimum length.
+        assert!(strat.shrink(&vec![3, 3]).iter().all(|v| v.len() >= 2));
+        for c in &candidates {
+            assert!(c.len() >= 2 && c.len() < 4 || c.len() == 4);
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let strat = (0u32..100, 0u32..100);
+        let candidates = Strategy::shrink(&strat, &(50, 7));
+        assert!(candidates.contains(&(0, 7)));
+        assert!(candidates.contains(&(50, 0)));
+        assert!(
+            candidates.iter().all(|&(a, b)| a == 50 || b == 7),
+            "both components moved in one candidate: {candidates:?}"
+        );
+    }
+
+    #[test]
+    fn failing_property_reports_minimal_counterexample() {
+        // The property fails for x ≥ 37; greedy shrinking must walk the
+        // reported counterexample all the way down to exactly 37.
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property_shrinking(
+                "shrink_to_37",
+                &ProptestConfig::with_cases(64),
+                &(0u64..10_000,),
+                |(x,)| {
+                    crate::prop_assert!(x < 37, "x too big: {}", x);
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .unwrap();
+        assert!(
+            msg.contains("minimal counterexample") && msg.contains("(37,)"),
+            "expected minimal counterexample 37 in: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrinking_preserves_passing_properties() {
+        // A passing property must never enter the shrink loop.
+        crate::run_property_shrinking(
+            "all_pass",
+            &ProptestConfig::with_cases(32),
+            &(crate::any::<u8>(),),
+            |(x,)| {
+                crate::prop_assert!(u16::from(x) < 256);
+                Ok(())
+            },
+        );
     }
 
     proptest! {

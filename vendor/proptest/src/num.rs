@@ -33,6 +33,14 @@ macro_rules! int_strategies {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Unsigned types shrink toward 0; signed toward 0 from
+                // either side (0 is the natural origin of both).
+                shrink_candidates(*value as i128, 0)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
 
         impl Arbitrary for $t {
@@ -52,6 +60,12 @@ macro_rules! int_strategies {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 (self.start as i128 + below_span(rng, span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_candidates(*value as i128, self.start as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
 
         impl Strategy for RangeFrom<$t> {
@@ -60,6 +74,12 @@ macro_rules! int_strategies {
                 let lo = self.start;
                 let span = (<$t>::MAX as i128 - lo as i128 + 1) as u128;
                 (lo as i128 + below_span(rng, span) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_candidates(*value as i128, self.start as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
 
@@ -71,8 +91,36 @@ macro_rules! int_strategies {
                 let span = (hi as i128 - lo as i128 + 1) as u128;
                 (lo as i128 + below_span(rng, span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_candidates(*value as i128, *self.start() as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
+}
+
+/// Shrink candidates for an integer `v` toward `origin` (the simplest
+/// value the producing strategy can emit), most aggressive first: the
+/// origin itself, the midpoint, then one step. Every candidate lies
+/// between `origin` and `v`, so it stays inside the strategy's domain
+/// (all 64-bit-and-smaller values fit i128 losslessly).
+fn shrink_candidates(v: i128, origin: i128) -> Vec<i128> {
+    if v == origin {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(3);
+    out.push(origin);
+    let mid = origin + (v - origin) / 2;
+    if mid != origin && mid != v {
+        out.push(mid);
+    }
+    let step = if v > origin { v - 1 } else { v + 1 };
+    if step != origin && !out.contains(&step) {
+        out.push(step);
+    }
+    out
 }
 
 int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
@@ -81,6 +129,13 @@ impl Strategy for Any<bool> {
     type Value = bool;
     fn sample(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -95,10 +150,30 @@ fn draw_u128(rng: &mut TestRng) -> u128 {
     (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
 }
 
+/// `shrink_candidates` for the one type that does not fit `i128`.
+fn shrink_candidates_u128(v: u128, origin: u128) -> Vec<u128> {
+    if v <= origin {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(3);
+    out.push(origin);
+    let mid = origin + (v - origin) / 2;
+    if mid != origin && mid != v {
+        out.push(mid);
+    }
+    if v - 1 != origin && !out.contains(&(v - 1)) {
+        out.push(v - 1);
+    }
+    out
+}
+
 impl Strategy for Any<u128> {
     type Value = u128;
     fn sample(&self, rng: &mut TestRng) -> u128 {
         draw_u128(rng)
+    }
+    fn shrink(&self, value: &u128) -> Vec<u128> {
+        shrink_candidates_u128(*value, 0)
     }
 }
 
@@ -114,6 +189,9 @@ impl Strategy for Range<u128> {
     fn sample(&self, rng: &mut TestRng) -> u128 {
         assert!(self.start < self.end, "empty range strategy");
         self.start + draw_u128(rng) % (self.end - self.start)
+    }
+    fn shrink(&self, value: &u128) -> Vec<u128> {
+        shrink_candidates_u128(*value, self.start)
     }
 }
 

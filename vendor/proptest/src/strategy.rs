@@ -4,14 +4,26 @@ use crate::TestRng;
 
 /// A source of random values of some type.
 ///
-/// Unlike the real proptest there is no value tree / shrinking: a strategy
-/// simply samples a value from the deterministic test RNG.
+/// Unlike the real proptest there is no full value tree; a strategy
+/// samples values from the deterministic test RNG, and optionally offers
+/// *shrink candidates* for a failing value via [`Strategy::shrink`] so the
+/// runner can report a minimal counterexample.
 pub trait Strategy {
     /// The type of value this strategy generates.
     type Value;
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for `value`, most aggressive first.
+    ///
+    /// Every candidate must itself be a value this strategy could have
+    /// produced. The default offers none — combinators that cannot invert
+    /// their construction (e.g. [`Map`]) simply do not shrink.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through a function.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -39,12 +51,18 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -94,4 +112,49 @@ impl<V> Strategy for Union<V> {
         let idx = rng.below(self.options.len() as u64) as usize;
         self.options[idx].sample(rng)
     }
+    // No `shrink`: the arm that produced a value is unknown, and asking a
+    // different arm to shrink it can yield candidates outside the union's
+    // domain (e.g. the midpoint between two disjoint ranges) — a "minimal
+    // counterexample" the strategy could never generate. Unions therefore
+    // do not shrink; their failing values are reported as sampled.
+}
+
+/// Every `proptest!` test draws its arguments as one tuple, so tuples of
+/// strategies are strategies: they sample component-wise and shrink one
+/// component at a time (holding the others fixed), which is what lets the
+/// runner minimise multi-argument counterexamples.
+macro_rules! tuple_strategies {
+    ($( ( $($S:ident $idx:tt),+ ) )+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
 }
