@@ -116,6 +116,15 @@ impl Interface {
         self.fallback = Some(fallback);
     }
 
+    /// Returns the delegation fallback, if any. Interfaces are immutable
+    /// once exported (re-exports replace the whole `Arc<Interface>`), so a
+    /// dispatch cache may pin this handler for methods it has proven
+    /// absent from the method table — valid until the export generation
+    /// moves.
+    pub fn fallback_fn(&self) -> Option<&FallbackFn> {
+        self.fallback.as_ref()
+    }
+
     /// Returns true if the interface has its own entry for `method`
     /// (delegated methods do not count).
     pub fn has_method(&self, method: &str) -> bool {

@@ -18,7 +18,7 @@ use parking_lot::RwLock;
 
 use crate::{
     error::ObjError,
-    interface::{Interface, Method},
+    interface::{FallbackFn, Interface, Method},
     snapcell::SnapCell,
     trylock::TryLock,
     typeinfo::{InterfaceDescriptor, MethodSig},
@@ -37,6 +37,20 @@ pub type ObjRef = Arc<Object>;
 /// republishing (see `snapcell`).
 const DISPATCH_CACHE_SLOTS: usize = 8;
 
+/// What a dispatch-cache entry resolved to.
+///
+/// Directly implemented methods pin their `Arc<Method>`. Methods served by
+/// a delegation fallback pin the interface's fallback handler instead:
+/// interfaces are immutable once exported (a re-export swaps the whole
+/// `Arc<Interface>` and bumps the generation), so "absent from the method
+/// table at generation g" is a stable fact — delegated calls stop
+/// re-walking the interface table on every hit.
+#[derive(Clone)]
+enum CachedDispatch {
+    Direct(Arc<Method>),
+    Fallback(FallbackFn),
+}
+
 /// One pinned `(interface, method)` resolution, valid while the object's
 /// export generation still matches `gen`.
 #[derive(Clone)]
@@ -44,7 +58,7 @@ struct DispatchEntry {
     gen: u64,
     interface: String,
     method: String,
-    imp: Arc<Method>,
+    imp: CachedDispatch,
 }
 
 /// An object instance: instance data plus exported interfaces.
@@ -270,7 +284,7 @@ impl Object {
     /// entries are never evicted, so once the cache is full of current
     /// resolutions additional methods stay on the slow path and no
     /// snapshot churn occurs.
-    fn remember_method(&self, gen: u64, interface: &str, method: &str, imp: &Arc<Method>) {
+    fn remember_dispatch(&self, gen: u64, interface: &str, method: &str, imp: CachedDispatch) {
         let mut entries: Vec<DispatchEntry> = match self.dispatch_cache.load() {
             Some(t) => {
                 // Full of current entries (and this pair is not one of
@@ -286,7 +300,7 @@ impl Object {
             gen,
             interface: interface.to_owned(),
             method: method.to_owned(),
-            imp: imp.clone(),
+            imp,
         });
         self.dispatch_cache.publish(entries);
     }
@@ -338,7 +352,10 @@ impl Object {
                 .find(|e| e.gen == gen && e.method == method && e.interface == interface)
             {
                 self.note_invocation();
-                return e.imp.call(self, args);
+                return match &e.imp {
+                    CachedDispatch::Direct(m) => m.call(self, args),
+                    CachedDispatch::Fallback(fb) => fb(self, method, args),
+                };
             }
         }
         self.invoke_slow(interface, method, args)
@@ -361,11 +378,35 @@ impl Object {
         self.note_invocation();
         match iface.method(method) {
             Some(m) => {
-                self.remember_method(gen, interface, method, m);
+                self.remember_dispatch(gen, interface, method, CachedDispatch::Direct(m.clone()));
                 m.call(self, args)
             }
-            // Fallback-served methods have no stable handle to pin.
-            None => iface.call(self, method, args),
+            None => match iface.fallback_fn() {
+                // Delegated (fallback-served) methods pin the fallback
+                // handler itself: the interface is immutable at this
+                // generation, so the method's absence is stable and the
+                // hot path skips the interface-table walk entirely. Only
+                // *successful* resolutions are pinned — the name space of
+                // failing probes is unbounded, and caching them would let
+                // junk method names fill the slots and push real hot
+                // methods off the fast path.
+                Some(fb) => {
+                    let result = fb(self, method, args);
+                    if result.is_ok() {
+                        self.remember_dispatch(
+                            gen,
+                            interface,
+                            method,
+                            CachedDispatch::Fallback(fb.clone()),
+                        );
+                    }
+                    result
+                }
+                None => Err(ObjError::NoSuchMethod {
+                    interface: iface.name().to_owned(),
+                    method: method.to_owned(),
+                }),
+            },
         }
     }
 

@@ -4,11 +4,16 @@
 //!
 //! - `read(sector: int) -> bytes` (one 512-byte sector)
 //! - `write(sector: int, data: bytes) -> unit`
+//! - `read_many(sectors: list[int]) -> list[bytes]` (one batched request)
+//! - `write_many(pairs: list[[int, bytes]]) -> int` (sectors written)
 //! - `sectors() -> int`
 //! - `stats() -> list [reads, writes]`
 //!
-//! Each operation charges the sector transfer cost — the latency the
-//! shared cache exists to hide.
+//! Single-sector operations charge the full sector transfer cost — the
+//! latency the shared cache exists to hide. The vectorized operations
+//! charge the amortised [`batch_transfer_cost`]: one request setup, then
+//! the streaming rate per additional sector, which is why coalesced
+//! writeback wins even when every sector still has to reach the platter.
 
 use std::sync::Arc;
 
@@ -16,7 +21,7 @@ use parking_lot::Mutex;
 
 use paramecium_core::{domain::DomainId, memsvc::MemService, CoreResult};
 use paramecium_machine::{
-    dev::disk::{Disk, SECTOR_SIZE, SECTOR_TRANSFER_COST},
+    dev::disk::{batch_transfer_cost, Disk, SECTOR_SIZE, SECTOR_TRANSFER_COST},
     io::IoSharing,
     Machine,
 };
@@ -96,6 +101,56 @@ pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<O
                             .map_err(|e| ObjError::failed(e.to_string()))?;
                         s.writes += 1;
                         Ok(Value::Unit)
+                    })
+                },
+            )
+            .method(
+                "read_many",
+                &[TypeTag::List],
+                TypeTag::List,
+                |this, args| {
+                    let sectors = crate::vectored::parse_sectors(&args[0])?;
+                    this.with_state(|s: &mut DriverState| {
+                        let mut m = s.machine.lock();
+                        m.charge(batch_transfer_cost(sectors.len()));
+                        let idxs: Vec<u64> = sectors.iter().map(|&sec| sec as u64).collect();
+                        let data = m
+                            .device_mut::<Disk>("disk")
+                            .ok_or_else(|| ObjError::failed("disk device missing"))?
+                            .read_sectors(&idxs)
+                            .map_err(|e| ObjError::failed(e.to_string()))?;
+                        s.reads += sectors.len() as u64;
+                        Ok(Value::List(
+                            data.iter()
+                                .map(|d| Value::Bytes(bytes::Bytes::copy_from_slice(d)))
+                                .collect(),
+                        ))
+                    })
+                },
+            )
+            .method(
+                "write_many",
+                &[TypeTag::List],
+                TypeTag::Int,
+                |this, args| {
+                    let pairs = crate::vectored::parse_pairs(&args[0])?;
+                    this.with_state(|s: &mut DriverState| {
+                        let mut m = s.machine.lock();
+                        m.charge(batch_transfer_cost(pairs.len()));
+                        let batch: Vec<(u64, [u8; SECTOR_SIZE])> = pairs
+                            .iter()
+                            .map(|(sec, data)| {
+                                let mut buf = [0u8; SECTOR_SIZE];
+                                buf.copy_from_slice(data);
+                                (*sec as u64, buf)
+                            })
+                            .collect();
+                        m.device_mut::<Disk>("disk")
+                            .ok_or_else(|| ObjError::failed("disk device missing"))?
+                            .write_sectors(&batch)
+                            .map_err(|e| ObjError::failed(e.to_string()))?;
+                        s.writes += pairs.len() as u64;
+                        Ok(Value::Int(pairs.len() as i64))
                     })
                 },
             )
@@ -184,5 +239,60 @@ mod tests {
     fn exclusive_claim_blocks_second_driver() {
         let (mem, _driver) = setup();
         assert!(make_disk_driver(&mem, DomainId(7)).is_err());
+    }
+
+    #[test]
+    fn vectorized_ops_roundtrip_and_charge_amortised_cost() {
+        use crate::vectored::{pairs_arg, sectors_arg};
+        use paramecium_machine::dev::disk::batch_transfer_cost;
+        let (mem, driver) = setup();
+        let pairs: Vec<(i64, bytes::Bytes)> = (0..64i64)
+            .map(|sec| (sec, bytes::Bytes::from(vec![sec as u8; SECTOR_SIZE])))
+            .collect();
+        let t0 = mem.machine().lock().now();
+        let written = driver
+            .invoke("blockdev", "write_many", &[pairs_arg(pairs)])
+            .unwrap();
+        assert_eq!(written, Value::Int(64));
+        let batch_cost = mem.machine().lock().now() - t0;
+        assert_eq!(batch_cost, batch_transfer_cost(64));
+        assert!(batch_cost < 64 * SECTOR_TRANSFER_COST);
+
+        let out = driver
+            .invoke("blockdev", "read_many", &[sectors_arg(0..64)])
+            .unwrap();
+        let out = out.as_list().unwrap();
+        assert_eq!(out.len(), 64);
+        for (sec, v) in out.iter().enumerate() {
+            assert_eq!(v.as_bytes().unwrap()[0], sec as u8);
+        }
+        // One batched call counts every sector in the stats.
+        let stats = driver.invoke("blockdev", "stats", &[]).unwrap();
+        assert_eq!(stats, Value::List(vec![Value::Int(64), Value::Int(64)]));
+    }
+
+    #[test]
+    fn vectorized_ops_reject_bad_batches() {
+        use crate::vectored::{pairs_arg, sectors_arg};
+        let (_, driver) = setup();
+        let sectors = driver
+            .invoke("blockdev", "sectors", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(driver
+            .invoke("blockdev", "read_many", &[sectors_arg([0, sectors])])
+            .is_err());
+        let good = bytes::Bytes::from(vec![1u8; SECTOR_SIZE]);
+        // Out-of-range anywhere in the batch writes nothing.
+        assert!(driver
+            .invoke(
+                "blockdev",
+                "write_many",
+                &[pairs_arg([(0, good.clone()), (sectors, good)])]
+            )
+            .is_err());
+        let stats = driver.invoke("blockdev", "stats", &[]).unwrap();
+        assert_eq!(stats.as_list().unwrap()[1], Value::Int(0));
     }
 }

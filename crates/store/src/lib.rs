@@ -6,15 +6,22 @@
 //! sandboxed, because it holds other users' data in its hands. This crate
 //! provides both halves:
 //!
-//! - [`driver`] — the disk driver object (`blockdev` interface) over the
-//!   machine's sector-addressed disk, with per-sector transfer costs,
-//! - [`cache`] — a write-back LRU block cache exporting the *same*
-//!   `blockdev` interface, so it stacks transparently over the driver (or
-//!   over another cache) and is installed by ordinary name-space
-//!   interposition.
+//! - [`driver`] — the disk driver object (`blockdev` interface, including
+//!   the vectorized `read_many`/`write_many` batch operations) over the
+//!   machine's sector-addressed disk, with per-sector transfer costs and
+//!   amortised batch-transfer charging,
+//! - [`cache`] — a sharded write-back LRU block cache exporting the
+//!   *same* `blockdev` interface, so it stacks transparently over the
+//!   driver (or over another cache) and is installed by ordinary
+//!   name-space interposition. Each shard runs an O(1) intrusive LRU,
+//!   hits are zero-copy (`bytes::Bytes` clones), and eviction/flush
+//!   coalesce dirty lines into sector-sorted vectorized writebacks,
+//! - [`vectored`] — the shared encoding of the vectorized `blockdev`
+//!   arguments, used by both components and by tests.
 
 pub mod cache;
 pub mod driver;
+pub mod vectored;
 
-pub use cache::make_block_cache;
+pub use cache::{make_block_cache, make_sharded_block_cache, EVICTION_WRITEBACK_BATCH};
 pub use driver::make_disk_driver;

@@ -1,0 +1,94 @@
+//! Wire helpers for the vectorized `blockdev` operations.
+//!
+//! `read_many` takes a list of sector numbers and returns a list of
+//! sector payloads in request order; `write_many` takes a list of
+//! `[sector, data]` pairs. Both sides of the interface (the disk driver,
+//! the block cache, interposers and tests) build and parse those values
+//! through these helpers so the encoding cannot drift.
+
+use bytes::Bytes;
+use paramecium_machine::dev::disk::SECTOR_SIZE;
+use paramecium_obj::{ObjError, ObjResult, Value};
+
+/// Builds the `read_many` argument from sector numbers.
+pub fn sectors_arg(sectors: impl IntoIterator<Item = i64>) -> Value {
+    Value::List(sectors.into_iter().map(Value::Int).collect())
+}
+
+/// Parses the `read_many` argument, rejecting negative sectors.
+pub fn parse_sectors(v: &Value) -> ObjResult<Vec<i64>> {
+    v.as_list()?
+        .iter()
+        .map(|s| {
+            let sec = s.as_int()?;
+            if sec < 0 {
+                return Err(ObjError::failed("negative sector"));
+            }
+            Ok(sec)
+        })
+        .collect()
+}
+
+/// Builds the `write_many` argument from `(sector, data)` pairs.
+pub fn pairs_arg(pairs: impl IntoIterator<Item = (i64, Bytes)>) -> Value {
+    Value::List(
+        pairs
+            .into_iter()
+            .map(|(sec, data)| Value::List(vec![Value::Int(sec), Value::Bytes(data)]))
+            .collect(),
+    )
+}
+
+/// Parses the `write_many` argument, rejecting negative sectors and
+/// payloads that are not exactly one sector.
+pub fn parse_pairs(v: &Value) -> ObjResult<Vec<(i64, Bytes)>> {
+    v.as_list()?
+        .iter()
+        .map(|pair| {
+            let p = pair.as_list()?;
+            if p.len() != 2 {
+                return Err(ObjError::failed("write_many expects [sector, data] pairs"));
+            }
+            let sec = p[0].as_int()?;
+            if sec < 0 {
+                return Err(ObjError::failed("negative sector"));
+            }
+            let data = p[1].as_bytes()?;
+            if data.len() != SECTOR_SIZE {
+                return Err(ObjError::failed(format!(
+                    "sector writes must be exactly {SECTOR_SIZE} bytes, got {}",
+                    data.len()
+                )));
+            }
+            Ok((sec, data.clone()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sectors_roundtrip() {
+        let v = sectors_arg([3, 0, 7]);
+        assert_eq!(parse_sectors(&v).unwrap(), vec![3, 0, 7]);
+        assert!(parse_sectors(&sectors_arg([-1])).is_err());
+        assert!(parse_sectors(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn pairs_roundtrip_and_validate() {
+        let data = Bytes::from(vec![7u8; SECTOR_SIZE]);
+        let v = pairs_arg([(5, data.clone())]);
+        let parsed = parse_pairs(&v).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, 5);
+        assert_eq!(parsed[0].1, data);
+        // Short payload, negative sector and malformed pairs all fail.
+        assert!(parse_pairs(&pairs_arg([(0, Bytes::from_static(b"short"))])).is_err());
+        assert!(parse_pairs(&pairs_arg([(-2, data.clone())])).is_err());
+        assert!(parse_pairs(&Value::List(vec![Value::Int(1)])).is_err());
+        assert!(parse_pairs(&Value::List(vec![Value::List(vec![Value::Int(1)])])).is_err());
+    }
+}

@@ -215,6 +215,97 @@ fn delegated_and_fallback_dispatch_fast_equals_slow() {
 }
 
 #[test]
+fn cached_fallback_resolution_fast_equals_slow_and_invalidates() {
+    // PR 5 satellite: delegated (fallback-served) methods are now pinned
+    // in the object-level dispatch cache, so a warmed delegated call skips
+    // the interface-table walk. The cached handler must (a) behave exactly
+    // like the slow path while warm, and (b) miss cleanly when the
+    // interface is re-exported out from under it.
+    let make = || {
+        let base = counter();
+        let child = ObjectBuilder::new("child")
+            .raw_interface(delegate_interface(
+                InterfaceBuilder::new("ctr").finish(),
+                base.clone(),
+            ))
+            .build();
+        (child, base)
+    };
+    let (fast_obj, _fast_base) = make();
+    let (slow_obj, _slow_base) = make();
+    // Warm thoroughly: every call below is fallback-served.
+    let script = vec![
+        ("ctr", "incr", vec![Value::Int(2)]),
+        ("ctr", "get", vec![]),
+        ("ctr", "incr", vec![Value::Int(3)]),
+        ("ctr", "get", vec![]),
+    ];
+    assert_eq!(
+        drive(&fast_obj, &script, true),
+        drive(&slow_obj, &script, false)
+    );
+    // Re-export the delegating interface with a DIRECT `get`: the pinned
+    // fallback for `get` is now stale and must never run again.
+    for obj in [&fast_obj, &slow_obj] {
+        let base2 = counter();
+        let replacement = InterfaceBuilder::new("ctr")
+            .method("get", &[], TypeTag::Int, |_, _| Ok(Value::Int(-77)))
+            .finish();
+        obj.export_interface(delegate_interface(replacement, base2));
+    }
+    let post = vec![
+        ("ctr", "get", vec![]),               // direct now
+        ("ctr", "incr", vec![Value::Int(1)]), // delegated to the NEW base
+        ("ctr", "ghost", vec![]),             // still missing everywhere
+    ];
+    let fast = drive(&fast_obj, &post, true);
+    let slow = drive(&slow_obj, &post, false);
+    assert_eq!(fast, slow);
+    assert_eq!(
+        fast[0], "ok:Int(-77)",
+        "stale cached fallback must not shadow the re-exported direct method"
+    );
+    assert_eq!(
+        fast[1], "ok:Int(3)",
+        "delegation must reach the new target after re-export (3 warm calls x incr 1)"
+    );
+    // Revoking the interface surfaces as a clean error on the warm path.
+    assert!(fast_obj.revoke_interface("ctr"));
+    assert!(matches!(
+        fast_obj.invoke("ctr", "get", &[]),
+        Err(ObjError::NoSuchInterface { .. })
+    ));
+}
+
+#[test]
+fn cached_fallback_skips_interface_walk_but_keeps_delegation_live() {
+    // The pinned fallback still consults the delegation target per call:
+    // a re-export on the *target* (not the delegator) must be observed
+    // even though the delegator's own cache entry stays fresh.
+    let base = counter();
+    let child = ObjectBuilder::new("child")
+        .raw_interface(delegate_interface(
+            InterfaceBuilder::new("ctr").finish(),
+            base.clone(),
+        ))
+        .build();
+    for _ in 0..3 {
+        child.invoke("ctr", "name", &[]).unwrap();
+    }
+    let replacement = InterfaceBuilder::new("ctr")
+        .method("name", &[], TypeTag::Str, |_, _| {
+            Ok(Value::Str("renamed".into()))
+        })
+        .finish();
+    base.export_interface(replacement);
+    assert_eq!(
+        child.invoke("ctr", "name", &[]).unwrap(),
+        Value::Str("renamed".into()),
+        "warm delegated call must re-resolve against the re-exported target"
+    );
+}
+
+#[test]
 fn delegation_chain_fast_equals_slow() {
     let factory = || {
         let base = counter();

@@ -7,10 +7,16 @@
 //! Criterion's statistical machinery. Reported numbers are mean ns/iter.
 //!
 //! Besides the human-readable console lines, each bench run writes its
-//! results as `BENCH_<target>.json` (per-benchmark mean ns) into the
-//! directory named by the `BENCH_JSON_DIR` environment variable, or the
-//! working directory when unset — the machine-readable record CI archives
-//! to track the perf trajectory.
+//! results as `BENCH_<target>.json` (per-benchmark mean ns, plus
+//! throughput in ops/sec or bytes/sec when annotated) into the directory
+//! named by the `BENCH_JSON_DIR` environment variable, or the working
+//! directory when unset — the machine-readable record CI archives to
+//! track the perf trajectory.
+//!
+//! Passing `--baseline <file>` (after `cargo bench ... --`) loads a
+//! previously recorded `BENCH_*.json` and prints per-benchmark deltas at
+//! the end of the run, so perf regressions are visible directly in CI
+//! logs instead of requiring artifact archaeology.
 
 use std::fmt::Display;
 use std::sync::{Mutex, OnceLock};
@@ -27,9 +33,22 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench` forwards extra CLI args (e.g. `--bench`, a name
-        // filter). The first non-flag argument is treated as a substring
-        // filter, everything else is ignored.
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        // filter). `--baseline <file>` selects a recorded JSON to diff
+        // against; the first other non-flag argument is treated as a
+        // substring filter; everything else is ignored.
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--baseline" {
+                if let Some(path) = args.next() {
+                    let _ = baseline_path().set(path);
+                }
+            } else if let Some(path) = a.strip_prefix("--baseline=") {
+                let _ = baseline_path().set(path.to_owned());
+            } else if !a.starts_with('-') && filter.is_none() {
+                filter = Some(a);
+            }
+        }
         Criterion { filter }
     }
 }
@@ -221,17 +240,62 @@ impl Bencher {
         self.mean_ns = per_sample[per_sample.len() / 2];
     }
 
-    /// `iter_with_large_drop` — same as [`Bencher::iter`] here.
-    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
-        self.iter(routine)
+    /// Like [`Bencher::iter`], but the routine's outputs are collected
+    /// and dropped *outside* the timed region — matching the real
+    /// criterion's semantics, where disposal of a large return value is
+    /// the caller's cost, not the benchmark's.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration (outputs dropped eagerly — only the count matters).
+        let mut iters: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let samples = self.sample_size.clamp(1, 10) as u64;
+        let mut per_sample = Vec::with_capacity(samples as usize);
+        let mut total = Duration::ZERO;
+        let mut held: Vec<O> = Vec::with_capacity(iters as usize);
+        for _ in 0..samples {
+            held.clear();
+            let start = Instant::now();
+            for _ in 0..iters {
+                held.push(routine());
+            }
+            let elapsed = start.elapsed();
+            black_box(&held);
+            per_sample.push(elapsed.as_nanos() as f64 / iters.max(1) as f64);
+            total += elapsed;
+            if total > Duration::from_millis(500) {
+                break;
+            }
+        }
+        per_sample.sort_by(|a, b| a.total_cmp(b));
+        self.mean_ns = per_sample[per_sample.len() / 2];
     }
 }
 
-/// Process-wide record of `(benchmark id, mean ns)` results, flushed to a
-/// JSON file when the driving [`Criterion`] is dropped.
-fn results() -> &'static Mutex<Vec<(String, f64)>> {
-    static RESULTS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+/// One recorded result: `(benchmark id, mean ns, throughput)`.
+type BenchResult = (String, f64, Option<Throughput>);
+
+/// Process-wide record of results, flushed to a JSON file when the
+/// driving [`Criterion`] is dropped.
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
     RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The `--baseline <file>` argument, if given.
+fn baseline_path() -> &'static OnceLock<String> {
+    static BASELINE: OnceLock<String> = OnceLock::new();
+    &BASELINE
 }
 
 impl Drop for Criterion {
@@ -239,7 +303,71 @@ impl Drop for Criterion {
         // Flushing during unit tests of this crate itself would litter the
         // tree with junk JSON; bench binaries are never built `cfg(test)`.
         #[cfg(not(test))]
-        write_json_results();
+        {
+            write_json_results();
+            compare_with_baseline();
+        }
+    }
+}
+
+/// Parses the subset of JSON this crate itself emits: an object with a
+/// `benchmarks` array of `{"id": ..., "mean_ns": ...}` entries. Returns
+/// `(id, mean_ns)` pairs; unknown fields are ignored.
+fn parse_baseline_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find("\"id\":") {
+        rest = &rest[start + 5..];
+        let Some(q0) = rest.find('"') else { break };
+        let Some(q1) = rest[q0 + 1..].find('"') else {
+            break;
+        };
+        let id = rest[q0 + 1..q0 + 1 + q1].to_owned();
+        rest = &rest[q0 + 1 + q1..];
+        let Some(m) = rest.find("\"mean_ns\":") else {
+            break;
+        };
+        let num = rest[m + 10..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect::<String>();
+        if let Ok(mean_ns) = num.parse::<f64>() {
+            out.push((id, mean_ns));
+        }
+    }
+    out
+}
+
+/// Prints per-benchmark deltas against the `--baseline` file, if one was
+/// given. Regressions and improvements are both listed; benchmarks absent
+/// from the baseline are marked new.
+#[cfg_attr(test, allow(dead_code))]
+fn compare_with_baseline() {
+    let Some(path) = baseline_path().get() else {
+        return;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("criterion: could not read baseline {path}: {e}");
+            return;
+        }
+    };
+    let baseline = parse_baseline_json(&text);
+    let results = results().lock().unwrap_or_else(|e| e.into_inner());
+    if results.is_empty() {
+        return;
+    }
+    println!("\nbaseline compare (vs {path}):");
+    for (id, mean_ns, _) in results.iter() {
+        match baseline.iter().find(|(bid, _)| bid == id) {
+            Some((_, base_ns)) if *base_ns > 0.0 => {
+                let delta = (mean_ns - base_ns) / base_ns * 100.0;
+                println!("{id:<50} {base_ns:>12.1} ns -> {mean_ns:>12.1} ns  ({delta:>+7.1}%)");
+            }
+            _ => println!("{id:<50} {:>12} ns -> {mean_ns:>12.1} ns  (new)", "-"),
+        }
     }
 }
 
@@ -265,10 +393,21 @@ fn write_json_results() {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"target\": \"{target}\",\n"));
     json.push_str("  \"benchmarks\": [\n");
-    for (i, (id, mean_ns)) in results.iter().enumerate() {
+    for (i, (id, mean_ns, throughput)) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
+        // Throughput annotations are recorded as a rate so CI logs and
+        // committed records read in ops/sec without recomputation.
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if *mean_ns > 0.0 => {
+                format!(", \"ops_per_sec\": {:.0}", *n as f64 / (mean_ns / 1e9))
+            }
+            Some(Throughput::Bytes(n)) if *mean_ns > 0.0 => {
+                format!(", \"bytes_per_sec\": {:.0}", *n as f64 / (mean_ns / 1e9))
+            }
+            _ => String::new(),
+        };
         json.push_str(&format!(
-            "    {{\"id\": \"{id}\", \"mean_ns\": {mean_ns:.1}}}{sep}\n"
+            "    {{\"id\": \"{id}\", \"mean_ns\": {mean_ns:.1}{rate}}}{sep}\n"
         ));
     }
     json.push_str("  ]\n}\n");
@@ -282,7 +421,7 @@ fn report(id: &str, mean_ns: f64, throughput: Option<Throughput>) {
     results()
         .lock()
         .unwrap_or_else(|e| e.into_inner())
-        .push((id.to_owned(), mean_ns));
+        .push((id.to_owned(), mean_ns, throughput));
     let time = if mean_ns >= 1e9 {
         format!("{:.3} s", mean_ns / 1e9)
     } else if mean_ns >= 1e6 {
@@ -342,8 +481,44 @@ mod tests {
         // iteration can legitimately calibrate to ~0, so only presence and
         // non-negativity are asserted).
         let recorded = results().lock().unwrap();
-        assert!(recorded.iter().any(|(id, _)| id == "g/noop"));
-        assert!(recorded.iter().any(|(id, _)| id == "g/param/3"));
-        assert!(recorded.iter().all(|(_, ns)| *ns >= 0.0));
+        assert!(recorded.iter().any(|(id, _, _)| id == "g/noop"));
+        assert!(recorded.iter().any(|(id, _, _)| id == "g/param/3"));
+        assert!(recorded.iter().all(|(_, ns, _)| *ns >= 0.0));
+    }
+
+    #[test]
+    fn throughput_annotation_is_recorded() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("tp");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(128));
+        g.bench_function("elems", |b| b.iter(|| std::hint::black_box(3 * 7)));
+        g.finish();
+        let recorded = results().lock().unwrap();
+        let (_, _, tp) = recorded
+            .iter()
+            .find(|(id, _, _)| id == "tp/elems")
+            .expect("recorded");
+        assert!(matches!(tp, Some(Throughput::Elements(128))));
+    }
+
+    #[test]
+    fn baseline_json_parses_own_output_format() {
+        let text = r#"{
+  "target": "b10_store",
+  "benchmarks": [
+    {"id": "e10_store/hit_read", "mean_ns": 122.6},
+    {"id": "e10_store/flush_256_dirty", "mean_ns": 88206.0, "ops_per_sec": 2902309}
+  ]
+}"#;
+        let parsed = parse_baseline_json(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "e10_store/hit_read");
+        assert!((parsed[0].1 - 122.6).abs() < 1e-9);
+        assert_eq!(parsed[1].0, "e10_store/flush_256_dirty");
+        assert!((parsed[1].1 - 88206.0).abs() < 1e-9);
+        // Garbage degrades gracefully.
+        assert!(parse_baseline_json("not json at all").is_empty());
+        assert!(parse_baseline_json("{\"id\": \"x\"}").is_empty());
     }
 }
