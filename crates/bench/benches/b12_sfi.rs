@@ -1,0 +1,74 @@
+//! E12 — what static proof buys at run time: the fully-checked SFI
+//! interpreter vs the proof-elided engine on the same verified programs.
+//!
+//! Each benign workload runs to `Halt` under both engines with identical
+//! data and fuel; the interesting figure is the per-workload ratio
+//! `checked/<name>` : `elided/<name>`. The `analyze/<name>` entries price
+//! the one-off load-time analysis that pays for the elision — the
+//! paper's core trade: a bounded load-time check against a per-step
+//! run-time tax.
+//!
+//! Benchmark ids are stable so
+//! `--baseline bench-records/BENCH_b12_sfi.json` prints before/after
+//! deltas directly, and `--gate 15` turns them into a CI regression gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paramecium::sfi::analysis;
+use paramecium::sfi::bytecode::Reg;
+use paramecium::sfi::interp::{ElidedInterp, ElidedProgram, Interp};
+use paramecium::sfi::workloads;
+
+const FUEL: u64 = 1 << 24;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_sfi");
+    let suite = workloads::benign_suite();
+
+    for (name, program) in &suite {
+        let analysis = analysis::analyze(program).expect("benign workload analyzes");
+        analysis.verdict(program).expect("benign workload verifies");
+        let elided = ElidedProgram::compile(program, &analysis);
+        let data: Vec<u8> = (0..program.data_len).map(|i| i as u8).collect();
+
+        // Sanity: both engines agree before we time anything.
+        let mut slow = Interp::new(program);
+        slow.load_data(0, &data);
+        slow.set_reg(Reg(1), 0);
+        let mut fast = ElidedInterp::new(&elided);
+        fast.load_data(0, &data);
+        fast.set_reg(Reg(1), 0);
+        assert_eq!(slow.run(FUEL), fast.run(FUEL), "{name}: engines diverge");
+
+        g.bench_function(format!("checked/{name}"), |b| {
+            b.iter(|| {
+                let mut it = Interp::new(std::hint::black_box(program));
+                it.load_data(0, &data);
+                it.set_reg(Reg(1), 0);
+                it.run(FUEL).unwrap()
+            })
+        });
+
+        g.bench_function(format!("elided/{name}"), |b| {
+            b.iter(|| {
+                let mut it = ElidedInterp::new(std::hint::black_box(&elided));
+                it.load_data(0, &data);
+                it.set_reg(Reg(1), 0);
+                it.run(FUEL).unwrap()
+            })
+        });
+
+        // Load-time cost: full abstract interpretation to fixpoint plus
+        // the elided-program compilation it enables.
+        g.bench_function(format!("analyze/{name}"), |b| {
+            b.iter(|| {
+                let a = analysis::analyze(std::hint::black_box(program)).unwrap();
+                ElidedProgram::compile(program, &a)
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

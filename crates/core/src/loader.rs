@@ -16,9 +16,17 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use paramecium_machine::{cost::Cycles, Machine};
+use paramecium_machine::{
+    cost::{CostModel, Cycles},
+    Machine,
+};
 use paramecium_obj::{ObjRef, ObjectBuilder, TypeTag, Value};
-use paramecium_sfi::{bytecode::Program, interp::Interp, sandbox::sandbox_rewrite, verifier};
+use paramecium_sfi::{
+    analysis,
+    bytecode::Program,
+    interp::{ElidedProgram, ExecOutcome, Interp, InterpError},
+    sandbox::sandbox_rewrite,
+};
 
 use crate::domain::DomainId;
 
@@ -116,10 +124,38 @@ pub struct LoadReport {
 /// Instance state of a loaded bytecode component object.
 struct BcState {
     program: Program,
+    /// For [`Protection::Verified`] components: the proof-elided stream.
+    /// The facts the verifier demanded are exactly the checks the fast
+    /// interpreter drops — this is where "verifying at load-time obviates
+    /// the need for run time fault checks" becomes cycles.
+    elided: Option<ElidedProgram>,
     machine: Arc<Mutex<Machine>>,
     protection: Protection,
     step_budget: u64,
     last_steps: u64,
+}
+
+impl BcState {
+    /// Executes the component over `data` with `r1` set, through the
+    /// proof-elided interpreter when one was compiled and the checked
+    /// interpreter otherwise.
+    fn execute(&self, data: &[u8], r1: u64) -> Result<ExecOutcome, InterpError> {
+        let n = data.len().min(self.program.data_len as usize);
+        match &self.elided {
+            Some(elided) => {
+                let mut interp = paramecium_sfi::ElidedInterp::new(elided);
+                interp.load_data(0, &data[..n]);
+                interp.set_reg(paramecium_sfi::Reg::new(1), r1);
+                interp.run(self.step_budget)
+            }
+            None => {
+                let mut interp = Interp::new(&self.program);
+                interp.load_data(0, &data[..n]);
+                interp.set_reg(paramecium_sfi::Reg::new(1), r1);
+                interp.run(self.step_budget)
+            }
+        }
+    }
 }
 
 /// Cost charged per interpreted VM step, in simulated cycles.
@@ -139,9 +175,16 @@ pub fn make_bytecode_object(
     machine: Arc<Mutex<Machine>>,
     step_budget: u64,
 ) -> ObjRef {
+    // Verified components earned a proof map at load time; spend it now by
+    // compiling the check-elided stream they will execute through.
+    let elided = (protection == Protection::Verified)
+        .then(|| analysis::analyze(&program).ok())
+        .flatten()
+        .map(|a| ElidedProgram::compile(&program, &a));
     ObjectBuilder::new(class)
         .state(BcState {
             program,
+            elided,
             machine,
             protection,
             step_budget,
@@ -156,12 +199,8 @@ pub fn make_bytecode_object(
                     let data = args[0].as_bytes()?.clone();
                     let r1 = args[1].as_int()?;
                     this.with_state(|s: &mut BcState| {
-                        let mut interp = Interp::new(&s.program);
-                        let n = data.len().min(s.program.data_len as usize);
-                        interp.load_data(0, &data[..n]);
-                        interp.set_reg(paramecium_sfi::Reg::new(1), r1 as u64);
-                        let out = interp
-                            .run(s.step_budget)
+                        let out = s
+                            .execute(&data, r1 as u64)
                             .map_err(|e| paramecium_obj::ObjError::failed(e.to_string()))?;
                         s.last_steps = out.steps;
                         s.machine.lock().charge(out.steps * VM_STEP_COST);
@@ -183,21 +222,27 @@ pub fn make_bytecode_object(
 /// into the kernel domain: verification if it passes, else SFI rewriting.
 ///
 /// Returns the (possibly rewritten) program, the regime, and the simulated
-/// load-time cost of making it safe.
-pub fn soften(program: Program) -> (Program, Protection, Cycles) {
-    match verifier::verify(&program) {
-        Ok(report) => {
-            // Verification is a few cycles per evaluation.
-            (program, Protection::Verified, report.evaluations * 4)
-        }
-        Err(_) => {
-            let original_len = program.len() as Cycles;
-            let (rewritten, stats) = sandbox_rewrite(&program);
-            // Rewriting is linear in program size.
-            let cost = (original_len + stats.rewritten_len as Cycles) * 2;
-            (rewritten, Protection::Sandboxed, cost)
+/// load-time cost of making it safe. The cost model prices each
+/// abstract-interpretation evaluation ([`CostModel::analysis_eval`]); a
+/// failed verification still charges the evaluations it burned before the
+/// loader fell back to rewriting.
+pub fn soften(program: Program, cost_model: &CostModel) -> (Program, Protection, Cycles) {
+    let analysis = analysis::analyze(&program);
+    let analysis_cycles = analysis
+        .as_ref()
+        .map(|a| a.report.evaluations * cost_model.analysis_eval)
+        .unwrap_or(0);
+    if let Ok(a) = &analysis {
+        if a.verdict(&program).is_ok() {
+            return (program, Protection::Verified, analysis_cycles);
         }
     }
+    let original_len = program.len() as Cycles;
+    let (rewritten, stats) = sandbox_rewrite(&program);
+    // Rewriting is linear in program size, on top of the evaluations the
+    // failed verification attempt already spent.
+    let cost = analysis_cycles + (original_len + stats.rewritten_len as Cycles) * 2;
+    (rewritten, Protection::Sandboxed, cost)
 }
 
 #[cfg(test)]
@@ -273,7 +318,8 @@ mod tests {
 
     #[test]
     fn soften_verifies_when_possible() {
-        let (p, prot, cost) = soften(workloads::checksum_loop_verified(64, 1));
+        let cm = CostModel::default();
+        let (p, prot, cost) = soften(workloads::checksum_loop_verified(64, 1), &cm);
         assert_eq!(prot, Protection::Verified);
         assert!(cost > 0);
         // Program untouched.
@@ -281,12 +327,72 @@ mod tests {
     }
 
     #[test]
+    fn soften_charges_per_the_cost_model() {
+        let p = workloads::checksum_loop_verified(64, 1);
+        let (_, _, default_cost) = soften(p.clone(), &CostModel::default());
+        let (_, _, free_cost) = soften(p.clone(), &CostModel::free());
+        let mut doubled = CostModel::default();
+        doubled.analysis_eval *= 2;
+        let (_, _, doubled_cost) = soften(p, &doubled);
+        assert_eq!(free_cost, 0);
+        assert_eq!(doubled_cost, default_cost * 2);
+    }
+
+    #[test]
     fn soften_sandboxes_unverifiable_code() {
         let original = workloads::checksum_loop(64, 1);
-        let (p, prot, cost) = soften(original.clone());
+        let (p, prot, cost) = soften(original.clone(), &CostModel::default());
         assert_eq!(prot, Protection::Sandboxed);
         assert!(cost > 0);
         assert!(p.len() > original.len());
+    }
+
+    #[test]
+    fn failed_verification_still_charges_its_evaluations() {
+        let original = workloads::checksum_loop(64, 1);
+        let (_, _, with_eval) = soften(original.clone(), &CostModel::default());
+        let no_eval = CostModel {
+            analysis_eval: 0,
+            ..CostModel::default()
+        };
+        let (_, _, without_eval) = soften(original, &no_eval);
+        assert!(with_eval > without_eval);
+    }
+
+    #[test]
+    fn verified_component_runs_through_the_elided_path() {
+        // Same observable result as the checked interpreter, under the
+        // Verified protection string.
+        let m = machine();
+        let program = workloads::checksum_loop_verified(64, 1);
+        let obj = make_bytecode_object(
+            "csum_v",
+            program.clone(),
+            Protection::Verified,
+            m.clone(),
+            1 << 20,
+        );
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut oracle = Interp::new(&program);
+        oracle.load_data(0, &data);
+        let expected = oracle.run(1 << 20).unwrap();
+
+        let r = obj
+            .invoke(
+                "component",
+                "run",
+                &[Value::Bytes(bytes::Bytes::from(data)), Value::Int(0)],
+            )
+            .unwrap();
+        assert_eq!(r, Value::Int(expected.result as i64));
+        // Step accounting is preserved exactly — the elided interpreter
+        // does less work but reports the same simulated cost.
+        let steps = obj.invoke("component", "steps", &[]).unwrap();
+        assert_eq!(steps.as_int().unwrap() as u64, expected.steps);
+        assert_eq!(
+            obj.invoke("component", "protection", &[]).unwrap(),
+            Value::Str("Verified".into())
+        );
     }
 
     #[test]

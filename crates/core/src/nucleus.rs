@@ -401,7 +401,8 @@ impl Nucleus {
                         );
                         (KERNEL_DOMAIN, Protection::CertifiedNative, obj)
                     } else if options.allow_software_protection {
-                        let (program, protection, cost) = soften(program);
+                        let cost_model = self.machine.lock().cost.clone();
+                        let (program, protection, cost) = soften(program, &cost_model);
                         self.machine.lock().charge(cost);
                         let obj = make_bytecode_object(
                             component,

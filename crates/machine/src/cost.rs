@@ -50,6 +50,10 @@ pub struct CostModel {
     pub proto_thread_promote: Cycles,
     /// One scheduler decision (pick next runnable).
     pub schedule: Cycles,
+    /// One abstract-interpretation evaluation during load-time bytecode
+    /// verification (the static-analysis fixpoint charges per
+    /// instruction-state visit).
+    pub analysis_eval: Cycles,
 }
 
 impl Default for CostModel {
@@ -72,6 +76,7 @@ impl Default for CostModel {
             proto_thread_create: 40,
             proto_thread_promote: 500,
             schedule: 50,
+            analysis_eval: 4,
         }
     }
 }
@@ -103,6 +108,7 @@ impl CostModel {
             proto_thread_create: 0,
             proto_thread_promote: 0,
             schedule: 0,
+            analysis_eval: 0,
         }
     }
 }
@@ -171,5 +177,8 @@ mod tests {
         assert!(m.trap_enter + m.trap_exit < m.trap_enter + m.trap_exit + m.context_switch);
         assert!(m.proto_thread_create < m.thread_create);
         assert!(m.proto_thread_create + m.proto_thread_promote <= m.thread_create);
+        // One load-time evaluation costs more than an insn but far less
+        // than the trap a run-time check failure would take.
+        assert!(m.insn <= m.analysis_eval && m.analysis_eval < m.trap_enter);
     }
 }

@@ -1,0 +1,77 @@
+//! CI lint pass over every `sfi::workloads` program.
+//!
+//! Every workload must come out of `analysis::lint` clean — zero
+//! diagnostics — except `wild_writer`, the deliberately hostile fixture,
+//! which must produce exactly its known always-traps diagnostic (proving
+//! the lint actually fires). Any other diagnostic, or a missing expected
+//! one, exits nonzero and fails CI.
+
+use paramecium_sfi::analysis::lint::{self, LintKind};
+use paramecium_sfi::workloads;
+
+fn main() {
+    let clean: Vec<(&str, _)> = vec![
+        ("checksum_loop", workloads::checksum_loop(64, 2)),
+        (
+            "checksum_loop_verified",
+            workloads::checksum_loop_verified(64, 2),
+        ),
+        (
+            "checksum_words_verified",
+            workloads::checksum_words_verified(64, 2),
+        ),
+        ("alu_loop", workloads::alu_loop(16)),
+        ("table_fill", workloads::table_fill(64, 2)),
+        ("header_parse_verified", workloads::header_parse_verified()),
+        (
+            "bloom_insert_verified",
+            workloads::bloom_insert_verified(128),
+        ),
+    ];
+
+    let mut failures = 0usize;
+    for (name, program) in &clean {
+        match lint::lint(program) {
+            Ok(diags) if diags.is_empty() => println!("lint {name:<24} clean"),
+            Ok(diags) => {
+                failures += 1;
+                eprintln!("lint {name:<24} UNEXPECTED diagnostics:");
+                for d in &diags {
+                    eprintln!("  {d}");
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("lint {name:<24} analysis failed: {e}");
+            }
+        }
+    }
+
+    // The hostile fixture must trip the always-traps diagnostic.
+    let hostile = workloads::wild_writer();
+    match lint::lint(&hostile) {
+        Ok(diags) if diags.iter().any(|d| d.kind == LintKind::AlwaysTraps) => {
+            println!("lint {:<24} flagged as expected:", "wild_writer");
+            for d in &diags {
+                println!("  {d}");
+            }
+        }
+        Ok(diags) => {
+            failures += 1;
+            eprintln!(
+                "lint {:<24} expected an always-traps diagnostic, got: {diags:?}",
+                "wild_writer"
+            );
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!("lint {:<24} analysis failed: {e}", "wild_writer");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\n{failures} workload(s) failed the lint pass");
+        std::process::exit(1);
+    }
+    println!("\nall workloads pass the lint gate");
+}

@@ -109,6 +109,16 @@ impl Asm {
         self.raw(Insn::Xor { rd, rs1, rs2 })
     }
 
+    /// `rd <- rs1 << (rs2 & 63)`
+    pub fn shl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.raw(Insn::Shl { rd, rs1, rs2 })
+    }
+
+    /// `rd <- rs1 >> (rs2 & 63)` (logical)
+    pub fn shr(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.raw(Insn::Shr { rd, rs1, rs2 })
+    }
+
     /// `rd <- mem64[base + off]`
     pub fn ld(&mut self, rd: Reg, base: Reg, off: i32) -> &mut Self {
         self.raw(Insn::Ld { rd, base, off })

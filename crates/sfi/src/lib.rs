@@ -12,20 +12,57 @@
 //!   *image* is its encoded program, which is what certificates digest,
 //! - [`asm`] — a tiny assembler for building programs with labels,
 //! - [`interp`] — the interpreter, with deterministic step/cycle accounting,
+//!   plus the proof-elided fast interpreter described below,
 //! - [`sandbox`] — Wahbe-style software fault isolation: rewrites a program
 //!   so every memory access and indirect jump is masked into the sandbox
 //!   segment (run-time overhead on every access),
-//! - [`verifier`] — a SPIN-style load-time verifier: a linear abstract
-//!   interpretation that accepts a program only if every access is provably
-//!   safe (load-time cost, zero run-time overhead, but rejects programs it
-//!   cannot prove),
+//! - [`analysis`] — the static-analysis framework: CFG construction, an
+//!   interval + known-bits abstract domain with widening, and the
+//!   per-instruction [`analysis::ProofMap`] of discharged facts,
+//! - [`verifier`] — a SPIN-style load-time verifier: an acceptance policy
+//!   over the analysis that admits a program only if every access is
+//!   provably safe (load-time cost, zero run-time overhead, but rejects
+//!   programs it cannot prove),
 //! - [`workloads`] — parameterised benchmark programs (checksum loops,
 //!   memory-walking kernels) shared by tests and benches.
+//!
+//! # The verify → analyze → prove → elide pipeline
+//!
+//! The software-protection claim the paper makes — "verifying a
+//! certificate at load-time obviates the need for run time fault checks" —
+//! is realised here in four stages:
+//!
+//! 1. **verify**: [`verifier::verify`] rejects any program with a memory
+//!    access or indirect jump it cannot prove safe. This is the trust
+//!    decision; everything after it is optimisation.
+//! 2. **analyze**: [`analysis::analyze`] runs the underlying machinery —
+//!    basic blocks and edges ([`analysis::cfg::Cfg`]), then a worklist
+//!    fixpoint where every register carries an interval plus known-bit
+//!    masks ([`analysis::domain::AbsVal`]), widened at loop heads against
+//!    the segment bounds so back edges converge without losing the very
+//!    facts the guards establish.
+//! 3. **prove**: a final pass over the converged states fills the
+//!    [`analysis::ProofMap`]: per instruction, whether the load/store is
+//!    in-bounds, the divisor nonzero, the jump target in-range, a branch
+//!    one-sided, or the instruction unreachable.
+//! 4. **elide**: [`interp::ElidedProgram::compile`] consumes the proof map
+//!    and emits a parallel instruction stream in which every discharged
+//!    check is *gone* — unchecked loads and stores, unvalidated proven
+//!    jumps, strength-reduced masks, and block-batched fuel accounting.
+//!    [`interp::ElidedInterp`] executes that stream; the fully-checked
+//!    [`Interp`] is kept verbatim as the differential oracle, and the
+//!    conformance suite holds them bit-for-bit equal on registers, memory,
+//!    traps and fuel.
+//!
+//! [`analysis::lint`] reuses stages 2–3 for diagnostics instead of speed:
+//! unreachable code, dead stores, always-trapping instructions, and
+//! unguarded-indirect-jump explanations with register provenance.
 //!
 //! Certified-native execution (the Paramecium path) runs the *original*
 //! program with no checks at all: the trust was established by signature at
 //! load time.
 
+pub mod analysis;
 pub mod asm;
 pub mod bytecode;
 pub mod interp;
@@ -35,7 +72,7 @@ pub mod workloads;
 
 pub use asm::Asm;
 pub use bytecode::{Insn, Program, Reg};
-pub use interp::{ExecOutcome, Interp, InterpError};
+pub use interp::{ElidedInterp, ElidedProgram, ExecOutcome, Interp, InterpError};
 pub use sandbox::sandbox_rewrite;
 pub use verifier::{verify, VerifyError};
 

@@ -3,17 +3,23 @@
 //! Models the SPIN approach: "the ability to down-load application code,
 //! written in a special type-safe language, into the kernel protection
 //! domain" (paper, section 5). A type-safe compiler emits code that is safe
-//! *by construction*; the kernel re-checks that claim with a linear
-//! abstract interpretation at load time. Verified programs run with only
-//! the guards the compiler itself emitted (which it can hoist and
-//! coarsen), unlike SFI rewriting which guards every single access.
+//! *by construction*; the kernel re-checks that claim with an abstract
+//! interpretation at load time. Verified programs run with only the guards
+//! the compiler itself emitted (which it can hoist and coarsen), unlike
+//! SFI rewriting which guards every single access.
 //!
-//! The verifier is deliberately conservative: it proves memory safety for
-//! the idioms our "trusted compiler" (see [`crate::workloads`]) generates
-//! and rejects anything else — exactly the trade-off the paper ascribes to
-//! software protection ("restricted, type safe languages").
+//! Since the analysis rework, `verify` is a thin acceptance policy over
+//! [`crate::analysis`]: the heavy lifting — CFG construction, an interval +
+//! known-bits fixpoint, the per-instruction [`crate::analysis::ProofMap`] —
+//! lives there, and this module merely demands that every reachable memory
+//! access and indirect jump carry a proof. The verifier is still
+//! deliberately conservative: it proves memory safety for the idioms our
+//! "trusted compiler" (see [`crate::workloads`]) generates and rejects
+//! anything else — exactly the trade-off the paper ascribes to software
+//! protection ("restricted, type safe languages").
 
-use crate::bytecode::{Insn, Program, Reg, NUM_REGS};
+use crate::analysis;
+use crate::bytecode::Program;
 
 /// Why verification rejected a program.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,13 +36,19 @@ pub enum VerifyError {
         /// Instruction index of the access.
         pc: u32,
     },
-    /// An indirect jump whose target register is not code-masked.
+    /// An indirect jump whose target register is neither bounded nor
+    /// constant.
     UnguardedIndirectJump {
         /// Instruction index of the jump.
         pc: u32,
     },
     /// The dataflow analysis did not converge within budget.
-    TooComplex,
+    TooComplex {
+        /// Instruction being evaluated when the budget blew.
+        pc: u32,
+        /// Evaluations performed up to that point.
+        evaluations: u64,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -49,9 +61,12 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "cannot prove memory access at pc {pc} in-bounds")
             }
             VerifyError::UnguardedIndirectJump { pc } => {
-                write!(f, "indirect jump at pc {pc} through unmasked register")
+                write!(f, "indirect jump at pc {pc} through unbounded register")
             }
-            VerifyError::TooComplex => write!(f, "analysis exceeded its iteration budget"),
+            VerifyError::TooComplex { pc, evaluations } => write!(
+                f,
+                "analysis exceeded its budget at pc {pc} after {evaluations} evaluations"
+            ),
         }
     }
 }
@@ -68,229 +83,21 @@ pub struct VerifyReport {
     pub iterations: u64,
 }
 
-/// Abstract value of one register.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Av {
-    /// A compile-time constant.
-    Known(u64),
-    /// Provably `< data_len` (result of `MaskData`).
-    Masked,
-    /// Provably `< data_len`, 8-aligned; with `data_len % 8 == 0` this
-    /// bounds the value by `data_len - 8`.
-    MaskedAligned,
-    /// Provably a valid instruction index (result of `MaskCode`).
-    CodeMasked,
-    /// Anything.
-    Unknown,
-}
-
-impl Av {
-    fn join(self, other: Av) -> Av {
-        use Av::*;
-        match (self, other) {
-            (Known(a), Known(b)) if a == b => Known(a),
-            (Masked, Masked) => Masked,
-            (MaskedAligned, MaskedAligned) => MaskedAligned,
-            (MaskedAligned, Masked) | (Masked, MaskedAligned) => Masked,
-            (CodeMasked, CodeMasked) => CodeMasked,
-            _ => Unknown,
-        }
-    }
-}
-
-type State = [Av; NUM_REGS];
-
-fn join_states(a: &State, b: &State) -> State {
-    let mut out = [Av::Unknown; NUM_REGS];
-    for i in 0..NUM_REGS {
-        out[i] = a[i].join(b[i]);
-    }
-    out
-}
-
 /// Verifies `program`, returning load-time cost statistics on success.
+///
+/// Equivalent to [`analysis::analyze`] followed by
+/// [`analysis::Analysis::verdict`]; use the analysis directly when the
+/// [`analysis::ProofMap`] itself is wanted (check elision, linting).
 pub fn verify(program: &Program) -> Result<VerifyReport, VerifyError> {
-    let code = &program.code;
-    let code_len = code.len() as u32;
-    let data_len = u64::from(program.data_len);
-
-    // Pass 0: static branch targets.
-    for (pc, insn) in code.iter().enumerate() {
-        let pc = pc as u32;
-        let target = match insn {
-            Insn::Beq { target, .. }
-            | Insn::Bne { target, .. }
-            | Insn::Bltu { target, .. }
-            | Insn::Jmp { target } => Some(*target),
-            _ => None,
-        };
-        if let Some(t) = target {
-            if t >= code_len {
-                return Err(VerifyError::BadBranchTarget { pc, target: t });
-            }
-        }
-    }
-
-    // Dataflow fixpoint. Entry state: inputs are arbitrary.
-    let mut states: Vec<Option<State>> = vec![None; code.len()];
-    if code.is_empty() {
-        return Ok(VerifyReport::default());
-    }
-    states[0] = Some([Av::Unknown; NUM_REGS]);
-    let mut worklist: Vec<u32> = vec![0];
-    let mut report = VerifyReport::default();
-    // Lattice height is tiny; this budget is generous and guarantees
-    // termination even on adversarial inputs.
-    let budget = (code.len() as u64 + 1) * 64;
-
-    while let Some(pc) = worklist.pop() {
-        report.evaluations += 1;
-        if report.evaluations > budget {
-            return Err(VerifyError::TooComplex);
-        }
-        let state = states[pc as usize].expect("state exists for worklist entries");
-        let insn = code[pc as usize];
-        check_insn(pc, &insn, &state, data_len)?;
-        let mut next_state = state;
-        apply_transfer(&insn, &mut next_state, data_len);
-
-        let push =
-            |target: u32, st: State, states: &mut Vec<Option<State>>, worklist: &mut Vec<u32>| {
-                if target >= code_len {
-                    // Falling off the end: a run-time BadJump, but not a kernel
-                    // safety violation — the interpreter contains it.
-                    return;
-                }
-                let slot = &mut states[target as usize];
-                let merged = match slot {
-                    Some(old) => join_states(old, &st),
-                    None => st,
-                };
-                if slot.as_ref() != Some(&merged) {
-                    *slot = Some(merged);
-                    worklist.push(target);
-                }
-            };
-
-        match insn {
-            Insn::Halt => {}
-            Insn::Jmp { target } => push(target, next_state, &mut states, &mut worklist),
-            Insn::Jr { .. } => {
-                // Verified indirect jumps may go to any instruction: merge
-                // into every possible target. (Our compiler only emits Jr
-                // for small jump tables, so this stays cheap in practice.)
-                for t in 0..code_len {
-                    push(t, next_state, &mut states, &mut worklist);
-                }
-            }
-            Insn::Beq { target, .. } | Insn::Bne { target, .. } | Insn::Bltu { target, .. } => {
-                push(target, next_state, &mut states, &mut worklist);
-                push(pc + 1, next_state, &mut states, &mut worklist);
-            }
-            _ => push(pc + 1, next_state, &mut states, &mut worklist),
-        }
-        report.iterations += 1;
-    }
-    Ok(report)
-}
-
-/// Rejects instructions whose safety is not provable in `state`.
-fn check_insn(pc: u32, insn: &Insn, state: &State, data_len: u64) -> Result<(), VerifyError> {
-    let av = |r: Reg| state[r.0 as usize];
-    let check_access = |base: Reg, off: i32, size: u64| -> Result<(), VerifyError> {
-        let ok = match av(base) {
-            Av::Known(a) => {
-                let eff = a.wrapping_add(off as i64 as u64);
-                eff.checked_add(size).is_some_and(|end| end <= data_len)
-            }
-            Av::Masked => size == 1 && off == 0 && data_len > 0,
-            Av::MaskedAligned => {
-                data_len.is_multiple_of(8) && data_len >= 8 && off >= 0 && (off as u64) + size <= 8
-            }
-            _ => false,
-        };
-        if ok {
-            Ok(())
-        } else {
-            Err(VerifyError::UnsafeMemoryAccess { pc })
-        }
-    };
-    match *insn {
-        Insn::Ld { base, off, .. } => check_access(base, off, 8),
-        Insn::LdB { base, off, .. } => check_access(base, off, 1),
-        Insn::St { base, off, .. } => check_access(base, off, 8),
-        Insn::StB { base, off, .. } => check_access(base, off, 1),
-        Insn::Jr { rs } => match av(rs) {
-            Av::CodeMasked | Av::Known(_) => Ok(()),
-            _ => Err(VerifyError::UnguardedIndirectJump { pc }),
-        },
-        _ => Ok(()),
-    }
-}
-
-/// Abstract transfer function.
-fn apply_transfer(insn: &Insn, state: &mut State, _data_len: u64) {
-    let get = |state: &State, r: Reg| state[r.0 as usize];
-    let set = |state: &mut State, r: Reg, v: Av| state[r.0 as usize] = v;
-    match *insn {
-        Insn::Li { rd, imm } => set(state, rd, Av::Known(imm as u64)),
-        Insn::Mov { rd, rs } => {
-            let v = get(state, rs);
-            set(state, rd, v);
-        }
-        // Always widen to `Masked`, even for constants: constant-folding
-        // here would make the first loop iteration's state `Known` and the
-        // back-edge's state `Masked`, whose join is `Unknown` — losing the
-        // very fact the guard established.
-        Insn::MaskData { r } => set(state, r, Av::Masked),
-        Insn::MaskCode { r } => set(state, r, Av::CodeMasked),
-        Insn::And { rd, rs1, rs2 } => {
-            let v = match (get(state, rs1), get(state, rs2)) {
-                (Av::Known(a), Av::Known(b)) => Av::Known(a & b),
-                // Masking a segment-bounded value with !7 aligns it down:
-                // the verified-compiler idiom for whole-word access.
-                (Av::Masked | Av::MaskedAligned, Av::Known(k))
-                | (Av::Known(k), Av::Masked | Av::MaskedAligned)
-                    if k == !7u64 =>
-                {
-                    Av::MaskedAligned
-                }
-                _ => Av::Unknown,
-            };
-            set(state, rd, v);
-        }
-        Insn::Add { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, u64::wrapping_add),
-        Insn::Sub { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, u64::wrapping_sub),
-        Insn::Mul { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, u64::wrapping_mul),
-        Insn::Divu { rd, rs1, rs2 } => {
-            binop(state, rd, rs1, rs2, |a, b| a.checked_div(b).unwrap_or(0))
-        }
-        Insn::Or { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a | b),
-        Insn::Xor { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a ^ b),
-        Insn::Shl { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a << (b & 63)),
-        Insn::Shr { rd, rs1, rs2 } => binop(state, rd, rs1, rs2, |a, b| a >> (b & 63)),
-        Insn::Ld { rd, .. } | Insn::LdB { rd, .. } => set(state, rd, Av::Unknown),
-        Insn::St { .. } | Insn::StB { .. } => {}
-        Insn::Beq { .. }
-        | Insn::Bne { .. }
-        | Insn::Bltu { .. }
-        | Insn::Jmp { .. }
-        | Insn::Jr { .. }
-        | Insn::Halt => {}
-    }
-}
-
-fn binop(state: &mut State, rd: Reg, rs1: Reg, rs2: Reg, f: impl Fn(u64, u64) -> u64) {
-    let v = match (state[rs1.0 as usize], state[rs2.0 as usize]) {
-        (Av::Known(a), Av::Known(b)) => Av::Known(f(a, b)),
-        _ => Av::Unknown,
-    };
-    state[rd.0 as usize] = v;
+    let a = analysis::analyze(program)?;
+    a.verdict(program)?;
+    Ok(a.report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytecode::Reg;
     use crate::{asm::Asm, interp::Interp};
 
     fn r(i: u8) -> Reg {
@@ -368,10 +175,81 @@ mod tests {
     fn mask_invalidated_by_arithmetic() {
         let mut a = Asm::new(64);
         a.mask_data(r(1));
-        a.addi(r(1), r(1), 1); // No longer provably bounded.
+        a.addi(r(1), r(1), 1); // [1, 64]: byte 64 would be out of bounds.
         a.ldb(r(0), r(1), 0);
         a.halt();
         assert!(verify(&a.finish().unwrap()).is_err());
+    }
+
+    // The old 5-value lattice (`Known/Masked/MaskedAligned/...`) rejected
+    // every program in this block; the interval + known-bits domain proves
+    // them. They pin the precision gained by the analysis rework.
+
+    #[test]
+    fn and_bounded_base_with_offset_now_verifies() {
+        // An `and`-bounded base plus a constant offset. The old lattice
+        // required `off == 0` for masked accesses and only understood the
+        // literal `& !7` idiom.
+        let mut a = Asm::new(64);
+        a.li(r(2), 15);
+        a.and(r(1), r(1), r(2)); // r1 in [0, 15].
+        a.ldb(r(0), r(1), 7); // 15+7+1 = 23 <= 64.
+        a.halt();
+        assert!(verify(&a.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn and_bounded_word_access_in_padded_segment_now_verifies() {
+        // A word access off a bounded base needs no alignment when the
+        // segment leaves slack: [0,15] + 8 bytes ends at 23 <= 64.
+        let mut a = Asm::new(64);
+        a.li(r(2), 15);
+        a.and(r(1), r(1), r(2));
+        a.ld(r(0), r(1), 0);
+        a.halt();
+        assert!(verify(&a.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn shift_bounded_base_now_verifies() {
+        // A mask-then-shift-derived bound: r1 in [0,63] >> 3 = [0,7].
+        let mut a = Asm::new(64);
+        a.mask_data(r(1));
+        a.li(r(2), 3);
+        a.raw(crate::bytecode::Insn::Shr {
+            rd: r(1),
+            rs1: r(1),
+            rs2: r(2),
+        });
+        a.ld(r(0), r(1), 0); // 7+8 = 15 <= 64.
+        a.halt();
+        assert!(verify(&a.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn arithmetic_after_mask_within_slack_now_verifies() {
+        // Adding to a masked base stays provable while the interval still
+        // fits: [0,63] + 8 = [8,71], and 71+1 = 72 <= 128.
+        let mut a = Asm::new(128);
+        a.li(r(2), 63);
+        a.and(r(1), r(1), r(2));
+        a.addi(r(1), r(1), 8);
+        a.ldb(r(0), r(1), 0);
+        a.halt();
+        assert!(verify(&a.finish().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn too_complex_reports_pc_and_evaluations() {
+        let p = crate::workloads::checksum_loop_verified(64, 2);
+        let err = analysis::analyze_with_budget(&p, 2).unwrap_err();
+        let VerifyError::TooComplex { pc, evaluations } = err else {
+            panic!("expected TooComplex");
+        };
+        assert_eq!(evaluations, 3);
+        let msg = VerifyError::TooComplex { pc, evaluations }.to_string();
+        assert!(msg.contains("pc"), "{msg}");
+        assert!(msg.contains("3 evaluations"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Differential property suite: the proof-elided interpreter must be
+//! observationally identical to the fully-checked oracle.
+//!
+//! The test generates random programs from verifier-friendly building
+//! blocks (masked and constant-address memory accesses, guarded indirect
+//! jumps, arbitrary ALU soup, forward branches and back-edges), keeps the
+//! ones the verifier accepts, and runs each through both engines with the
+//! same inputs. Registers, data memory, traps (variant and payload), and
+//! fuel accounting (`steps`/`guard_steps`) must agree exactly — including
+//! at the exact-fuel boundary (`S` and `S - 1` step budgets around a run
+//! that halts in `S` steps).
+
+use paramecium_sfi::analysis::{self, Analysis};
+use paramecium_sfi::bytecode::{Insn, Program, Reg};
+use paramecium_sfi::interp::{ElidedInterp, ElidedProgram, Interp, InterpError};
+use paramecium_sfi::{verifier, workloads};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many verified programs the differential sweep must cover.
+const PROGRAMS: usize = 256;
+/// Generation attempts allowed before we call the generator broken.
+const MAX_ATTEMPTS: usize = 20_000;
+/// Default fuel for the unconstrained run.
+const FUEL: u64 = 10_000;
+
+fn reg(rng: &mut StdRng) -> Reg {
+    Reg(rng.gen_range(0u8..16))
+}
+
+/// Emits one random snippet. Memory accesses are always either masked or
+/// constant-address so most generated programs pass the verifier.
+fn push_snippet(rng: &mut StdRng, code: &mut Vec<Insn>, data_len: u32) {
+    match rng.gen_range(0u32..12) {
+        0 | 1 => {
+            // Constant load: small constants keep masked arithmetic
+            // provable; occasional huge ones exercise wrap analysis.
+            let imm = if rng.gen_bool(0.2) {
+                rng.gen::<u64>() as i64
+            } else {
+                rng.gen_range(0i64..2 * i64::from(data_len).max(1))
+            };
+            code.push(Insn::Li { rd: reg(rng), imm });
+        }
+        2 | 3 => {
+            let (rd, rs1, rs2) = (reg(rng), reg(rng), reg(rng));
+            code.push(match rng.gen_range(0u32..8) {
+                0 => Insn::Add { rd, rs1, rs2 },
+                1 => Insn::Sub { rd, rs1, rs2 },
+                2 => Insn::Mul { rd, rs1, rs2 },
+                3 => Insn::And { rd, rs1, rs2 },
+                4 => Insn::Or { rd, rs1, rs2 },
+                5 => Insn::Xor { rd, rs1, rs2 },
+                6 => Insn::Shl { rd, rs1, rs2 },
+                _ => Insn::Shr { rd, rs1, rs2 },
+            });
+        }
+        4 => {
+            // Division runs checked unless the divisor is provably
+            // nonzero — both zero and nonzero divisors must agree.
+            code.push(Insn::Divu {
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+            });
+        }
+        5 | 6 => {
+            // Masked access: the bread-and-butter provable idiom.
+            let base = reg(rng);
+            code.push(Insn::MaskData { r: base });
+            for _ in 0..rng.gen_range(1u32..3) {
+                code.push(match rng.gen_range(0u32..4) {
+                    0 => Insn::Ld {
+                        rd: reg(rng),
+                        base,
+                        off: 0,
+                    },
+                    1 => Insn::LdB {
+                        rd: reg(rng),
+                        base,
+                        off: 0,
+                    },
+                    2 => Insn::St {
+                        rs: reg(rng),
+                        base,
+                        off: 0,
+                    },
+                    _ => Insn::StB {
+                        rs: reg(rng),
+                        base,
+                        off: 0,
+                    },
+                });
+            }
+        }
+        7 => {
+            // Constant-address access (satellite precision fix).
+            if data_len >= 8 {
+                let base = reg(rng);
+                let addr = rng.gen_range(0i64..i64::from(data_len - 7));
+                code.push(Insn::Li {
+                    rd: base,
+                    imm: addr,
+                });
+                code.push(if rng.gen_bool(0.5) {
+                    Insn::Ld {
+                        rd: reg(rng),
+                        base,
+                        off: 0,
+                    }
+                } else {
+                    Insn::StB {
+                        rs: reg(rng),
+                        base,
+                        off: 0,
+                    }
+                });
+            }
+        }
+        8 => {
+            // Guarded indirect jump: may loop forever (fuel equivalence).
+            let r = reg(rng);
+            code.push(Insn::MaskCode { r });
+            code.push(Insn::Jr { rs: r });
+        }
+        9 => {
+            // Forward conditional branch; target patched in `fixup`.
+            let (rs1, rs2) = (reg(rng), reg(rng));
+            code.push(match rng.gen_range(0u32..3) {
+                0 => Insn::Beq {
+                    rs1,
+                    rs2,
+                    target: u32::MAX,
+                },
+                1 => Insn::Bne {
+                    rs1,
+                    rs2,
+                    target: u32::MAX,
+                },
+                _ => Insn::Bltu {
+                    rs1,
+                    rs2,
+                    target: u32::MAX,
+                },
+            });
+        }
+        10 => {
+            // Back-edge; target patched in `fixup`. Often an infinite
+            // loop — exactly what the fuel-accounting check wants.
+            code.push(Insn::Jmp { target: u32::MAX });
+        }
+        _ => code.push(Insn::Halt),
+    }
+}
+
+/// Patches placeholder branch targets: conditional branches go forward,
+/// `Jmp` placeholders go backward (or to themselves).
+fn fixup(rng: &mut StdRng, code: &mut [Insn]) {
+    let len = code.len() as u32;
+    for (pc, insn) in code.iter_mut().enumerate() {
+        let at = pc as u32;
+        match insn {
+            Insn::Beq { target, .. } | Insn::Bne { target, .. } | Insn::Bltu { target, .. }
+                if *target == u32::MAX =>
+            {
+                *target = rng.gen_range(at + 1..len);
+            }
+            Insn::Jmp { target } if *target == u32::MAX => {
+                *target = rng.gen_range(0..at + 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn random_program(rng: &mut StdRng) -> Program {
+    let data_len = [16u32, 32, 64, 100, 128, 256][rng.gen_range(0usize..6)];
+    let budget = rng.gen_range(6usize..28);
+    let mut code = Vec::new();
+    while code.len() < budget {
+        push_snippet(rng, &mut code, data_len);
+    }
+    code.push(Insn::Halt);
+    fixup(rng, &mut code);
+    Program::new(code, data_len)
+}
+
+/// Analyze + verdict; returns the analysis only for accepted programs.
+fn accept(program: &Program) -> Option<Analysis> {
+    let a = analysis::analyze(program).ok()?;
+    a.verdict(program).ok()?;
+    Some(a)
+}
+
+struct RunResult {
+    outcome: Result<paramecium_sfi::interp::ExecOutcome, InterpError>,
+    regs: [u64; 16],
+    data: Vec<u8>,
+}
+
+fn run_checked(program: &Program, data: &[u8], r1: u64, fuel: u64) -> RunResult {
+    let mut it = Interp::new(program);
+    it.load_data(0, data);
+    it.set_reg(Reg(1), r1);
+    let outcome = it.run(fuel);
+    RunResult {
+        outcome,
+        regs: *it.regs(),
+        data: it.data().to_vec(),
+    }
+}
+
+fn run_elided(prog: &ElidedProgram, data: &[u8], r1: u64, fuel: u64) -> RunResult {
+    let mut it = ElidedInterp::new(prog);
+    it.load_data(0, data);
+    it.set_reg(Reg(1), r1);
+    let outcome = it.run(fuel);
+    RunResult {
+        outcome,
+        regs: *it.regs(),
+        data: it.data().to_vec(),
+    }
+}
+
+fn assert_equivalent(program: &Program, elided: &ElidedProgram, data: &[u8], r1: u64, fuel: u64) {
+    let slow = run_checked(program, data, r1, fuel);
+    let fast = run_elided(elided, data, r1, fuel);
+    assert_eq!(
+        slow.outcome, fast.outcome,
+        "outcome diverged (fuel {fuel}) on {program:?}"
+    );
+    assert_eq!(
+        slow.regs, fast.regs,
+        "registers diverged (fuel {fuel}) on {program:?}"
+    );
+    assert_eq!(
+        slow.data, fast.data,
+        "memory diverged (fuel {fuel}) on {program:?}"
+    );
+}
+
+#[test]
+fn differential_random_programs_agree_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x5f1_a9a1);
+    let mut accepted = 0usize;
+    let mut halted = 0usize;
+    let mut trapped = 0usize;
+    let mut exhausted = 0usize;
+    let mut attempts = 0usize;
+
+    while accepted < PROGRAMS {
+        attempts += 1;
+        assert!(
+            attempts < MAX_ATTEMPTS,
+            "generator acceptance rate collapsed: {accepted}/{attempts}"
+        );
+        let program = random_program(&mut rng);
+        let Some(analysis) = accept(&program) else {
+            continue;
+        };
+        accepted += 1;
+        let elided = ElidedProgram::compile(&program, &analysis);
+
+        let mut data = vec![0u8; program.data_len as usize];
+        rng.fill(&mut data[..]);
+        let r1: u64 = rng.gen();
+
+        assert_equivalent(&program, &elided, &data, r1, FUEL);
+
+        // Exact-fuel boundary: a successful run in S steps must succeed
+        // at budget S and exhaust identically at S - 1.
+        let slow = run_checked(&program, &data, r1, FUEL);
+        match &slow.outcome {
+            Ok(out) => {
+                halted += 1;
+                assert_equivalent(&program, &elided, &data, r1, out.steps);
+                if out.steps > 0 {
+                    assert_equivalent(&program, &elided, &data, r1, out.steps - 1);
+                }
+            }
+            Err(InterpError::OutOfSteps) => {
+                exhausted += 1;
+                // Also probe a couple of shorter budgets inside the run.
+                assert_equivalent(&program, &elided, &data, r1, FUEL / 2);
+                assert_equivalent(&program, &elided, &data, r1, 1);
+            }
+            Err(_) => {
+                trapped += 1;
+                assert_equivalent(&program, &elided, &data, r1, 1);
+            }
+        }
+    }
+
+    // The sweep must exercise all three outcome classes, otherwise the
+    // generator has quietly stopped covering the interesting paths.
+    assert!(halted > 0, "no generated program halted normally");
+    assert!(trapped > 0, "no generated program trapped");
+    assert!(exhausted > 0, "no generated program ran out of fuel");
+}
+
+#[test]
+fn differential_benign_suite_multiple_inputs() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    for (name, program) in workloads::benign_suite() {
+        verifier::verify(&program).unwrap_or_else(|e| panic!("{name} failed to verify: {e}"));
+        let analysis = analysis::analyze(&program).unwrap();
+        let elided = ElidedProgram::compile(&program, &analysis);
+        for _ in 0..16 {
+            let mut data = vec![0u8; program.data_len as usize];
+            rng.fill(&mut data[..]);
+            let r1: u64 = rng.gen_range(0u64..1 << 20);
+            assert_equivalent(&program, &elided, &data, r1, FUEL);
+        }
+    }
+}
+
+#[test]
+fn benign_suite_is_lint_clean() {
+    for (name, program) in workloads::benign_suite() {
+        let diags = analysis::lint::lint(&program)
+            .unwrap_or_else(|e| panic!("{name} failed analysis: {e}"));
+        assert!(diags.is_empty(), "{name} has diagnostics: {diags:?}");
+    }
+}
+
+#[test]
+fn elision_actually_removes_checks_on_the_benign_suite() {
+    // The speedup claim rests on the elided program having strictly
+    // fewer dynamic checks; pin that structurally. Pure-ALU programs
+    // have no checks to begin with, so only programs with checkable
+    // instructions must show elisions.
+    for (name, program) in workloads::benign_suite() {
+        let has_checks = program.code.iter().any(|i| {
+            matches!(
+                i,
+                Insn::Ld { .. }
+                    | Insn::LdB { .. }
+                    | Insn::St { .. }
+                    | Insn::StB { .. }
+                    | Insn::Divu { .. }
+                    | Insn::Jr { .. }
+            )
+        });
+        let analysis = analysis::analyze(&program).unwrap();
+        let elided = ElidedProgram::compile(&program, &analysis);
+        assert!(
+            !has_checks || elided.elided_count() > 0,
+            "{name}: no checks were elided despite full verification"
+        );
+    }
+}

@@ -17,6 +17,19 @@
 //! previously recorded `BENCH_*.json` and prints per-benchmark deltas at
 //! the end of the run, so perf regressions are visible directly in CI
 //! logs instead of requiring artifact archaeology.
+//!
+//! Passing `--gate <pct>` alongside `--baseline` turns the comparison
+//! into a hard regression gate: if a benchmark regresses more than `pct`
+//! percent over the baseline, the process exits nonzero after printing
+//! the offenders. The gate compares the run's *minimum-noise estimate*
+//! (the fastest sample, `min_ns`) against the baseline's `min_ns` (or
+//! its recorded median for records predating the field): scheduling
+//! interference is strictly additive, so a true regression inflates even
+//! the fastest sample, while transient contention that poisons the
+//! median leaves the minimum intact and cannot flake the gate. The
+//! printed deltas still use the median. The threshold should match the
+//! measured noise envelope of the runner (this repo documents ±15 % for
+//! single-vCPU CI runners in `bench-records/README.md`).
 
 use std::fmt::Display;
 use std::sync::{Mutex, OnceLock};
@@ -45,6 +58,15 @@ impl Default for Criterion {
                 }
             } else if let Some(path) = a.strip_prefix("--baseline=") {
                 let _ = baseline_path().set(path.to_owned());
+            } else if a == "--gate" {
+                if let Some(pct) = args.next().and_then(|p| p.parse::<f64>().ok()) {
+                    let _ = gate_pct().set(pct);
+                }
+            } else if let Some(pct) = a
+                .strip_prefix("--gate=")
+                .and_then(|p| p.parse::<f64>().ok())
+            {
+                let _ = gate_pct().set(pct);
             } else if !a.starts_with('-') && filter.is_none() {
                 filter = Some(a);
             }
@@ -167,10 +189,11 @@ impl BenchmarkGroup<'_> {
         }
         let mut b = Bencher {
             mean_ns: 0.0,
+            min_ns: 0.0,
             sample_size: self.sample_size,
         };
         f(&mut b);
-        report(&full, b.mean_ns, self.throughput);
+        report(&full, b.mean_ns, b.min_ns, self.throughput);
         self
     }
 
@@ -194,6 +217,7 @@ impl BenchmarkGroup<'_> {
 /// Timer handed to each benchmark closure.
 pub struct Bencher {
     mean_ns: f64,
+    min_ns: f64,
     sample_size: usize,
 }
 
@@ -201,7 +225,10 @@ impl Bencher {
     /// Measures the mean wall-clock time of `routine`.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up and calibration: find an iteration count that runs long
-        // enough for the clock to resolve.
+        // enough for the clock to resolve AND for the sample set to span
+        // tens of milliseconds of wall time — samples crammed into a
+        // single ~10 ms window all land inside the same scheduler burst,
+        // which defeats the min/median noise rejection below.
         let mut iters: u64 = 1;
         let mut elapsed;
         loop {
@@ -210,7 +237,7 @@ impl Bencher {
                 black_box(routine());
             }
             elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 22 {
                 break;
             }
             iters *= 4;
@@ -238,6 +265,7 @@ impl Bencher {
         }
         per_sample.sort_by(|a, b| a.total_cmp(b));
         self.mean_ns = per_sample[per_sample.len() / 2];
+        self.min_ns = per_sample[0];
     }
 
     /// Like [`Bencher::iter`], but the routine's outputs are collected
@@ -246,6 +274,11 @@ impl Bencher {
     /// the caller's cost, not the benchmark's.
     pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Calibration (outputs dropped eagerly — only the count matters).
+        // Unlike `iter`, the per-sample floor stays at 1 ms: every
+        // output of a sample is held live until the sample ends, so the
+        // batch size is part of the measured quantity — a 10 ms batch
+        // holds ~10× the outputs and measures allocator/cache pressure
+        // the real workload never sees.
         let mut iters: u64 = 1;
         let mut elapsed;
         loop {
@@ -279,11 +312,12 @@ impl Bencher {
         }
         per_sample.sort_by(|a, b| a.total_cmp(b));
         self.mean_ns = per_sample[per_sample.len() / 2];
+        self.min_ns = per_sample[0];
     }
 }
 
-/// One recorded result: `(benchmark id, mean ns, throughput)`.
-type BenchResult = (String, f64, Option<Throughput>);
+/// One recorded result: `(benchmark id, median ns, min ns, throughput)`.
+type BenchResult = (String, f64, f64, Option<Throughput>);
 
 /// Process-wide record of results, flushed to a JSON file when the
 /// driving [`Criterion`] is dropped.
@@ -296,6 +330,35 @@ fn results() -> &'static Mutex<Vec<BenchResult>> {
 fn baseline_path() -> &'static OnceLock<String> {
     static BASELINE: OnceLock<String> = OnceLock::new();
     &BASELINE
+}
+
+/// The `--gate <pct>` argument, if given.
+fn gate_pct() -> &'static OnceLock<f64> {
+    static GATE: OnceLock<f64> = OnceLock::new();
+    &GATE
+}
+
+/// Benchmarks whose result regressed more than `pct` percent over the
+/// baseline: `(id, delta_pct)` pairs. Benchmarks missing from either side
+/// never violate the gate (new benchmarks must not fail CI, and a stale
+/// baseline entry has nothing to compare against).
+fn gate_violations(
+    results: &[(String, f64)],
+    baseline: &[(String, f64)],
+    pct: f64,
+) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (id, mean_ns) in results {
+        if let Some((_, base_ns)) = baseline.iter().find(|(bid, _)| bid == id) {
+            if *base_ns > 0.0 {
+                let delta = (mean_ns - base_ns) / base_ns * 100.0;
+                if delta > pct {
+                    out.push((id.clone(), delta));
+                }
+            }
+        }
+    }
+    out
 }
 
 impl Drop for Criterion {
@@ -311,9 +374,18 @@ impl Drop for Criterion {
 }
 
 /// Parses the subset of JSON this crate itself emits: an object with a
-/// `benchmarks` array of `{"id": ..., "mean_ns": ...}` entries. Returns
-/// `(id, mean_ns)` pairs; unknown fields are ignored.
-fn parse_baseline_json(text: &str) -> Vec<(String, f64)> {
+/// `benchmarks` array of `{"id": ..., "mean_ns": ..., "min_ns": ...}`
+/// entries. Returns `(id, mean_ns, Option<min_ns>)` triples (`min_ns` is
+/// absent in records predating the field); unknown fields are ignored.
+fn parse_baseline_json(text: &str) -> Vec<(String, f64, Option<f64>)> {
+    fn leading_number(s: &str) -> Option<f64> {
+        s.trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect::<String>()
+            .parse::<f64>()
+            .ok()
+    }
     let mut out = Vec::new();
     let mut rest = text;
     while let Some(start) = rest.find("\"id\":") {
@@ -327,14 +399,17 @@ fn parse_baseline_json(text: &str) -> Vec<(String, f64)> {
         let Some(m) = rest.find("\"mean_ns\":") else {
             break;
         };
-        let num = rest[m + 10..]
-            .trim_start()
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
-            .collect::<String>();
-        if let Ok(mean_ns) = num.parse::<f64>() {
-            out.push((id, mean_ns));
-        }
+        let Some(mean_ns) = leading_number(&rest[m + 10..]) else {
+            continue;
+        };
+        // `min_ns` belongs to this entry only if it appears before the
+        // next entry's `"id"` key.
+        let next_id = rest.find("\"id\":").unwrap_or(rest.len());
+        let min_ns = match rest.find("\"min_ns\":") {
+            Some(p) if p < next_id => leading_number(&rest[p + 9..]),
+            _ => None,
+        };
+        out.push((id, mean_ns, min_ns));
     }
     out
 }
@@ -360,13 +435,40 @@ fn compare_with_baseline() {
         return;
     }
     println!("\nbaseline compare (vs {path}):");
-    for (id, mean_ns, _) in results.iter() {
-        match baseline.iter().find(|(bid, _)| bid == id) {
-            Some((_, base_ns)) if *base_ns > 0.0 => {
+    for (id, mean_ns, _, _) in results.iter() {
+        match baseline.iter().find(|(bid, _, _)| bid == id) {
+            Some((_, base_ns, _)) if *base_ns > 0.0 => {
                 let delta = (mean_ns - base_ns) / base_ns * 100.0;
                 println!("{id:<50} {base_ns:>12.1} ns -> {mean_ns:>12.1} ns  ({delta:>+7.1}%)");
             }
             _ => println!("{id:<50} {:>12} ns -> {mean_ns:>12.1} ns  (new)", "-"),
+        }
+    }
+    if let Some(pct) = gate_pct().get() {
+        // Gate on the minimum-noise estimate from both sides (falling
+        // back to the recorded median for pre-`min_ns` baselines — the
+        // conservative direction: min-vs-median can only pass *more*
+        // easily, never flake).
+        let flat: Vec<(String, f64)> = results
+            .iter()
+            .map(|(id, _, min_ns, _)| (id.clone(), *min_ns))
+            .collect();
+        let base_flat: Vec<(String, f64)> = baseline
+            .iter()
+            .map(|(id, mean_ns, min_ns)| (id.clone(), min_ns.unwrap_or(*mean_ns)))
+            .collect();
+        let violations = gate_violations(&flat, &base_flat, *pct);
+        if violations.is_empty() {
+            println!("gate: all benchmarks within +{pct}% of baseline");
+        } else {
+            eprintln!("\ngate: regression beyond +{pct}% of baseline:");
+            for (id, delta) in &violations {
+                eprintln!("  {id:<50} {delta:>+7.1}%");
+            }
+            // The JSON record was already flushed (write_json_results
+            // runs first), so the failing run's numbers stay archived.
+            drop(results);
+            std::process::exit(1);
         }
     }
 }
@@ -393,7 +495,7 @@ fn write_json_results() {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"target\": \"{target}\",\n"));
     json.push_str("  \"benchmarks\": [\n");
-    for (i, (id, mean_ns, throughput)) in results.iter().enumerate() {
+    for (i, (id, mean_ns, min_ns, throughput)) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         // Throughput annotations are recorded as a rate so CI logs and
         // committed records read in ops/sec without recomputation.
@@ -407,7 +509,7 @@ fn write_json_results() {
             _ => String::new(),
         };
         json.push_str(&format!(
-            "    {{\"id\": \"{id}\", \"mean_ns\": {mean_ns:.1}{rate}}}{sep}\n"
+            "    {{\"id\": \"{id}\", \"mean_ns\": {mean_ns:.1}, \"min_ns\": {min_ns:.1}{rate}}}{sep}\n"
         ));
     }
     json.push_str("  ]\n}\n");
@@ -417,11 +519,13 @@ fn write_json_results() {
     }
 }
 
-fn report(id: &str, mean_ns: f64, throughput: Option<Throughput>) {
-    results()
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .push((id.to_owned(), mean_ns, throughput));
+fn report(id: &str, mean_ns: f64, min_ns: f64, throughput: Option<Throughput>) {
+    results().lock().unwrap_or_else(|e| e.into_inner()).push((
+        id.to_owned(),
+        mean_ns,
+        min_ns,
+        throughput,
+    ));
     let time = if mean_ns >= 1e9 {
         format!("{:.3} s", mean_ns / 1e9)
     } else if mean_ns >= 1e6 {
@@ -481,9 +585,12 @@ mod tests {
         // iteration can legitimately calibrate to ~0, so only presence and
         // non-negativity are asserted).
         let recorded = results().lock().unwrap();
-        assert!(recorded.iter().any(|(id, _, _)| id == "g/noop"));
-        assert!(recorded.iter().any(|(id, _, _)| id == "g/param/3"));
-        assert!(recorded.iter().all(|(_, ns, _)| *ns >= 0.0));
+        assert!(recorded.iter().any(|(id, _, _, _)| id == "g/noop"));
+        assert!(recorded.iter().any(|(id, _, _, _)| id == "g/param/3"));
+        // The minimum-noise estimate can never exceed the median.
+        assert!(recorded
+            .iter()
+            .all(|(_, ns, min, _)| *ns >= 0.0 && *min >= 0.0 && min <= ns));
     }
 
     #[test]
@@ -495,9 +602,9 @@ mod tests {
         g.bench_function("elems", |b| b.iter(|| std::hint::black_box(3 * 7)));
         g.finish();
         let recorded = results().lock().unwrap();
-        let (_, _, tp) = recorded
+        let (_, _, _, tp) = recorded
             .iter()
-            .find(|(id, _, _)| id == "tp/elems")
+            .find(|(id, _, _, _)| id == "tp/elems")
             .expect("recorded");
         assert!(matches!(tp, Some(Throughput::Elements(128))));
     }
@@ -508,17 +615,51 @@ mod tests {
   "target": "b10_store",
   "benchmarks": [
     {"id": "e10_store/hit_read", "mean_ns": 122.6},
+    {"id": "e10_store/warm", "mean_ns": 130.0, "min_ns": 118.2},
     {"id": "e10_store/flush_256_dirty", "mean_ns": 88206.0, "ops_per_sec": 2902309}
   ]
 }"#;
         let parsed = parse_baseline_json(text);
-        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.len(), 3);
         assert_eq!(parsed[0].0, "e10_store/hit_read");
         assert!((parsed[0].1 - 122.6).abs() < 1e-9);
-        assert_eq!(parsed[1].0, "e10_store/flush_256_dirty");
-        assert!((parsed[1].1 - 88206.0).abs() < 1e-9);
+        // A pre-`min_ns` entry parses with no minimum; it must not steal
+        // the min of a later entry.
+        assert_eq!(parsed[0].2, None);
+        assert_eq!(parsed[1].0, "e10_store/warm");
+        assert_eq!(parsed[1].2, Some(118.2));
+        assert_eq!(parsed[2].0, "e10_store/flush_256_dirty");
+        assert!((parsed[2].1 - 88206.0).abs() < 1e-9);
+        assert_eq!(parsed[2].2, None);
         // Garbage degrades gracefully.
         assert!(parse_baseline_json("not json at all").is_empty());
         assert!(parse_baseline_json("{\"id\": \"x\"}").is_empty());
+    }
+
+    #[test]
+    fn gate_flags_only_regressions_beyond_threshold() {
+        let baseline = vec![
+            ("a".to_owned(), 100.0),
+            ("b".to_owned(), 100.0),
+            ("c".to_owned(), 100.0),
+            ("stale".to_owned(), 50.0),
+        ];
+        let results = vec![
+            ("a".to_owned(), 114.9), // +14.9% — inside a 15% gate
+            ("b".to_owned(), 116.0), // +16.0% — violation
+            ("c".to_owned(), 80.0),  // improvement — never a violation
+            ("new".to_owned(), 1e6), // not in baseline — never a violation
+        ];
+        let v = gate_violations(&results, &baseline, 15.0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, "b");
+        assert!((v[0].1 - 16.0).abs() < 1e-9);
+        // Tighter gate catches both.
+        let v = gate_violations(&results, &baseline, 10.0);
+        assert_eq!(v.len(), 2);
+        // Zero-valued baseline entries are skipped, not divided by.
+        let z = vec![("z".to_owned(), 0.0)];
+        let r = vec![("z".to_owned(), 100.0)];
+        assert!(gate_violations(&r, &z, 15.0).is_empty());
     }
 }
