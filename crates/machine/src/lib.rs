@@ -80,3 +80,22 @@ impl From<Fault> for MachineError {
 
 /// Convenient result alias.
 pub type MachineResult<T> = Result<T, MachineError>;
+
+#[cfg(test)]
+mod send_audit {
+    //! The world pool moves whole machines (devices included) across OS
+    //! threads; these assertions pin the `Send` story at the type level
+    //! so a non-`Send` device or cost-model field is a compile error
+    //! here, not a mysterious trait bound failure three crates up.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn machines_and_devices_may_cross_os_threads() {
+        assert_send::<Machine>();
+        assert_send::<Box<dyn dev::Device>>();
+        assert_send_sync::<CostModel>();
+    }
+}

@@ -48,7 +48,7 @@ pub mod interface;
 pub mod interpose;
 pub mod object;
 pub(crate) mod snapcell;
-pub(crate) mod trylock;
+pub mod trylock;
 pub mod typeinfo;
 pub mod value;
 
@@ -59,6 +59,7 @@ pub use error::ObjError;
 pub use interface::{BoundMethod, CallCache, Interface, Method, MethodFn};
 pub use interpose::InterposerBuilder;
 pub use object::{ObjRef, Object, ResolvedMethod};
+pub use trylock::{TryLock, TryLockGuard};
 pub use typeinfo::{InterfaceDescriptor, MethodSig, TypeTag};
 pub use value::ArgFrame;
 pub use value::Value;

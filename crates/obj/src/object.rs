@@ -488,6 +488,17 @@ mod tests {
         typeinfo::{MethodSig, TypeTag},
     };
 
+    /// Objects are shared across OS threads by the world pool (e.g. one
+    /// sharded block cache serving many worlds), so `Object` must stay
+    /// `Send + Sync`; pinned here so a non-thread-safe field is caught in
+    /// this crate.
+    #[test]
+    fn objects_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Object>();
+        assert_send_sync::<ObjRef>();
+    }
+
     fn counter() -> ObjRef {
         ObjectBuilder::new("counter")
             .state(0i64)

@@ -149,6 +149,75 @@ mod tests {
         );
     }
 
+    /// The world-pool stress profile: many readers hammering `load` while
+    /// a writer churns publishes. Each snapshot is internally consistent
+    /// (all elements equal its sequence number), so any torn or dangling
+    /// read shows up as a mixed vector; the drop counter proves every
+    /// retired snapshot is freed exactly once when the cell goes away.
+    #[test]
+    fn stress_readers_never_tear_and_retired_snapshots_all_drop() {
+        struct Counted {
+            payload: Vec<u64>,
+            drops: Arc<std::sync::atomic::AtomicU64>,
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.drops.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        const PUBLISHES: u64 = 4_000;
+        let drops = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        {
+            let cell = Arc::new(SnapCell::<Counted>::new());
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let cell = cell.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        let mut seen_max = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            if let Some(snap) = cell.load() {
+                                let seq = snap.payload[0];
+                                assert!(
+                                    snap.payload.iter().all(|&x| x == seq),
+                                    "torn snapshot: {:?}",
+                                    snap.payload
+                                );
+                                // Publishes are observed in order: the
+                                // single writer's swap sequence is the
+                                // only source of new pointers.
+                                assert!(seq >= seen_max, "snapshot went backwards");
+                                seen_max = seq;
+                            }
+                        }
+                        seen_max
+                    })
+                })
+                .collect();
+            for seq in 1..=PUBLISHES {
+                cell.publish(Counted {
+                    payload: vec![seq; 16],
+                    drops: drops.clone(),
+                });
+            }
+            stop.store(true, Ordering::Relaxed);
+            for h in readers {
+                let seen = h.join().unwrap();
+                assert!(seen <= PUBLISHES);
+            }
+            // While the cell is alive nothing is freed — that is the
+            // whole safety argument for lock-free readers.
+            assert_eq!(drops.load(Ordering::SeqCst), 0, "snapshot freed early");
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            PUBLISHES,
+            "every published snapshot freed exactly once on cell drop"
+        );
+    }
+
     #[test]
     fn concurrent_readers_and_publishers() {
         let cell = Arc::new(SnapCell::new());

@@ -8,6 +8,11 @@
 //! their correctness: one atomic `swap` to acquire, one release store to
 //! unlock. Acquisition failure is not an error — callers fall back to the
 //! uncached slow path.
+//!
+//! The lock is public because other hot paths share its profile: the
+//! sharded store cache guards each shard with one, keeping the warmed
+//! single-client hit exactly as cheap as the old exclusive-state design
+//! while letting concurrent worlds hit disjoint shards in parallel.
 
 use std::{
     cell::UnsafeCell,
@@ -16,7 +21,7 @@ use std::{
 };
 
 /// A lock offering only non-blocking acquisition.
-pub(crate) struct TryLock<T> {
+pub struct TryLock<T> {
     locked: AtomicBool,
     value: UnsafeCell<T>,
 }
@@ -30,7 +35,7 @@ unsafe impl<T: Send> Send for TryLock<T> {}
 
 impl<T> TryLock<T> {
     /// Creates an unlocked lock holding `value`.
-    pub(crate) fn new(value: T) -> Self {
+    pub fn new(value: T) -> Self {
         TryLock {
             locked: AtomicBool::new(false),
             value: UnsafeCell::new(value),
@@ -40,7 +45,7 @@ impl<T> TryLock<T> {
     /// Acquires the lock if it is free, returning `None` (immediately,
     /// without spinning) when it is held.
     #[inline]
-    pub(crate) fn try_lock(&self) -> Option<TryLockGuard<'_, T>> {
+    pub fn try_lock(&self) -> Option<TryLockGuard<'_, T>> {
         if self.locked.swap(true, Ordering::Acquire) {
             None
         } else {
@@ -58,7 +63,7 @@ impl<T> TryLock<T> {
     /// path. Like any non-reentrant lock, acquiring it twice on one thread
     /// livelocks; [`Object::with_state`](crate::object::Object::with_state)
     /// documents that rule for state access.
-    pub(crate) fn lock(&self) -> TryLockGuard<'_, T> {
+    pub fn lock(&self) -> TryLockGuard<'_, T> {
         let mut spins = 0u32;
         loop {
             if let Some(g) = self.try_lock() {
@@ -81,7 +86,7 @@ impl<T: Default> Default for TryLock<T> {
 }
 
 /// Guard proving exclusive access to the protected value.
-pub(crate) struct TryLockGuard<'a, T> {
+pub struct TryLockGuard<'a, T> {
     lock: &'a TryLock<T>,
 }
 

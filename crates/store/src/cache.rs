@@ -45,13 +45,25 @@
 //!   and eviction reinserts the victim.
 //! - **Strict capacity.** Eviction happens *before* insertion, so the
 //!   cache never holds more than `capacity` lines, even transiently.
+//! - **Per-shard locking (PR 7).** Each shard sits behind its own spin
+//!   [`TryLock`] instead of the object's exclusive instance state, so
+//!   concurrent clients on real OS threads (the world pool) proceed in
+//!   parallel on disjoint shards. Uncontended acquisition is one atomic
+//!   swap — the same cost the old `with_state` path paid — and no lock
+//!   is ever held across a backing-store invocation. Multi-shard
+//!   operations lock one shard at a time: under concurrency they are
+//!   atomic per shard, not across the cache (single-client behaviour is
+//!   unchanged).
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use paramecium_machine::dev::disk::SECTOR_SIZE;
-use paramecium_obj::{ObjError, ObjRef, ObjResult, ObjectBuilder, TypeTag, Value};
+use paramecium_obj::{
+    ObjError, ObjRef, ObjResult, ObjectBuilder, TryLock, TryLockGuard, TypeTag, Value,
+};
 
 use crate::vectored::{pairs_arg, parse_pairs, sectors_arg};
 
@@ -276,57 +288,75 @@ impl Shard {
     }
 }
 
-/// Cache instance state: the backing `blockdev` plus the shard array.
-struct CacheState {
+/// Shared cache instance: the backing `blockdev`, the shard array — each
+/// shard behind its own spin lock — and the lazily fetched device size.
+///
+/// Every method closure captures this as an `Arc`, bypassing the object's
+/// exclusive instance state entirely: two clients touching different
+/// shards never serialize, which is what lets one shared cache serve many
+/// concurrent worlds (the world pool) without a global lock. The per-shard
+/// invariants are unchanged from the exclusive design — evict-before-
+/// insert, dirty lines cleaned only after a version-checked successful
+/// backing write, failed batches reinsert their victims. The one semantic
+/// narrowing under *concurrent* clients: multi-shard operations
+/// (`read_many`, `write_many`, `flush`, `stats`) lock one shard at a
+/// time, so they are atomic per shard rather than across the whole cache;
+/// single-client behaviour is bit-identical to the old global-lock
+/// design.
+struct CacheShared {
     backing: ObjRef,
     /// Always a power-of-two length so routing is a mask, not a divide.
-    shards: Vec<Shard>,
+    /// Each shard is independently locked; the uncontended acquire is one
+    /// atomic swap, so a warmed single-client hit costs what it did under
+    /// the exclusive-state design.
+    shards: Vec<TryLock<Shard>>,
     shard_mask: u64,
+    /// Per-shard line capacity (uniform across shards), readable without
+    /// any lock for batch planning.
+    per_shard: usize,
     /// Backing device size, fetched lazily on the first dirty write and
     /// used to reject out-of-range writes up front — an unwritable sector
     /// must never become a dirty line, or it would poison every later
     /// all-or-nothing writeback batch.
-    total_sectors: Option<i64>,
+    total_sectors: OnceLock<i64>,
 }
 
-impl CacheState {
+impl CacheShared {
     #[inline]
     fn shard_of(&self, sector: i64) -> usize {
         (sector as u64 & self.shard_mask) as usize
     }
-}
 
-fn backing_of(this: &ObjRef) -> ObjResult<ObjRef> {
-    this.with_state(|s: &mut CacheState| Ok(s.backing.clone()))
-}
-
-/// The backing device's sector count (cached after the first query).
-fn backing_sectors(this: &ObjRef) -> ObjResult<i64> {
-    if let Some(n) = this.with_state(|s: &mut CacheState| Ok(s.total_sectors))? {
-        return Ok(n);
+    /// Locks the shard owning `sector`.
+    #[inline]
+    fn shard(&self, sector: i64) -> TryLockGuard<'_, Shard> {
+        self.shards[self.shard_of(sector)].lock()
     }
-    let n = backing_of(this)?
-        .invoke("blockdev", "sectors", &[])?
-        .as_int()?;
-    this.with_state(|s: &mut CacheState| {
-        s.total_sectors = Some(n);
+
+    /// The backing device's sector count (cached after the first query).
+    fn backing_sectors(&self) -> ObjResult<i64> {
+        if let Some(&n) = self.total_sectors.get() {
+            return Ok(n);
+        }
+        let n = self.backing.invoke("blockdev", "sectors", &[])?.as_int()?;
+        // A racing fetch computed the same value; first writer wins.
+        let _ = self.total_sectors.set(n);
+        Ok(n)
+    }
+
+    /// Rejects sectors the backing store could never write back.
+    fn check_writable_sector(&self, sector: i64) -> ObjResult<()> {
+        if sector < 0 {
+            return Err(ObjError::failed("negative sector"));
+        }
+        let total = self.backing_sectors()?;
+        if sector >= total {
+            return Err(ObjError::failed(format!(
+                "sector {sector} out of range (device has {total})"
+            )));
+        }
         Ok(())
-    })?;
-    Ok(n)
-}
-
-/// Rejects sectors the backing store could never write back.
-fn check_writable_sector(this: &ObjRef, sector: i64) -> ObjResult<()> {
-    if sector < 0 {
-        return Err(ObjError::failed("negative sector"));
     }
-    let total = backing_sectors(this)?;
-    if sector >= total {
-        return Err(ObjError::failed(format!(
-            "sector {sector} out of range (device has {total})"
-        )));
-    }
-    Ok(())
 }
 
 /// Outcome of one locked reservation attempt in [`insert_line`].
@@ -342,6 +372,48 @@ enum Reserve {
     },
 }
 
+/// One locked reservation attempt for [`insert_line`]: resolves the
+/// sector in place when possible, otherwise evicts and reports what needs
+/// writing back. Never invokes the backing store (the shard lock is held).
+fn reserve_line(sh: &mut Shard, sector: i64, data: &Bytes, dirty: bool, count: bool) -> Reserve {
+    if let Some(&idx) = sh.map.get(&sector) {
+        if count {
+            sh.hits += 1;
+        }
+        if dirty {
+            let version = sh.next_version();
+            let line = &mut sh.slots[idx as usize];
+            line.data = data.clone();
+            line.dirty = true;
+            line.version = version;
+        }
+        sh.touch(idx);
+        return Reserve::Done;
+    }
+    if count {
+        sh.misses += 1;
+    }
+    if sh.len() < sh.capacity {
+        sh.insert(sector, data.clone(), dirty);
+        return Reserve::Done;
+    }
+    // Full: evict-before-insert. Clean victims just drop; dirty ones must
+    // reach the backing store first.
+    let mut victims = Vec::new();
+    while sh.len() >= sh.capacity {
+        let (vsec, vdata, vdirty) = sh.pop_lru().expect("full shard has an LRU line");
+        if vdirty {
+            victims.push((vsec, vdata));
+        }
+    }
+    if victims.is_empty() {
+        sh.insert(sector, data.clone(), dirty);
+        return Reserve::Done;
+    }
+    let extras = sh.dirty_from_lru(EVICTION_WRITEBACK_BATCH.saturating_sub(victims.len()));
+    Reserve::NeedWriteback { victims, extras }
+}
+
 /// Makes `sector` resident with `data`.
 ///
 /// With `dirty` the line is (over)written and marked dirty (a client
@@ -355,9 +427,10 @@ enum Reserve {
 /// sector-sorted batched `write_many` together with up to
 /// [`EVICTION_WRITEBACK_BATCH`] cold dirty lines. If the backing write
 /// fails the victims are reinserted and the error surfaces to the caller:
-/// no acknowledged write is ever dropped.
+/// no acknowledged write is ever dropped. Only the one shard owning
+/// `sector` is ever locked, and never across a backing invocation.
 fn insert_line(
-    this: &ObjRef,
+    shared: &CacheShared,
     sector: i64,
     data: &Bytes,
     dirty: bool,
@@ -365,52 +438,12 @@ fn insert_line(
 ) -> ObjResult<()> {
     let mut count = count_stats;
     loop {
-        let step = this.with_state(|s: &mut CacheState| {
-            let shard = s.shard_of(sector);
-            let sh = &mut s.shards[shard];
-            if let Some(&idx) = sh.map.get(&sector) {
-                if count {
-                    sh.hits += 1;
-                }
-                if dirty {
-                    let version = sh.next_version();
-                    let line = &mut sh.slots[idx as usize];
-                    line.data = data.clone();
-                    line.dirty = true;
-                    line.version = version;
-                }
-                sh.touch(idx);
-                return Ok(Reserve::Done);
-            }
-            if count {
-                sh.misses += 1;
-            }
-            if sh.len() < sh.capacity {
-                sh.insert(sector, data.clone(), dirty);
-                return Ok(Reserve::Done);
-            }
-            // Full: evict-before-insert. Clean victims just drop; dirty
-            // ones must reach the backing store first.
-            let mut victims = Vec::new();
-            while sh.len() >= sh.capacity {
-                let (vsec, vdata, vdirty) = sh.pop_lru().expect("full shard has an LRU line");
-                if vdirty {
-                    victims.push((vsec, vdata));
-                }
-            }
-            if victims.is_empty() {
-                sh.insert(sector, data.clone(), dirty);
-                return Ok(Reserve::Done);
-            }
-            let extras = sh.dirty_from_lru(EVICTION_WRITEBACK_BATCH.saturating_sub(victims.len()));
-            Ok(Reserve::NeedWriteback { victims, extras })
-        })?;
+        let step = reserve_line(&mut shared.shard(sector), sector, data, dirty, count);
         count = false;
         let (victims, extras) = match step {
             Reserve::Done => return Ok(()),
             Reserve::NeedWriteback { victims, extras } => (victims, extras),
         };
-        let backing = backing_of(this)?;
         let mut batch: Vec<(i64, Bytes)> = victims
             .iter()
             .cloned()
@@ -418,17 +451,16 @@ fn insert_line(
             .collect();
         batch.sort_unstable_by_key(|(sec, _)| *sec);
         let written = batch.len() as u64;
-        match backing.invoke("blockdev", "write_many", &[pairs_arg(batch)]) {
+        match shared
+            .backing
+            .invoke("blockdev", "write_many", &[pairs_arg(batch)])
+        {
             Ok(_) => {
-                this.with_state(|s: &mut CacheState| {
-                    let shard = s.shard_of(sector);
-                    let sh = &mut s.shards[shard];
-                    sh.writebacks += written;
-                    for (sec, _, version) in &extras {
-                        sh.mark_clean_if_unchanged(*sec, *version);
-                    }
-                    Ok(())
-                })?;
+                let mut sh = shared.shard(sector);
+                sh.writebacks += written;
+                for (sec, _, version) in &extras {
+                    sh.mark_clean_if_unchanged(*sec, *version);
+                }
                 // Loop around: the shard now has room for the insert.
             }
             Err(e) => {
@@ -436,29 +468,24 @@ fn insert_line(
                 // dirty data goes back into the cache and the caller sees
                 // the error. (The slot freed by the eviction is still
                 // free, so reinsertion cannot overflow.)
-                this.with_state(|s: &mut CacheState| {
-                    let shard = s.shard_of(sector);
-                    let sh = &mut s.shards[shard];
-                    for (vsec, vdata) in victims {
-                        if !sh.map.contains_key(&vsec) && sh.len() < sh.capacity {
-                            sh.insert(vsec, vdata, true);
-                        }
+                let mut sh = shared.shard(sector);
+                for (vsec, vdata) in victims {
+                    if !sh.map.contains_key(&vsec) && sh.len() < sh.capacity {
+                        sh.insert(vsec, vdata, true);
                     }
-                    Ok(())
-                })?;
+                }
                 return Err(e);
             }
         }
     }
 }
 
-fn cache_read(this: &ObjRef, sector: i64) -> ObjResult<Value> {
+fn cache_read(shared: &CacheShared, sector: i64) -> ObjResult<Value> {
     // Fast path: a hit returns a ref-counted clone of the resident
-    // buffer — no byte copy, one O(1) LRU touch.
-    let hit = this.with_state(|s: &mut CacheState| {
-        let shard = s.shard_of(sector);
-        let sh = &mut s.shards[shard];
-        Ok(match sh.map.get(&sector).copied() {
+    // buffer — no byte copy, one O(1) LRU touch, one shard lock.
+    let hit = {
+        let mut sh = shared.shard(sector);
+        match sh.map.get(&sector).copied() {
             Some(idx) => {
                 sh.hits += 1;
                 sh.touch(idx);
@@ -468,40 +495,54 @@ fn cache_read(this: &ObjRef, sector: i64) -> ObjResult<Value> {
                 sh.misses += 1;
                 None
             }
-        })
-    })?;
+        }
+    };
     if let Some(data) = hit {
         return Ok(Value::Bytes(data));
     }
-    // Miss: fetch outside the state lock (the backing store may itself be
-    // an object graph).
-    let backing = backing_of(this)?;
-    let fetched = backing.invoke("blockdev", "read", &[Value::Int(sector)])?;
+    // Miss: fetch with no lock held (the backing store may itself be an
+    // object graph).
+    let fetched = shared
+        .backing
+        .invoke("blockdev", "read", &[Value::Int(sector)])?;
     let data = fetched.as_bytes()?.clone();
     if data.len() != SECTOR_SIZE {
         return Err(ObjError::failed("backing store returned a short sector"));
     }
-    insert_line(this, sector, &data, false, false)?;
+    insert_line(shared, sector, &data, false, false)?;
     Ok(Value::Bytes(data))
 }
 
-fn cache_read_many(this: &ObjRef, sectors: &[Value]) -> ObjResult<Value> {
-    // One locked pass builds the result list in place, parsing sector
-    // numbers straight off the argument list (no intermediate vector):
-    // hits resolve to a zero-copy clone immediately, misses leave a
-    // `Unit` placeholder.
+fn cache_read_many(shared: &CacheShared, sectors: &[Value]) -> ObjResult<Value> {
+    // One pass builds the result list in place, re-locking only when the
+    // owning shard changes — a single-shard cache pays exactly one lock
+    // for the whole batch, and runs of shard-local sectors amortize
+    // theirs. At most one shard lock is ever held (the previous guard is
+    // dropped before the next acquire), so concurrent batches cannot
+    // deadlock however their shard orders interleave. Hits resolve to a
+    // zero-copy clone immediately, misses leave a `Unit` placeholder.
     let mut results: Vec<Value> = Vec::with_capacity(sectors.len());
     let mut missing: Vec<i64> = Vec::new();
-    this.with_state(|s: &mut CacheState| {
+    {
+        // Take every shard guard up front, in ascending index order —
+        // the one multi-lock site in the cache, and every other path
+        // holds at most one shard at a time, so no acquisition cycle can
+        // form. This keeps the hit pass identical to the single-lock
+        // original (one pass, no per-sector lock traffic, no grouping
+        // allocations): the whole batch pays `nshards` uncontended
+        // atomic swaps, not one per sector. Guards drop before the miss
+        // path runs, so no shard lock is held across a backing
+        // invocation.
+        let mut guards: Vec<TryLockGuard<'_, Shard>> =
+            shared.shards.iter().map(|s| s.lock()).collect();
         for v in sectors {
             let sec = v.as_int()?;
-            let shard = s.shard_of(sec);
-            let sh = &mut s.shards[shard];
+            let sh = &mut guards[shared.shard_of(sec)];
             match sh.map.get(&sec).copied() {
-                Some(idx) => {
+                Some(slot) => {
                     sh.hits += 1;
-                    sh.touch(idx);
-                    results.push(Value::Bytes(sh.slots[idx as usize].data.clone()));
+                    sh.touch(slot);
+                    results.push(Value::Bytes(sh.slots[slot as usize].data.clone()));
                 }
                 None => {
                     sh.misses += 1;
@@ -510,16 +551,14 @@ fn cache_read_many(this: &ObjRef, sectors: &[Value]) -> ObjResult<Value> {
                 }
             }
         }
-        Ok(())
-    })?;
+    }
     if !missing.is_empty() {
         // One vectorized backing fetch for all misses, in elevator order.
         // (Negative sectors land here too and are rejected by the
         // backing driver's own validation.)
         missing.sort_unstable();
         missing.dedup();
-        let backing = backing_of(this)?;
-        let fetched = backing.invoke(
+        let fetched = shared.backing.invoke(
             "blockdev",
             "read_many",
             &[sectors_arg(missing.iter().copied())],
@@ -534,12 +573,12 @@ fn cache_read_many(this: &ObjRef, sectors: &[Value]) -> ObjResult<Value> {
             if data.len() != SECTOR_SIZE {
                 return Err(ObjError::failed("backing store returned a short sector"));
             }
-            insert_line(this, sec, &data, false, false)?;
+            insert_line(shared, sec, &data, false, false)?;
             by_sector.insert(sec, data);
         }
-        for (i, v) in sectors.iter().enumerate() {
-            if matches!(results[i], Value::Unit) {
-                results[i] = Value::Bytes(by_sector[&v.as_int()?].clone());
+        for (pos, v) in sectors.iter().enumerate() {
+            if matches!(results[pos], Value::Unit) {
+                results[pos] = Value::Bytes(by_sector[&v.as_int()?].clone());
             }
         }
     }
@@ -550,41 +589,45 @@ fn cache_read_many(this: &ObjRef, sectors: &[Value]) -> ObjResult<Value> {
 /// driver's no-partial-effects contract: shard space for every batch
 /// sector is reserved (evicting, writing dirty victims back) *before*
 /// any pair is cached, so a failed eviction writeback surfaces with the
-/// cache unchanged; the apply pass then runs under one state lock and
-/// cannot fail. Batches too large for their shards bypass the cache as
-/// one streaming write-through (resident lines are refreshed in place).
-fn cache_write_many(this: &ObjRef, pairs: &[(i64, Bytes)]) -> ObjResult<Value> {
+/// cache unchanged; the apply pass then locks each shard once and cannot
+/// fail for a single client. Batches too large for their shards bypass
+/// the cache as one streaming write-through (resident lines are
+/// refreshed in place).
+fn cache_write_many(shared: &CacheShared, pairs: &[(i64, Bytes)]) -> ObjResult<Value> {
     if pairs.is_empty() {
         return Ok(Value::Int(0));
     }
     let n = pairs.len() as i64;
     // Distinct batch sectors per shard decide whether the batch can be
-    // fully resident after the apply pass.
-    let (in_batch, fits) = this.with_state(|s: &mut CacheState| {
-        let mut in_batch = SectorSet::default();
-        let mut distinct = vec![0usize; s.shards.len()];
-        for (sec, _) in pairs {
-            if in_batch.insert(*sec) {
-                distinct[s.shard_of(*sec)] += 1;
-            }
+    // fully resident after the apply pass. Capacities are fixed, so this
+    // plan needs no locks at all.
+    let mut in_batch = SectorSet::default();
+    let mut shard_sectors: Vec<Vec<i64>> = vec![Vec::new(); shared.shards.len()];
+    for (sec, _) in pairs {
+        if in_batch.insert(*sec) {
+            shard_sectors[shared.shard_of(*sec)].push(*sec);
         }
-        let fits = distinct
-            .iter()
-            .enumerate()
-            .all(|(i, d)| *d <= s.shards[i].capacity);
-        Ok((in_batch, fits))
-    })?;
+    }
+    let fits = shard_sectors.iter().all(|s| s.len() <= shared.per_shard);
     if !fits {
         // Streaming write-through: one sector-sorted backing write (a
         // stable sort keeps duplicate-sector order, so last-wins is
         // preserved), then refresh any resident lines as clean.
         let mut batch: Vec<(i64, Bytes)> = pairs.to_vec();
         batch.sort_by_key(|(sec, _)| *sec);
-        backing_of(this)?.invoke("blockdev", "write_many", &[pairs_arg(batch)])?;
-        this.with_state(|s: &mut CacheState| {
-            for (sec, data) in pairs {
-                let shard = s.shard_of(*sec);
-                let sh = &mut s.shards[shard];
+        shared
+            .backing
+            .invoke("blockdev", "write_many", &[pairs_arg(batch)])?;
+        let mut by_shard: Vec<Vec<&(i64, Bytes)>> = vec![Vec::new(); shared.shards.len()];
+        for pair in pairs {
+            by_shard[shared.shard_of(pair.0)].push(pair);
+        }
+        for (i, entries) in by_shard.iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let mut sh = shared.shards[i].lock();
+            for (sec, data) in entries.iter().copied() {
                 if let Some(idx) = sh.map.get(sec).copied() {
                     let version = sh.next_version();
                     let line = &mut sh.slots[idx as usize];
@@ -594,80 +637,78 @@ fn cache_write_many(this: &ObjRef, pairs: &[(i64, Bytes)]) -> ObjResult<Value> {
                     sh.touch(idx);
                 }
             }
-            Ok(())
-        })?;
+        }
         return Ok(Value::Int(n));
     }
     // Reserve: evict until every shard can absorb its batch sectors.
     // Evicting a batch-resident line just converts it into demand (it is
     // re-inserted by the apply pass), so progress comes from non-batch
-    // victims; termination holds because each pop removes one line.
+    // victims; termination holds because each pop removes one line. Each
+    // shard is locked once per pass, never across the backing write.
     loop {
-        let victims = this.with_state(|s: &mut CacheState| {
-            let mut demand = vec![0usize; s.shards.len()];
-            let mut counted = SectorSet::default();
-            for (sec, _) in pairs {
-                let shard = s.shard_of(*sec);
-                if !s.shards[shard].map.contains_key(sec) && counted.insert(*sec) {
-                    demand[shard] += 1;
+        let mut victims: Vec<(i64, Bytes)> = Vec::new();
+        for (i, secs) in shard_sectors.iter().enumerate() {
+            if secs.is_empty() {
+                continue;
+            }
+            let mut sh = shared.shards[i].lock();
+            let mut need = secs.iter().filter(|sec| !sh.map.contains_key(sec)).count();
+            while sh.len() + need > sh.capacity {
+                let (vsec, vdata, vdirty) =
+                    sh.pop_lru().expect("over-demand shard has an LRU line");
+                if in_batch.contains(&vsec) {
+                    need += 1;
+                }
+                if vdirty {
+                    victims.push((vsec, vdata));
                 }
             }
-            let mut victims: Vec<(i64, Bytes)> = Vec::new();
-            for (shard, need) in demand.iter_mut().enumerate() {
-                let sh = &mut s.shards[shard];
-                while sh.len() + *need > sh.capacity {
-                    let (vsec, vdata, vdirty) =
-                        sh.pop_lru().expect("over-demand shard has an LRU line");
-                    if in_batch.contains(&vsec) {
-                        *need += 1;
-                    }
-                    if vdirty {
-                        victims.push((vsec, vdata));
-                    }
-                }
-            }
-            Ok(victims)
-        })?;
+        }
         if victims.is_empty() {
             break;
         }
         let mut batch = victims.clone();
         batch.sort_unstable_by_key(|(sec, _)| *sec);
-        match backing_of(this)?.invoke("blockdev", "write_many", &[pairs_arg(batch)]) {
+        match shared
+            .backing
+            .invoke("blockdev", "write_many", &[pairs_arg(batch)])
+        {
             Ok(_) => {
-                this.with_state(|s: &mut CacheState| {
-                    for (sec, _) in &victims {
-                        let shard = s.shard_of(*sec);
-                        s.shards[shard].writebacks += 1;
-                    }
-                    Ok(())
-                })?;
+                for (sec, _) in &victims {
+                    shared.shard(*sec).writebacks += 1;
+                }
                 // Loop re-checks demand in case the backing re-entered
                 // the cache during the writeback.
             }
             Err(e) => {
                 // Nothing was applied yet: reinsert the dirty victims and
                 // surface the error — the batch has no partial effects.
-                this.with_state(|s: &mut CacheState| {
-                    for (vsec, vdata) in victims {
-                        let shard = s.shard_of(vsec);
-                        let sh = &mut s.shards[shard];
-                        if !sh.map.contains_key(&vsec) && sh.len() < sh.capacity {
-                            sh.insert(vsec, vdata, true);
-                        }
+                for (vsec, vdata) in victims {
+                    let mut sh = shared.shard(vsec);
+                    if !sh.map.contains_key(&vsec) && sh.len() < sh.capacity {
+                        sh.insert(vsec, vdata, true);
                     }
-                    Ok(())
-                })?;
+                }
                 return Err(e);
             }
         }
     }
-    // Apply: space is reserved, so this single locked pass cannot evict
-    // and cannot fail.
-    this.with_state(|s: &mut CacheState| {
-        for (sec, data) in pairs {
-            let shard = s.shard_of(*sec);
-            let sh = &mut s.shards[shard];
+    // Apply: space is reserved, so for a single client this pass cannot
+    // evict and cannot fail. A concurrent client racing the same shard
+    // could steal reserved space between the passes; the defensive
+    // eviction below keeps `resident ≤ capacity` and writes any displaced
+    // dirty line back afterwards.
+    let mut by_shard: Vec<Vec<&(i64, Bytes)>> = vec![Vec::new(); shared.shards.len()];
+    for pair in pairs {
+        by_shard[shared.shard_of(pair.0)].push(pair);
+    }
+    let mut displaced: Vec<(i64, Bytes)> = Vec::new();
+    for (i, entries) in by_shard.iter().enumerate() {
+        if entries.is_empty() {
+            continue;
+        }
+        let mut sh = shared.shards[i].lock();
+        for (sec, data) in entries.iter().copied() {
             match sh.map.get(sec).copied() {
                 Some(idx) => {
                     sh.hits += 1;
@@ -680,21 +721,37 @@ fn cache_write_many(this: &ObjRef, pairs: &[(i64, Bytes)]) -> ObjResult<Value> {
                 }
                 None => {
                     sh.misses += 1;
+                    while sh.len() >= sh.capacity {
+                        let (vsec, vdata, vdirty) =
+                            sh.pop_lru().expect("full shard has an LRU line");
+                        if vdirty {
+                            displaced.push((vsec, vdata));
+                        }
+                    }
                     sh.insert(*sec, data.clone(), true);
                 }
             }
         }
-        Ok(())
-    })?;
+    }
+    if !displaced.is_empty() {
+        displaced.sort_unstable_by_key(|(sec, _)| *sec);
+        shared
+            .backing
+            .invoke("blockdev", "write_many", &[pairs_arg(displaced.clone())])?;
+        for (sec, _) in &displaced {
+            shared.shard(*sec).writebacks += 1;
+        }
+    }
     Ok(Value::Int(n))
 }
 
-fn cache_flush(this: &ObjRef) -> ObjResult<Value> {
+fn cache_flush(shared: &CacheShared) -> ObjResult<Value> {
     // Snapshot every dirty line (without clearing — lines are marked
-    // clean only after the backing write succeeds).
-    let dirty: Vec<(i64, Bytes, u64)> = this.with_state(|s: &mut CacheState| {
-        Ok(s.shards.iter().flat_map(Shard::all_dirty).collect())
-    })?;
+    // clean only after the backing write succeeds), one shard at a time.
+    let mut dirty: Vec<(i64, Bytes, u64)> = Vec::new();
+    for lock in &shared.shards {
+        dirty.extend(lock.lock().all_dirty());
+    }
     if dirty.is_empty() {
         return Ok(Value::Int(0));
     }
@@ -704,18 +761,16 @@ fn cache_flush(this: &ObjRef) -> ObjResult<Value> {
         .map(|(sec, data, _)| (*sec, data.clone()))
         .collect();
     batch.sort_unstable_by_key(|(sec, _)| *sec);
-    let backing = backing_of(this)?;
-    backing.invoke("blockdev", "write_many", &[pairs_arg(batch)])?;
-    this.with_state(|s: &mut CacheState| {
-        for (sec, _, version) in &dirty {
-            let shard = s.shard_of(*sec);
-            // Clean bits only now that the write succeeded, attributing
-            // the writeback to the shard that owned the line.
-            s.shards[shard].mark_clean_if_unchanged(*sec, *version);
-            s.shards[shard].writebacks += 1;
-        }
-        Ok(())
-    })?;
+    shared
+        .backing
+        .invoke("blockdev", "write_many", &[pairs_arg(batch)])?;
+    for (sec, _, version) in &dirty {
+        // Clean bits only now that the write succeeded, attributing the
+        // writeback to the shard that owned the line.
+        let mut sh = shared.shard(*sec);
+        sh.mark_clean_if_unchanged(*sec, *version);
+        sh.writebacks += 1;
+    }
     Ok(Value::Int(dirty.len() as i64))
 }
 
@@ -732,6 +787,11 @@ pub fn make_block_cache(backing: ObjRef, capacity: usize) -> ObjRef {
 /// than a division; capacity is split evenly across shards (rounded up,
 /// so every shard holds at least one line).
 ///
+/// Each shard sits behind its own lock, so concurrent clients — e.g. the
+/// worlds of a world pool running on separate OS threads — proceed in
+/// parallel whenever they touch different shards;
+/// nothing in the cache takes a global lock.
+///
 /// The cache exports:
 /// - the full `blockdev` interface (drop-in for the driver), including
 ///   the vectorized `read_many`/`write_many`, and
@@ -743,22 +803,33 @@ pub fn make_block_cache(backing: ObjRef, capacity: usize) -> ObjRef {
 pub fn make_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize) -> ObjRef {
     let nshards = shards.max(1).next_power_of_two();
     let per_shard = capacity.max(1).div_ceil(nshards);
+    let shared = Arc::new(CacheShared {
+        backing,
+        shards: (0..nshards)
+            .map(|_| TryLock::new(Shard::new(per_shard)))
+            .collect(),
+        shard_mask: nshards as u64 - 1,
+        per_shard,
+        total_sectors: OnceLock::new(),
+    });
+    let blockdev_shared = shared.clone();
+    let cache_shared = shared;
     ObjectBuilder::new("block-cache")
-        .state(CacheState {
-            backing,
-            shards: (0..nshards).map(|_| Shard::new(per_shard)).collect(),
-            shard_mask: nshards as u64 - 1,
-            total_sectors: None,
-        })
-        .interface("blockdev", |i| {
-            i.method("read", &[TypeTag::Int], TypeTag::Bytes, |this, args| {
-                cache_read(this, args[0].as_int()?)
+        .interface("blockdev", move |i| {
+            let s_read = blockdev_shared.clone();
+            let s_write = blockdev_shared.clone();
+            let s_read_many = blockdev_shared.clone();
+            let s_write_many = blockdev_shared.clone();
+            let s_sectors = blockdev_shared.clone();
+            let s_stats = blockdev_shared.clone();
+            i.method("read", &[TypeTag::Int], TypeTag::Bytes, move |_, args| {
+                cache_read(&s_read, args[0].as_int()?)
             })
             .method(
                 "write",
                 &[TypeTag::Int, TypeTag::Bytes],
                 TypeTag::Unit,
-                |this, args| {
+                move |_, args| {
                     let sector = args[0].as_int()?;
                     let incoming = args[1].as_bytes()?;
                     if incoming.len() != SECTOR_SIZE {
@@ -766,8 +837,8 @@ pub fn make_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize)
                             "sector writes must be exactly {SECTOR_SIZE} bytes"
                         )));
                     }
-                    check_writable_sector(this, sector)?;
-                    insert_line(this, sector, incoming, true, true)?;
+                    s_write.check_writable_sector(sector)?;
+                    insert_line(&s_write, sector, incoming, true, true)?;
                     Ok(Value::Unit)
                 },
             )
@@ -775,68 +846,73 @@ pub fn make_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize)
                 "read_many",
                 &[TypeTag::List],
                 TypeTag::List,
-                |this, args| cache_read_many(this, args[0].as_list()?),
+                move |_, args| cache_read_many(&s_read_many, args[0].as_list()?),
             )
             .method(
                 "write_many",
                 &[TypeTag::List],
                 TypeTag::Int,
-                |this, args| {
+                move |_, args| {
                     let pairs = parse_pairs(&args[0])?;
                     // Validate the whole batch before caching any of it,
                     // matching the driver's no-partial-effects contract.
                     for (sector, _) in &pairs {
-                        check_writable_sector(this, *sector)?;
+                        s_write_many.check_writable_sector(*sector)?;
                     }
-                    cache_write_many(this, &pairs)
+                    cache_write_many(&s_write_many, &pairs)
                 },
             )
-            .method("sectors", &[], TypeTag::Int, |this, _| {
-                backing_of(this)?.invoke("blockdev", "sectors", &[])
+            .method("sectors", &[], TypeTag::Int, move |_, _| {
+                s_sectors.backing.invoke("blockdev", "sectors", &[])
             })
-            .method("stats", &[], TypeTag::List, |this, _| {
-                backing_of(this)?.invoke("blockdev", "stats", &[])
+            .method("stats", &[], TypeTag::List, move |_, _| {
+                s_stats.backing.invoke("blockdev", "stats", &[])
             })
         })
-        .interface("cache", |i| {
-            i.method("stats", &[], TypeTag::List, |this, _| {
-                this.with_state(|s: &mut CacheState| {
-                    let (mut hits, mut misses, mut wb, mut resident) = (0u64, 0u64, 0u64, 0usize);
-                    for sh in &s.shards {
-                        hits += sh.hits;
-                        misses += sh.misses;
-                        wb += sh.writebacks;
-                        resident += sh.len();
-                    }
-                    Ok(Value::List(vec![
-                        Value::Int(hits as i64),
-                        Value::Int(misses as i64),
-                        Value::Int(wb as i64),
-                        Value::Int(resident as i64),
-                    ]))
-                })
+        .interface("cache", move |i| {
+            let s_stats = cache_shared.clone();
+            let s_shard_stats = cache_shared.clone();
+            let s_shards = cache_shared.clone();
+            let s_flush = cache_shared.clone();
+            i.method("stats", &[], TypeTag::List, move |_, _| {
+                let (mut hits, mut misses, mut wb, mut resident) = (0u64, 0u64, 0u64, 0usize);
+                for lock in &s_stats.shards {
+                    let sh = lock.lock();
+                    hits += sh.hits;
+                    misses += sh.misses;
+                    wb += sh.writebacks;
+                    resident += sh.len();
+                }
+                Ok(Value::List(vec![
+                    Value::Int(hits as i64),
+                    Value::Int(misses as i64),
+                    Value::Int(wb as i64),
+                    Value::Int(resident as i64),
+                ]))
             })
-            .method("shard_stats", &[], TypeTag::List, |this, _| {
-                this.with_state(|s: &mut CacheState| {
-                    Ok(Value::List(
-                        s.shards
-                            .iter()
-                            .map(|sh| {
-                                Value::List(vec![
-                                    Value::Int(sh.hits as i64),
-                                    Value::Int(sh.misses as i64),
-                                    Value::Int(sh.writebacks as i64),
-                                    Value::Int(sh.len() as i64),
-                                ])
-                            })
-                            .collect(),
-                    ))
-                })
+            .method("shard_stats", &[], TypeTag::List, move |_, _| {
+                Ok(Value::List(
+                    s_shard_stats
+                        .shards
+                        .iter()
+                        .map(|lock| {
+                            let sh = lock.lock();
+                            Value::List(vec![
+                                Value::Int(sh.hits as i64),
+                                Value::Int(sh.misses as i64),
+                                Value::Int(sh.writebacks as i64),
+                                Value::Int(sh.len() as i64),
+                            ])
+                        })
+                        .collect(),
+                ))
             })
-            .method("shards", &[], TypeTag::Int, |this, _| {
-                this.with_state(|s: &mut CacheState| Ok(Value::Int(s.shards.len() as i64)))
+            .method("shards", &[], TypeTag::Int, move |_, _| {
+                Ok(Value::Int(s_shards.shards.len() as i64))
             })
-            .method("flush", &[], TypeTag::Int, |this, _| cache_flush(this))
+            .method("flush", &[], TypeTag::Int, move |_, _| {
+                cache_flush(&s_flush)
+            })
         })
         .build()
 }

@@ -158,6 +158,28 @@ mod tests {
     use crate::core::LoadOptions;
     use crate::sfi::workloads;
 
+    /// The world pool ships entire booted worlds to worker OS threads
+    /// every round. Pin the `Send` bounds here (compile-time) and prove
+    /// the dynamic story too: a world booted on one thread keeps working
+    /// on another.
+    #[test]
+    fn worlds_move_between_os_threads() {
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send::<World>();
+        assert_send_sync::<Nucleus>();
+        assert_send_sync::<CertificationPolicy>();
+
+        let world = World::boot();
+        let cycles = std::thread::spawn(move || {
+            world.nucleus.poll(25);
+            world.nucleus.machine().lock().now()
+        })
+        .join()
+        .expect("world works after crossing a thread boundary");
+        assert!(cycles >= 25);
+    }
+
     #[test]
     fn world_boots_and_certifies() {
         let world = World::boot();

@@ -68,6 +68,7 @@ pub use paramecium_store as store;
 pub use paramecium_threads as threads;
 
 pub mod harness;
+pub mod pool;
 
 /// Commonly used items, for `use paramecium::prelude::*`.
 pub mod prelude {
@@ -82,5 +83,6 @@ pub mod prelude {
         CompositionBuilder, InterfaceBuilder, InterposerBuilder, ObjRef, ObjectBuilder, TypeTag,
         Value,
     };
+    pub use crate::pool::{PoolRunReport, PoolWorld, WorldPool};
     pub use crate::threads::{PopupEngine, PopupMode, Scheduler, Step};
 }

@@ -113,9 +113,107 @@ impl<T> From<T> for RwLock<T> {
     }
 }
 
+/// Result of a timed [`Condvar::wait_for`]: whether the wait gave up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with parking_lot's in-place-guard API: `wait`
+/// takes `&mut MutexGuard` instead of consuming and returning it, and a
+/// poisoned mutex never surfaces as an error.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases the guarded mutex and blocks until notified,
+    /// reacquiring the lock before returning. As with any condition
+    /// variable, spurious wakeups are possible — callers re-check their
+    /// predicate in a loop (or use [`Condvar::wait_while`]).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.requeue(guard, |g| {
+            self.0.wait(g).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    /// Blocks until `condition` returns false (re-checked on every
+    /// wakeup), reacquiring the lock before returning.
+    pub fn wait_while<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) {
+        while condition(&mut **guard) {
+            self.wait(guard);
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses. Returns whether the
+    /// wait timed out.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        self.requeue(guard, |g| {
+            let (g, r) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Runs a consuming std wait through a `&mut` guard slot. std's wait
+    /// takes the guard by value; parking_lot's mutates it in place. The
+    /// move-out/move-in is sound because `f` (a std condvar wait) returns
+    /// a live guard for the same mutex and only panics on a poisoned
+    /// lock, which `PoisonError::into_inner` already absorbs.
+    fn requeue<'a, T>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+    ) {
+        // Safety: `guard` is forgotten (not dropped) by the `ptr::read`
+        // move; `f` returns the reacquired guard which is written back to
+        // the same slot, so exactly one guard is live throughout.
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let reacquired = f(owned);
+            std::ptr::write(guard, reacquired);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn mutex_basic() {
@@ -130,5 +228,60 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn condvar_wakes_blocked_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*p;
+            let mut ready = lock.lock();
+            cv.wait_while(&mut ready, |r| !*r);
+            assert!(*ready, "woke with the predicate satisfied");
+        });
+        // Let the waiter park, then flip the flag and notify.
+        std::thread::sleep(Duration::from_millis(10));
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_one();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_reacquires_the_same_mutex() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let p = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*p;
+            let mut n = lock.lock();
+            while *n < 3 {
+                cv.wait(&mut n);
+            }
+            // The guard still protects the same data after re-parking.
+            *n += 100;
+        });
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(5));
+            let (lock, cv) = &*pair;
+            *lock.lock() += 1;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+        assert_eq!(*pair.0.lock(), 103);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_without_notification() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = lock.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(20));
+        assert!(r.timed_out());
+        // The guard is still usable (lock reacquired).
+        drop(g);
+        assert!(lock.try_lock().is_some());
     }
 }
