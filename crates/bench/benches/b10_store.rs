@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use paramecium::machine::dev::disk::SECTOR_SIZE;
 use paramecium::prelude::*;
 use paramecium::store::vectored::sectors_arg;
-use paramecium::store::{make_block_cache, make_disk_driver, make_sharded_block_cache};
+use paramecium::store::StackBuilder;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -21,15 +21,23 @@ fn sector_of(byte: u8) -> Value {
 fn fresh_driver() -> ObjRef {
     let machine = Arc::new(Mutex::new(paramecium::machine::Machine::new()));
     let mem = Arc::new(paramecium::core::memsvc::MemService::new(machine));
-    make_disk_driver(&mem, KERNEL_DOMAIN).unwrap()
+    StackBuilder::disk(&mem, KERNEL_DOMAIN).build().unwrap().top
 }
 
 fn fresh_cache(capacity: usize) -> ObjRef {
-    make_block_cache(fresh_driver(), capacity)
+    StackBuilder::on(fresh_driver())
+        .cache(capacity)
+        .build()
+        .unwrap()
+        .top
 }
 
 fn fresh_sharded(capacity: usize, shards: usize) -> ObjRef {
-    make_sharded_block_cache(fresh_driver(), capacity, shards)
+    StackBuilder::on(fresh_driver())
+        .sharded_cache(capacity, shards)
+        .build()
+        .unwrap()
+        .top
 }
 
 fn bench(c: &mut Criterion) {
@@ -187,14 +195,18 @@ fn bench(c: &mut Criterion) {
     let n = &world.nucleus;
     let raw = {
         let mem = n.mem.clone();
-        make_disk_driver(&mem, KERNEL_DOMAIN).unwrap()
+        StackBuilder::disk(&mem, KERNEL_DOMAIN).build().unwrap().top
     };
     n.register(KERNEL_DOMAIN, "/dev/disk", raw).unwrap();
     let target = n.bind(KERNEL_DOMAIN, "/dev/disk").unwrap();
     n.interpose(
         KERNEL_DOMAIN,
         "/dev/disk",
-        make_sharded_block_cache(target, 64, 8),
+        StackBuilder::on(target)
+            .sharded_cache(64, 8)
+            .build()
+            .unwrap()
+            .top,
     )
     .unwrap();
     let clients: Vec<ObjRef> = (0..2)

@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use paramecium::machine::dev::disk::SECTOR_SIZE;
 use paramecium::pool::WorldPool;
 use paramecium::prelude::*;
-use paramecium::store::{make_disk_driver, make_sharded_block_cache};
+use paramecium::store::StackBuilder;
 use paramecium::threads::pool::Mailbox;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -34,7 +34,7 @@ fn sector_of(byte: u8) -> Value {
 fn fresh_driver() -> ObjRef {
     let machine = Arc::new(Mutex::new(paramecium::machine::Machine::new()));
     let mem = Arc::new(paramecium::core::memsvc::MemService::new(machine));
-    make_disk_driver(&mem, KERNEL_DOMAIN).unwrap()
+    StackBuilder::disk(&mem, KERNEL_DOMAIN).build().unwrap().top
 }
 
 /// World `w`'s private working set: 16 sectors confined to shards
@@ -48,7 +48,11 @@ fn world_sectors(w: usize) -> Vec<Value> {
 
 /// One shared cache, warmed so every world's working set is resident.
 fn warmed_shared_cache(shards: usize) -> ObjRef {
-    let cache = make_sharded_block_cache(fresh_driver(), 16 * MAX_WORLDS, shards);
+    let cache = StackBuilder::on(fresh_driver())
+        .sharded_cache(16 * MAX_WORLDS, shards)
+        .build()
+        .unwrap()
+        .top;
     for w in 0..MAX_WORLDS {
         for sec in world_sectors(w) {
             cache

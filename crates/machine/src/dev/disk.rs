@@ -85,6 +85,26 @@ impl Disk {
         Ok(())
     }
 
+    /// Writes only the first `prefix` bytes of a sector, leaving the rest
+    /// as it was — the *torn write* a power failure leaves behind when it
+    /// interrupts a sector transfer mid-stream. Only crash injection uses
+    /// this; a torn sector is exactly what journal checksums exist to
+    /// detect and reject at recovery.
+    pub fn write_sector_prefix(
+        &mut self,
+        idx: u64,
+        buf: &[u8; SECTOR_SIZE],
+        prefix: usize,
+    ) -> MachineResult<()> {
+        let prefix = prefix.min(SECTOR_SIZE);
+        let start = (idx as usize)
+            .checked_mul(SECTOR_SIZE)
+            .filter(|s| s + SECTOR_SIZE <= self.data.len())
+            .ok_or_else(|| MachineError::Device(format!("disk: sector {idx} out of range")))?;
+        self.data[start..start + prefix].copy_from_slice(&buf[..prefix]);
+        Ok(())
+    }
+
     /// Reads a batch of sectors in one request (driver side; the driver
     /// charges the amortised [`batch_transfer_cost`]). The whole batch is
     /// validated before any sector is read, so a bad index fails the
@@ -195,6 +215,18 @@ mod tests {
         assert_eq!(d.write_count(), writes_before);
         assert!(d.read_sectors(&[0, 99]).is_err());
         assert_eq!(d.read_sector(0).unwrap(), [0u8; SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_mixed_sector() {
+        let mut d = Disk::new(4);
+        d.write_sector(2, &[0xAAu8; SECTOR_SIZE]).unwrap();
+        d.write_sector_prefix(2, &[0xBBu8; SECTOR_SIZE], 100)
+            .unwrap();
+        let s = d.read_sector(2).unwrap();
+        assert!(s[..100].iter().all(|&b| b == 0xBB));
+        assert!(s[100..].iter().all(|&b| b == 0xAA));
+        assert!(d.write_sector_prefix(4, &[0u8; SECTOR_SIZE], 1).is_err());
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub enum MachineError {
     Io(String),
     /// A device reported an error.
     Device(String),
+    /// The simulated machine lost power (crash injection): the current
+    /// operation did not complete and no further operation will until
+    /// [`Machine::reboot`](machine::Machine::reboot).
+    PowerFailure,
 }
 
 impl std::fmt::Display for MachineError {
@@ -66,6 +70,7 @@ impl std::fmt::Display for MachineError {
             MachineError::Fault(fault) => write!(f, "memory fault: {fault}"),
             MachineError::Io(m) => write!(f, "I/O space error: {m}"),
             MachineError::Device(m) => write!(f, "device error: {m}"),
+            MachineError::PowerFailure => write!(f, "simulated power failure"),
         }
     }
 }

@@ -39,6 +39,14 @@ pub struct Machine {
     /// The I/O-space allocator.
     pub io: IoSpace,
     devices: BTreeMap<String, Box<dyn Device>>,
+    /// Total cost-model charge events so far (crash-injection harnesses
+    /// enumerate these to place a fault at every step of an op sequence).
+    charge_events: u64,
+    /// Remaining charge events before the injected power failure fires.
+    crash_in: Option<u64>,
+    /// Set once the injected power failure has fired; cleared by
+    /// [`Machine::reboot`].
+    crashed: bool,
 }
 
 impl Machine {
@@ -58,6 +66,9 @@ impl Machine {
             irq: IrqController::new(),
             io: IoSpace::new(),
             devices: BTreeMap::new(),
+            charge_events: 0,
+            crash_in: None,
+            crashed: false,
         };
         m.register_device(Box::new(Timer::new()));
         m.register_device(Box::new(Nic::new()));
@@ -72,8 +83,71 @@ impl Machine {
     }
 
     /// Charges `cycles` of work.
+    ///
+    /// Every charge is one *cost-model step*: the granularity at which an
+    /// armed crash ([`Machine::arm_crash_after`]) can fire. Drivers that
+    /// perform multi-part operations (e.g. a batched disk write) charge
+    /// each part separately and consult [`Machine::crashed`] between
+    /// parts, so an injected power failure lands *inside* the operation
+    /// with only a prefix of its effects applied.
     pub fn charge(&mut self, cycles: Cycles) {
+        self.charge_events += 1;
+        if let Some(n) = self.crash_in {
+            if n <= 1 {
+                self.crash_in = None;
+                self.crashed = true;
+            } else {
+                self.crash_in = Some(n - 1);
+            }
+        }
         self.counter.charge(cycles);
+    }
+
+    /// Total cost-model charge events so far. Crash-injection harnesses
+    /// run an op sequence once to count its steps, then re-run it with
+    /// [`Machine::arm_crash_after`] at every step in `1..=charge_events`.
+    pub fn charge_events(&self) -> u64 {
+        self.charge_events
+    }
+
+    /// Arms a simulated power failure that fires on the `events`-th
+    /// subsequent charge (1 = the very next charge event). Any previously
+    /// armed crash is replaced.
+    pub fn arm_crash_after(&mut self, events: u64) {
+        assert!(events > 0, "crash must be armed at a future charge event");
+        self.crash_in = Some(events);
+        self.crashed = false;
+    }
+
+    /// Disarms a pending injected crash without clearing a crash that
+    /// already fired.
+    pub fn disarm_crash(&mut self) {
+        self.crash_in = None;
+    }
+
+    /// Whether the injected power failure has fired. Once set, drivers
+    /// refuse all further device work until [`Machine::reboot`].
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Fails with [`MachineError::PowerFailure`] when the machine has
+    /// crashed — the guard every driver entry point runs first.
+    pub fn check_power(&self) -> MachineResult<()> {
+        if self.crashed {
+            Err(MachineError::PowerFailure)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Clears a fired (or armed) crash, simulating a power cycle. Device
+    /// state persists — that is the point: the disk keeps whatever
+    /// sectors reached it, and remounting a journalled store over the
+    /// rebooted machine must recover exactly the committed prefix.
+    pub fn reboot(&mut self) {
+        self.crashed = false;
+        self.crash_in = None;
     }
 
     /// Advances time by `cycles` and lets every device observe the new
@@ -98,7 +172,7 @@ impl Machine {
 
     /// Reads a device register, charging the I/O access cost.
     pub fn io_read(&mut self, device: &str, offset: u64) -> MachineResult<u32> {
-        self.counter.charge(self.cost.io_access);
+        self.charge(self.cost.io_access);
         self.devices
             .get_mut(device)
             .ok_or_else(|| MachineError::Device(format!("no device `{device}`")))?
@@ -107,7 +181,7 @@ impl Machine {
 
     /// Writes a device register, charging the I/O access cost.
     pub fn io_write(&mut self, device: &str, offset: u64, value: u32) -> MachineResult<()> {
-        self.counter.charge(self.cost.io_access);
+        self.charge(self.cost.io_access);
         self.devices
             .get_mut(device)
             .ok_or_else(|| MachineError::Device(format!("no device `{device}`")))?
@@ -118,16 +192,17 @@ impl Machine {
     pub fn translate(&mut self, ctx: ContextId, vaddr: u64, access: Access) -> MachineResult<u64> {
         match self.mmu.translate(ctx, vaddr, access) {
             Ok(t) => {
-                self.counter.charge(if t.tlb_hit {
+                let cost = if t.tlb_hit {
                     self.cost.tlb_hit
                 } else {
                     self.cost.tlb_miss
-                });
+                };
+                self.charge(cost);
                 Ok(t.paddr)
             }
             Err(fault) => {
                 // The hardware walked the page table before faulting.
-                self.counter.charge(self.cost.tlb_miss);
+                self.charge(self.cost.tlb_miss);
                 Err(MachineError::Fault(fault))
             }
         }
@@ -136,7 +211,7 @@ impl Machine {
     /// Reads virtual memory in `ctx`, handling page crossings. Charges
     /// translation and copy costs.
     pub fn read_virt(&mut self, ctx: ContextId, vaddr: u64, buf: &mut [u8]) -> MachineResult<()> {
-        self.counter.charge(self.cost.copy_cost(buf.len()));
+        self.charge(self.cost.copy_cost(buf.len()));
         let mut done = 0usize;
         while done < buf.len() {
             let va = vaddr + done as u64;
@@ -152,7 +227,7 @@ impl Machine {
     /// Writes virtual memory in `ctx`, handling page crossings. Charges
     /// translation and copy costs.
     pub fn write_virt(&mut self, ctx: ContextId, vaddr: u64, buf: &[u8]) -> MachineResult<()> {
-        self.counter.charge(self.cost.copy_cost(buf.len()));
+        self.charge(self.cost.copy_cost(buf.len()));
         let mut done = 0usize;
         while done < buf.len() {
             let va = vaddr + done as u64;
@@ -169,7 +244,7 @@ impl Machine {
     /// actually changes.
     pub fn switch_context(&mut self, ctx: ContextId) -> MachineResult<()> {
         if self.mmu.switch_context(ctx)? {
-            self.counter.charge(self.cost.context_switch);
+            self.charge(self.cost.context_switch);
         }
         Ok(())
     }
@@ -270,6 +345,48 @@ mod tests {
         let t0 = m.now();
         m.io_read("nic", crate::dev::nic::regs::RX_AVAIL).unwrap();
         assert_eq!(m.now() - t0, m.cost.io_access);
+    }
+
+    #[test]
+    fn armed_crash_fires_on_the_exact_charge_event() {
+        let mut m = Machine::new();
+        m.arm_crash_after(3);
+        m.charge(1);
+        m.charge(1);
+        assert!(!m.crashed());
+        assert!(m.check_power().is_ok());
+        m.charge(1);
+        assert!(m.crashed());
+        assert_eq!(m.check_power().unwrap_err(), MachineError::PowerFailure);
+        assert_eq!(m.charge_events(), 3);
+        // Reboot clears the failure; device state (the disk) persists.
+        m.device_mut::<crate::dev::Disk>("disk")
+            .unwrap()
+            .write_sector(0, &[7u8; crate::dev::disk::SECTOR_SIZE])
+            .unwrap();
+        m.reboot();
+        assert!(m.check_power().is_ok());
+        assert_eq!(
+            m.device_mut::<crate::dev::Disk>("disk")
+                .unwrap()
+                .read_sector(0)
+                .unwrap()[0],
+            7
+        );
+    }
+
+    #[test]
+    fn io_and_translation_charges_count_as_crash_steps() {
+        let mut m = Machine::new();
+        m.arm_crash_after(1);
+        m.io_read("nic", crate::dev::nic::regs::RX_AVAIL).unwrap();
+        assert!(m.crashed());
+        let mut m = Machine::new();
+        let f = m.phys.alloc_frame().unwrap();
+        m.mmu.map(KERNEL_CONTEXT, 0x4000, f, Perms::RW).unwrap();
+        m.arm_crash_after(1);
+        m.translate(KERNEL_CONTEXT, 0x4000, Access::Read).unwrap();
+        assert!(m.crashed());
     }
 
     #[test]

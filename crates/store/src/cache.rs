@@ -60,12 +60,16 @@ use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
+use parking_lot::Mutex;
+
 use paramecium_machine::dev::disk::SECTOR_SIZE;
 use paramecium_obj::{
     ObjError, ObjRef, ObjResult, ObjectBuilder, TryLock, TryLockGuard, TypeTag, Value,
 };
 
-use crate::vectored::{pairs_arg, parse_pairs, sectors_arg};
+use crate::vectored::{
+    pairs_arg, parse_pairs, parse_txn, parse_txn_write, sectors_arg, TXN_WRITE_PARAMS,
+};
 
 /// Multiplicative hasher for sector numbers (Fibonacci mixing). Sector
 /// keys are small trusted integers, so the index doesn't need SipHash's
@@ -286,6 +290,23 @@ impl Shard {
             }
         }
     }
+
+    /// Drops `sector`'s line if it is resident and *clean*. Used when a
+    /// committed transaction rewrites the sector below the cache: the
+    /// resident copy is stale and must not serve another hit. A dirty
+    /// line survives — it holds a direct client write the cache has not
+    /// acknowledged to the backing store yet, and dropping it would lose
+    /// acknowledged data.
+    fn invalidate_clean(&mut self, sector: i64) {
+        if let Some(&idx) = self.map.get(&sector) {
+            if !self.slots[idx as usize].dirty {
+                self.map.remove(&sector);
+                self.unlink(idx);
+                self.free.push(idx);
+                self.slots[idx as usize].data = Bytes::new();
+            }
+        }
+    }
 }
 
 /// Shared cache instance: the backing `blockdev`, the shard array — each
@@ -319,6 +340,9 @@ struct CacheShared {
     /// must never become a dirty line, or it would poison every later
     /// all-or-nothing writeback batch.
     total_sectors: OnceLock<i64>,
+    /// Sectors written by each forwarded open transaction, so a
+    /// successful commit can invalidate the stale resident copies.
+    txn_sectors: Mutex<HashMap<i64, Vec<i64>>>,
 }
 
 impl CacheShared {
@@ -775,17 +799,24 @@ fn cache_flush(shared: &CacheShared) -> ObjResult<Value> {
 }
 
 /// Builds a single-shard block cache of `capacity` sectors over `backing`
-/// (any object exporting `blockdev`). Shorthand for
-/// [`make_sharded_block_cache`] with one shard.
+/// (any object exporting `blockdev`).
+#[deprecated(note = "use store::StackBuilder::on(backing).cache(capacity).build()")]
 pub fn make_block_cache(backing: ObjRef, capacity: usize) -> ObjRef {
-    make_sharded_block_cache(backing, capacity, 1)
+    build_sharded_block_cache(backing, capacity, 1)
+}
+
+/// Builds a sharded block cache over `backing`.
+#[deprecated(note = "use store::StackBuilder::on(backing).sharded_cache(capacity, shards).build()")]
+pub fn make_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize) -> ObjRef {
+    build_sharded_block_cache(backing, capacity, shards)
 }
 
 /// Builds a block cache of `capacity` total sectors over `backing`,
-/// sharded `shards` ways by sector. The shard count is rounded up to the
-/// next power of two so routing a sector to its shard is a mask rather
-/// than a division; capacity is split evenly across shards (rounded up,
-/// so every shard holds at least one line).
+/// sharded `shards` ways by sector — the implementation behind
+/// [`crate::StackBuilder`]'s cache layer. The shard count is rounded up
+/// to the next power of two so routing a sector to its shard is a mask
+/// rather than a division; capacity is split evenly across shards
+/// (rounded up, so every shard holds at least one line).
 ///
 /// Each shard sits behind its own lock, so concurrent clients — e.g. the
 /// worlds of a world pool running on separate OS threads — proceed in
@@ -793,14 +824,20 @@ pub fn make_block_cache(backing: ObjRef, capacity: usize) -> ObjRef {
 /// nothing in the cache takes a global lock.
 ///
 /// The cache exports:
-/// - the full `blockdev` interface (drop-in for the driver), including
-///   the vectorized `read_many`/`write_many`, and
+/// - the full `blockdev` interface (drop-in for the driver; the
+///   [crate docs](crate) list every method). Durability methods flush
+///   the cache's own dirty lines *before* forwarding down — the order
+///   matters: a journal checkpoint below must see these writes in its
+///   log before it truncates, or "flushed" data would survive only in
+///   cache memory. Transaction verbs are forwarded (transaction data
+///   never becomes cache lines); a successful `commit` invalidates
+///   stale clean resident copies of the written sectors.
 /// - a `cache` interface:
 ///   - `stats() -> [hits, misses, writebacks, resident]` (aggregated),
 ///   - `shard_stats() -> list of per-shard [hits, misses, writebacks, resident]`,
 ///   - `shards() -> int`,
 ///   - `flush() -> int` (write-backs performed, batched in elevator order).
-pub fn make_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize) -> ObjRef {
+pub(crate) fn build_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize) -> ObjRef {
     let nshards = shards.max(1).next_power_of_two();
     let per_shard = capacity.max(1).div_ceil(nshards);
     let shared = Arc::new(CacheShared {
@@ -811,6 +848,7 @@ pub fn make_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize)
         shard_mask: nshards as u64 - 1,
         per_shard,
         total_sectors: OnceLock::new(),
+        txn_sectors: Mutex::new(HashMap::new()),
     });
     let blockdev_shared = shared.clone();
     let cache_shared = shared;
@@ -822,6 +860,12 @@ pub fn make_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize)
             let s_write_many = blockdev_shared.clone();
             let s_sectors = blockdev_shared.clone();
             let s_stats = blockdev_shared.clone();
+            let s_bd_flush = blockdev_shared.clone();
+            let s_bd_barrier = blockdev_shared.clone();
+            let s_begin = blockdev_shared.clone();
+            let s_txn_write = blockdev_shared.clone();
+            let s_commit = blockdev_shared.clone();
+            let s_abort = blockdev_shared.clone();
             i.method("read", &[TypeTag::Int], TypeTag::Bytes, move |_, args| {
                 cache_read(&s_read, args[0].as_int()?)
             })
@@ -867,6 +911,61 @@ pub fn make_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize)
             })
             .method("stats", &[], TypeTag::List, move |_, _| {
                 s_stats.backing.invoke("blockdev", "stats", &[])
+            })
+            .method("flush", &[], TypeTag::Int, move |_, _| {
+                // Own dirty lines first, then the layer below — a
+                // journal checkpoint must find these writes in its log
+                // before it truncates (see the builder docs).
+                let own = cache_flush(&s_bd_flush)?.as_int()?;
+                let below = s_bd_flush
+                    .backing
+                    .invoke("blockdev", "flush", &[])?
+                    .as_int()?;
+                Ok(Value::Int(own + below))
+            })
+            .method("barrier", &[], TypeTag::Unit, move |_, _| {
+                // Same ordering as flush: acknowledged writes living as
+                // dirty lines must reach the backing store before the
+                // barrier below makes "everything so far" durable.
+                cache_flush(&s_bd_barrier)?;
+                s_bd_barrier.backing.invoke("blockdev", "barrier", &[])
+            })
+            .method("begin_txn", &[], TypeTag::Int, move |_, _| {
+                let v = s_begin.backing.invoke("blockdev", "begin_txn", &[])?;
+                s_begin.txn_sectors.lock().insert(v.as_int()?, Vec::new());
+                Ok(v)
+            })
+            .method(
+                "txn_write",
+                TXN_WRITE_PARAMS,
+                TypeTag::Unit,
+                move |_, args| {
+                    let (txn, sector, _) = parse_txn_write(args)?;
+                    s_txn_write.check_writable_sector(sector)?;
+                    let out = s_txn_write.backing.invoke("blockdev", "txn_write", args)?;
+                    if let Some(secs) = s_txn_write.txn_sectors.lock().get_mut(&txn) {
+                        secs.push(sector);
+                    }
+                    Ok(out)
+                },
+            )
+            .method("commit", &[TypeTag::Int], TypeTag::Unit, move |_, args| {
+                let txn = parse_txn(&args[0])?;
+                let out = s_commit.backing.invoke("blockdev", "commit", args)?;
+                // The commit rewrote these sectors below us: drop stale
+                // clean copies so the next read refetches.
+                if let Some(secs) = s_commit.txn_sectors.lock().remove(&txn) {
+                    for sec in secs {
+                        s_commit.shard(sec).invalidate_clean(sec);
+                    }
+                }
+                Ok(out)
+            })
+            .method("abort", &[TypeTag::Int], TypeTag::Unit, move |_, args| {
+                let txn = parse_txn(&args[0])?;
+                let out = s_abort.backing.invoke("blockdev", "abort", args)?;
+                s_abort.txn_sectors.lock().remove(&txn);
+                Ok(out)
             })
         })
         .interface("cache", move |i| {
@@ -920,27 +1019,24 @@ pub fn make_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::make_disk_driver;
+    use crate::StackBuilder;
     use paramecium_core::{domain::KERNEL_DOMAIN, memsvc::MemService};
     use paramecium_machine::dev::disk::SECTOR_TRANSFER_COST;
     use paramecium_machine::Machine;
-    use parking_lot::Mutex;
     use std::sync::Arc;
 
     fn setup(capacity: usize) -> (Arc<MemService>, ObjRef, ObjRef) {
-        let machine = Arc::new(Mutex::new(Machine::new()));
-        let mem = Arc::new(MemService::new(machine));
-        let driver = make_disk_driver(&mem, KERNEL_DOMAIN).unwrap();
-        let cache = make_block_cache(driver.clone(), capacity);
-        (mem, driver, cache)
+        setup_sharded(capacity, 1)
     }
 
     fn setup_sharded(capacity: usize, shards: usize) -> (Arc<MemService>, ObjRef, ObjRef) {
         let machine = Arc::new(Mutex::new(Machine::new()));
         let mem = Arc::new(MemService::new(machine));
-        let driver = make_disk_driver(&mem, KERNEL_DOMAIN).unwrap();
-        let cache = make_sharded_block_cache(driver.clone(), capacity, shards);
-        (mem, driver, cache)
+        let stack = StackBuilder::disk(&mem, KERNEL_DOMAIN)
+            .sharded_cache(capacity, shards)
+            .build()
+            .unwrap();
+        (mem, stack.driver, stack.top)
     }
 
     fn sector_of(byte: u8) -> Value {
@@ -1076,7 +1172,7 @@ mod tests {
     #[test]
     fn caches_stack_like_any_blockdev() {
         let (_mem, _driver, l2) = setup(16);
-        let l1 = make_block_cache(l2.clone(), 4);
+        let l1 = StackBuilder::on(l2.clone()).cache(4).build().unwrap().top;
         l1.invoke("blockdev", "write", &[Value::Int(9), sector_of(0x99)])
             .unwrap();
         let v = l1.invoke("blockdev", "read", &[Value::Int(9)]).unwrap();
@@ -1253,6 +1349,80 @@ mod tests {
             .invoke("blockdev", "write", &[Value::Int(0), sector_of(3)])
             .unwrap();
         assert_eq!(cache.invoke("cache", "flush", &[]).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn blockdev_flush_and_barrier_drain_dirty_lines_first() {
+        let (_mem, driver, cache) = setup(8);
+        cache
+            .invoke("blockdev", "write", &[Value::Int(1), sector_of(0xF1)])
+            .unwrap();
+        // blockdev flush = own dirty lines + whatever the layer below
+        // homes (the bare driver homes nothing).
+        let flushed = cache
+            .invoke("blockdev", "flush", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert_eq!(flushed, 1);
+        let v = driver.invoke("blockdev", "read", &[Value::Int(1)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0xF1);
+        // Barrier also pushes acknowledged writes down before ordering.
+        cache
+            .invoke("blockdev", "write", &[Value::Int(2), sector_of(0xF2)])
+            .unwrap();
+        cache.invoke("blockdev", "barrier", &[]).unwrap();
+        let v = driver.invoke("blockdev", "read", &[Value::Int(2)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0xF2);
+    }
+
+    #[test]
+    fn forwarded_commit_invalidates_stale_clean_lines() {
+        use crate::vectored::{txn_arg, txn_write_args};
+        let (_mem, driver, cache) = setup(8);
+        // Warm a clean line for sector 4 from the driver's zeroes.
+        let v = cache.invoke("blockdev", "read", &[Value::Int(4)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0);
+        // Rewrite sector 4 through a forwarded transaction.
+        let txn = cache
+            .invoke("blockdev", "begin_txn", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        cache
+            .invoke(
+                "blockdev",
+                "txn_write",
+                &txn_write_args(txn, 4, Bytes::from(vec![0x44; SECTOR_SIZE])),
+            )
+            .unwrap();
+        // Before commit: the clean line still serves the old data and
+        // the driver is untouched.
+        let v = cache.invoke("blockdev", "read", &[Value::Int(4)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0);
+        cache.invoke("blockdev", "commit", &txn_arg(txn)).unwrap();
+        // After commit: the stale line was invalidated, so the read
+        // refetches the committed data.
+        let v = driver.invoke("blockdev", "read", &[Value::Int(4)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0x44);
+        let v = cache.invoke("blockdev", "read", &[Value::Int(4)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0x44);
+        // Aborted transactions change nothing and clean up tracking.
+        let t2 = cache
+            .invoke("blockdev", "begin_txn", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        cache
+            .invoke(
+                "blockdev",
+                "txn_write",
+                &txn_write_args(t2, 5, Bytes::from(vec![0x55; SECTOR_SIZE])),
+            )
+            .unwrap();
+        cache.invoke("blockdev", "abort", &txn_arg(t2)).unwrap();
+        let v = cache.invoke("blockdev", "read", &[Value::Int(5)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0);
     }
 
     #[test]

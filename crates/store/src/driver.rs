@@ -1,42 +1,125 @@
-//! The disk driver object.
+//! The disk driver object — the bottom layer of the store stack.
 //!
-//! Exports the `blockdev` interface every storage component speaks:
-//!
-//! - `read(sector: int) -> bytes` (one 512-byte sector)
-//! - `write(sector: int, data: bytes) -> unit`
-//! - `read_many(sectors: list[int]) -> list[bytes]` (one batched request)
-//! - `write_many(pairs: list[[int, bytes]]) -> int` (sectors written)
-//! - `sectors() -> int`
-//! - `stats() -> list [reads, writes]`
+//! Exports the full `blockdev` interface (the canonical method list
+//! lives in the [crate docs](crate)): single-sector `read`/`write`, the
+//! vectorized `read_many`/`write_many`, `sectors`/`stats`, and the
+//! durability/transaction surface `flush`/`barrier`/`begin_txn`/
+//! `txn_write`/`commit`/`abort`.
 //!
 //! Single-sector operations charge the full sector transfer cost — the
 //! latency the shared cache exists to hide. The vectorized operations
 //! charge the amortised [`batch_transfer_cost`]: one request setup, then
-//! the streaming rate per additional sector, which is why coalesced
-//! writeback wins even when every sector still has to reach the platter.
+//! the streaming rate per additional sector — but charge it *per sector*
+//! (setup on the first, streaming on the rest), so an injected power
+//! failure ([`Machine::arm_crash_after`]) can land between any two
+//! sectors of a batch. A crash mid-batch leaves the batch's prefix fully
+//! written and the in-flight sector *torn* (half new, half old bytes) —
+//! exactly the failure surface the `store::journal` layer's checksummed
+//! records exist to survive.
+//!
+//! The driver's transaction verbs are **volatile**: `commit` applies the
+//! buffered writes as one batch, atomic against validation errors but
+//! *not* against power failure. Crash-atomic commit is the journal
+//! layer's job; the driver implements the verbs so every layer of the
+//! stack speaks the same `blockdev` interface and a journal can be
+//! slotted in (or left out) without changing any client.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 use paramecium_core::{domain::DomainId, memsvc::MemService, CoreResult};
 use paramecium_machine::{
-    dev::disk::{batch_transfer_cost, Disk, SECTOR_SIZE, SECTOR_TRANSFER_COST},
+    dev::disk::{Disk, SECTOR_SIZE, SECTOR_STREAM_COST, SECTOR_TRANSFER_COST},
     io::IoSharing,
     Machine,
 };
-use paramecium_obj::{ObjError, ObjRef, ObjectBuilder, TypeTag, Value};
+use paramecium_obj::{ObjError, ObjRef, ObjResult, ObjectBuilder, TypeTag, Value};
+
+use crate::vectored::{parse_pairs, parse_sectors, parse_txn, parse_txn_write, TXN_WRITE_PARAMS};
+
+/// Bytes of a sector that still reach the platter when a power failure
+/// interrupts its transfer: the torn-write model (half the sector).
+const TORN_WRITE_PREFIX: usize = SECTOR_SIZE / 2;
 
 /// Driver instance state.
 struct DriverState {
     machine: Arc<Mutex<Machine>>,
     reads: u64,
     writes: u64,
+    /// Open (volatile) transactions: ordered buffered writes.
+    open_txns: HashMap<i64, Vec<(i64, Bytes)>>,
+    next_txn: i64,
+}
+
+/// Converts machine errors, keeping the power-failure case recognisable.
+fn dev_err(e: paramecium_machine::MachineError) -> ObjError {
+    ObjError::failed(e.to_string())
+}
+
+/// Fails (without charging) when the machine has lost power.
+fn check_power(m: &Machine) -> ObjResult<()> {
+    m.check_power().map_err(dev_err)
+}
+
+/// Writes `batch` to the disk, charging the amortised batch cost one
+/// sector at a time (request setup for the first, streaming rate for the
+/// rest) and checking for an injected power failure between charges. On a
+/// crash the in-flight sector is torn ([`TORN_WRITE_PREFIX`] bytes land)
+/// and the error surfaces; earlier sectors of the batch are fully
+/// durable. The caller validates the batch up front, so the only failure
+/// mode here is power loss.
+fn charged_batch_write(m: &mut Machine, batch: &[(i64, Bytes)]) -> ObjResult<()> {
+    for (k, (sec, data)) in batch.iter().enumerate() {
+        let cost = if k == 0 {
+            SECTOR_TRANSFER_COST
+        } else {
+            SECTOR_STREAM_COST
+        };
+        m.charge(cost);
+        let mut buf = [0u8; SECTOR_SIZE];
+        buf.copy_from_slice(data);
+        let crashed = m.crashed();
+        let disk = m
+            .device_mut::<Disk>("disk")
+            .ok_or_else(|| ObjError::failed("disk device missing"))?;
+        if crashed {
+            // Power died during this sector's transfer: only a prefix
+            // reaches the platter.
+            disk.write_sector_prefix(*sec as u64, &buf, TORN_WRITE_PREFIX)
+                .map_err(dev_err)?;
+            return Err(dev_err(paramecium_machine::MachineError::PowerFailure));
+        }
+        disk.write_sector(*sec as u64, &buf).map_err(dev_err)?;
+    }
+    Ok(())
+}
+
+/// Validates every sector of a write batch against the device bounds
+/// before anything is charged or written (no partial effects for invalid
+/// batches).
+fn validate_batch(m: &mut Machine, batch: &[(i64, Bytes)]) -> ObjResult<()> {
+    let total = m
+        .device_mut::<Disk>("disk")
+        .ok_or_else(|| ObjError::failed("disk device missing"))?
+        .sectors() as i64;
+    for (sec, _) in batch {
+        if *sec < 0 || *sec >= total {
+            return Err(ObjError::failed(format!(
+                "sector {sec} out of range (device has {total})"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Builds the disk driver for `domain`, claiming the disk's register
-/// region exclusively.
-pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef> {
+/// region exclusively. This is the layer [`crate::StackBuilder`] places
+/// at the bottom of every stack; use the builder rather than calling
+/// this directly.
+pub(crate) fn build_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef> {
     // Reuse the device's regions if a previous driver allocated them, so
     // exclusivity is genuinely contended.
     let existing = {
@@ -55,6 +138,8 @@ pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<O
             machine: mem.machine().clone(),
             reads: 0,
             writes: 0,
+            open_txns: HashMap::new(),
+            next_txn: 1,
         })
         .interface("blockdev", |i| {
             i.method("read", &[TypeTag::Int], TypeTag::Bytes, |this, args| {
@@ -64,14 +149,16 @@ pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<O
                 }
                 this.with_state(|s: &mut DriverState| {
                     let mut m = s.machine.lock();
+                    check_power(&m)?;
                     m.charge(SECTOR_TRANSFER_COST);
+                    check_power(&m)?;
                     let data = m
                         .device_mut::<Disk>("disk")
                         .ok_or_else(|| ObjError::failed("disk device missing"))?
                         .read_sector(sector as u64)
-                        .map_err(|e| ObjError::failed(e.to_string()))?;
+                        .map_err(dev_err)?;
                     s.reads += 1;
-                    Ok(Value::Bytes(bytes::Bytes::copy_from_slice(&data)))
+                    Ok(Value::Bytes(Bytes::copy_from_slice(&data)))
                 })
             })
             .method(
@@ -90,15 +177,12 @@ pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<O
                             data.len()
                         )));
                     }
-                    let mut buf = [0u8; SECTOR_SIZE];
-                    buf.copy_from_slice(data);
+                    let batch = [(sector, data.clone())];
                     this.with_state(|s: &mut DriverState| {
                         let mut m = s.machine.lock();
-                        m.charge(SECTOR_TRANSFER_COST);
-                        m.device_mut::<Disk>("disk")
-                            .ok_or_else(|| ObjError::failed("disk device missing"))?
-                            .write_sector(sector as u64, &buf)
-                            .map_err(|e| ObjError::failed(e.to_string()))?;
+                        check_power(&m)?;
+                        validate_batch(&mut m, &batch)?;
+                        charged_batch_write(&mut m, &batch)?;
                         s.writes += 1;
                         Ok(Value::Unit)
                     })
@@ -109,22 +193,40 @@ pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<O
                 &[TypeTag::List],
                 TypeTag::List,
                 |this, args| {
-                    let sectors = crate::vectored::parse_sectors(&args[0])?;
+                    let sectors = parse_sectors(&args[0])?;
                     this.with_state(|s: &mut DriverState| {
                         let mut m = s.machine.lock();
-                        m.charge(batch_transfer_cost(sectors.len()));
-                        let idxs: Vec<u64> = sectors.iter().map(|&sec| sec as u64).collect();
-                        let data = m
-                            .device_mut::<Disk>("disk")
-                            .ok_or_else(|| ObjError::failed("disk device missing"))?
-                            .read_sectors(&idxs)
-                            .map_err(|e| ObjError::failed(e.to_string()))?;
+                        check_power(&m)?;
+                        // Validate the whole batch before charging.
+                        {
+                            let d = m
+                                .device_mut::<Disk>("disk")
+                                .ok_or_else(|| ObjError::failed("disk device missing"))?;
+                            let total = d.sectors() as i64;
+                            if let Some(bad) = sectors.iter().find(|&&sec| sec >= total) {
+                                return Err(ObjError::failed(format!(
+                                    "sector {bad} out of range (device has {total})"
+                                )));
+                            }
+                        }
+                        let mut out = Vec::with_capacity(sectors.len());
+                        for (k, &sec) in sectors.iter().enumerate() {
+                            let cost = if k == 0 {
+                                SECTOR_TRANSFER_COST
+                            } else {
+                                SECTOR_STREAM_COST
+                            };
+                            m.charge(cost);
+                            check_power(&m)?;
+                            let data = m
+                                .device_mut::<Disk>("disk")
+                                .ok_or_else(|| ObjError::failed("disk device missing"))?
+                                .read_sector(sec as u64)
+                                .map_err(dev_err)?;
+                            out.push(Value::Bytes(Bytes::copy_from_slice(&data)));
+                        }
                         s.reads += sectors.len() as u64;
-                        Ok(Value::List(
-                            data.iter()
-                                .map(|d| Value::Bytes(bytes::Bytes::copy_from_slice(d)))
-                                .collect(),
-                        ))
+                        Ok(Value::List(out))
                     })
                 },
             )
@@ -133,22 +235,12 @@ pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<O
                 &[TypeTag::List],
                 TypeTag::Int,
                 |this, args| {
-                    let pairs = crate::vectored::parse_pairs(&args[0])?;
+                    let pairs = parse_pairs(&args[0])?;
                     this.with_state(|s: &mut DriverState| {
                         let mut m = s.machine.lock();
-                        m.charge(batch_transfer_cost(pairs.len()));
-                        let batch: Vec<(u64, [u8; SECTOR_SIZE])> = pairs
-                            .iter()
-                            .map(|(sec, data)| {
-                                let mut buf = [0u8; SECTOR_SIZE];
-                                buf.copy_from_slice(data);
-                                (*sec as u64, buf)
-                            })
-                            .collect();
-                        m.device_mut::<Disk>("disk")
-                            .ok_or_else(|| ObjError::failed("disk device missing"))?
-                            .write_sectors(&batch)
-                            .map_err(|e| ObjError::failed(e.to_string()))?;
+                        check_power(&m)?;
+                        validate_batch(&mut m, &pairs)?;
+                        charged_batch_write(&mut m, &pairs)?;
                         s.writes += pairs.len() as u64;
                         Ok(Value::Int(pairs.len() as i64))
                     })
@@ -157,6 +249,7 @@ pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<O
             .method("sectors", &[], TypeTag::Int, |this, _| {
                 this.with_state(|s: &mut DriverState| {
                     let mut m = s.machine.lock();
+                    check_power(&m)?;
                     let d = m
                         .device_mut::<Disk>("disk")
                         .ok_or_else(|| ObjError::failed("disk device missing"))?;
@@ -171,24 +264,104 @@ pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<O
                     ]))
                 })
             })
+            // Durability surface. The raw driver has no volatile write
+            // state of its own (every acked write reached the platter),
+            // so `flush` has nothing to do and `barrier` only verifies
+            // the machine is alive.
+            .method("flush", &[], TypeTag::Int, |this, _| {
+                this.with_state(|s: &mut DriverState| {
+                    check_power(&s.machine.lock())?;
+                    Ok(Value::Int(0))
+                })
+            })
+            .method("barrier", &[], TypeTag::Unit, |this, _| {
+                this.with_state(|s: &mut DriverState| {
+                    check_power(&s.machine.lock())?;
+                    Ok(Value::Unit)
+                })
+            })
+            // Transaction surface (volatile: see the module docs).
+            .method("begin_txn", &[], TypeTag::Int, |this, _| {
+                this.with_state(|s: &mut DriverState| {
+                    check_power(&s.machine.lock())?;
+                    let id = s.next_txn;
+                    s.next_txn += 1;
+                    s.open_txns.insert(id, Vec::new());
+                    Ok(Value::Int(id))
+                })
+            })
+            .method(
+                "txn_write",
+                TXN_WRITE_PARAMS,
+                TypeTag::Unit,
+                |this, args| {
+                    let (txn, sector, data) = parse_txn_write(args)?;
+                    this.with_state(|s: &mut DriverState| {
+                        let mut m = s.machine.lock();
+                        check_power(&m)?;
+                        validate_batch(&mut m, std::slice::from_ref(&(sector, data.clone())))?;
+                        drop(m);
+                        s.open_txns
+                            .get_mut(&txn)
+                            .ok_or_else(|| ObjError::failed(format!("no open transaction {txn}")))?
+                            .push((sector, data));
+                        Ok(Value::Unit)
+                    })
+                },
+            )
+            .method("commit", &[TypeTag::Int], TypeTag::Unit, |this, args| {
+                let txn = parse_txn(&args[0])?;
+                this.with_state(|s: &mut DriverState| {
+                    let writes = s
+                        .open_txns
+                        .remove(&txn)
+                        .ok_or_else(|| ObjError::failed(format!("no open transaction {txn}")))?;
+                    if writes.is_empty() {
+                        return Ok(Value::Unit);
+                    }
+                    let mut m = s.machine.lock();
+                    check_power(&m)?;
+                    validate_batch(&mut m, &writes)?;
+                    charged_batch_write(&mut m, &writes)?;
+                    s.writes += writes.len() as u64;
+                    Ok(Value::Unit)
+                })
+            })
+            .method("abort", &[TypeTag::Int], TypeTag::Unit, |this, args| {
+                let txn = parse_txn(&args[0])?;
+                this.with_state(|s: &mut DriverState| {
+                    s.open_txns
+                        .remove(&txn)
+                        .ok_or_else(|| ObjError::failed(format!("no open transaction {txn}")))?;
+                    Ok(Value::Unit)
+                })
+            })
         })
         .build())
+}
+
+/// Builds the disk driver for `domain`.
+#[deprecated(note = "use store::StackBuilder::disk(mem, domain).build()")]
+pub fn make_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef> {
+    build_disk_driver(mem, domain)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StackBuilder;
     use paramecium_core::domain::KERNEL_DOMAIN;
+    use paramecium_machine::dev::disk::batch_transfer_cost;
 
     fn setup() -> (Arc<MemService>, ObjRef) {
         let machine = Arc::new(Mutex::new(Machine::new()));
         let mem = Arc::new(MemService::new(machine));
-        let driver = make_disk_driver(&mem, KERNEL_DOMAIN).unwrap();
+        let driver = StackBuilder::disk(&mem, KERNEL_DOMAIN).build().unwrap().top;
         (mem, driver)
     }
 
     fn sector_of(byte: u8) -> Value {
-        Value::Bytes(bytes::Bytes::from(vec![byte; SECTOR_SIZE]))
+        Value::Bytes(Bytes::from(vec![byte; SECTOR_SIZE]))
     }
 
     #[test]
@@ -211,10 +384,7 @@ mod tests {
         let r = driver.invoke(
             "blockdev",
             "write",
-            &[
-                Value::Int(0),
-                Value::Bytes(bytes::Bytes::from_static(b"short")),
-            ],
+            &[Value::Int(0), Value::Bytes(Bytes::from_static(b"short"))],
         );
         assert!(r.is_err());
         assert!(driver
@@ -238,16 +408,15 @@ mod tests {
     #[test]
     fn exclusive_claim_blocks_second_driver() {
         let (mem, _driver) = setup();
-        assert!(make_disk_driver(&mem, DomainId(7)).is_err());
+        assert!(StackBuilder::disk(&mem, DomainId(7)).build().is_err());
     }
 
     #[test]
     fn vectorized_ops_roundtrip_and_charge_amortised_cost() {
         use crate::vectored::{pairs_arg, sectors_arg};
-        use paramecium_machine::dev::disk::batch_transfer_cost;
         let (mem, driver) = setup();
-        let pairs: Vec<(i64, bytes::Bytes)> = (0..64i64)
-            .map(|sec| (sec, bytes::Bytes::from(vec![sec as u8; SECTOR_SIZE])))
+        let pairs: Vec<(i64, Bytes)> = (0..64i64)
+            .map(|sec| (sec, Bytes::from(vec![sec as u8; SECTOR_SIZE])))
             .collect();
         let t0 = mem.machine().lock().now();
         let written = driver
@@ -283,7 +452,7 @@ mod tests {
         assert!(driver
             .invoke("blockdev", "read_many", &[sectors_arg([0, sectors])])
             .is_err());
-        let good = bytes::Bytes::from(vec![1u8; SECTOR_SIZE]);
+        let good = Bytes::from(vec![1u8; SECTOR_SIZE]);
         // Out-of-range anywhere in the batch writes nothing.
         assert!(driver
             .invoke(
@@ -294,5 +463,98 @@ mod tests {
             .is_err());
         let stats = driver.invoke("blockdev", "stats", &[]).unwrap();
         assert_eq!(stats.as_list().unwrap()[1], Value::Int(0));
+    }
+
+    #[test]
+    fn volatile_txns_apply_on_commit_and_vanish_on_abort() {
+        use crate::vectored::txn_write_args;
+        let (_, driver) = setup();
+        let txn = driver
+            .invoke("blockdev", "begin_txn", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        for sec in 0..3i64 {
+            driver
+                .invoke(
+                    "blockdev",
+                    "txn_write",
+                    &txn_write_args(txn, sec, Bytes::from(vec![0x42; SECTOR_SIZE])),
+                )
+                .unwrap();
+        }
+        // Nothing visible before commit.
+        let v = driver.invoke("blockdev", "read", &[Value::Int(0)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0);
+        driver
+            .invoke("blockdev", "commit", &[Value::Int(txn)])
+            .unwrap();
+        let v = driver.invoke("blockdev", "read", &[Value::Int(2)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0x42);
+        // Double commit fails; an aborted txn leaves no trace.
+        assert!(driver
+            .invoke("blockdev", "commit", &[Value::Int(txn)])
+            .is_err());
+        let t2 = driver
+            .invoke("blockdev", "begin_txn", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        driver
+            .invoke(
+                "blockdev",
+                "txn_write",
+                &txn_write_args(t2, 5, Bytes::from(vec![0x77; SECTOR_SIZE])),
+            )
+            .unwrap();
+        driver
+            .invoke("blockdev", "abort", &[Value::Int(t2)])
+            .unwrap();
+        let v = driver.invoke("blockdev", "read", &[Value::Int(5)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0);
+        // Flush and barrier are no-ops on the raw driver.
+        assert_eq!(
+            driver.invoke("blockdev", "flush", &[]).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            driver.invoke("blockdev", "barrier", &[]).unwrap(),
+            Value::Unit
+        );
+    }
+
+    #[test]
+    fn crash_mid_batch_leaves_prefix_plus_torn_sector() {
+        use crate::vectored::pairs_arg;
+        let (mem, driver) = setup();
+        let pairs: Vec<(i64, Bytes)> = (0..4i64)
+            .map(|sec| (sec, Bytes::from(vec![0xEE; SECTOR_SIZE])))
+            .collect();
+        // Fire the crash on the third sector's transfer charge.
+        mem.machine().lock().arm_crash_after(3);
+        let err = driver
+            .invoke("blockdev", "write_many", &[pairs_arg(pairs)])
+            .unwrap_err();
+        assert!(err.to_string().contains("power failure"), "{err}");
+        // Everything fails until reboot.
+        assert!(driver.invoke("blockdev", "read", &[Value::Int(0)]).is_err());
+        mem.machine().lock().reboot();
+        // Sectors 0 and 1 are fully written, sector 2 is torn (prefix
+        // only), sector 3 never started.
+        for (sec, full, torn) in [(0, true, false), (1, true, false), (2, false, true)] {
+            let v = driver
+                .invoke("blockdev", "read", &[Value::Int(sec)])
+                .unwrap();
+            let b = v.as_bytes().unwrap();
+            if full {
+                assert!(b.iter().all(|&x| x == 0xEE), "sector {sec} must be whole");
+            }
+            if torn {
+                assert!(b[..TORN_WRITE_PREFIX].iter().all(|&x| x == 0xEE));
+                assert!(b[TORN_WRITE_PREFIX..].iter().all(|&x| x == 0));
+            }
+        }
+        let v = driver.invoke("blockdev", "read", &[Value::Int(3)]).unwrap();
+        assert!(v.as_bytes().unwrap().iter().all(|&x| x == 0));
     }
 }

@@ -1,0 +1,1035 @@
+//! The write-ahead journal — crash-safe durability by interposition.
+//!
+//! The paper's extensibility story is that trusted components interpose
+//! on each other through ordinary named interfaces. The journal is that
+//! idiom applied to durability: an object exporting the same `blockdev`
+//! interface as the disk driver, slotted *between* the shared cache and
+//! the driver by [`crate::StackBuilder`]. Clients (and the cache) cannot
+//! tell it is there — except that after a power failure, every write
+//! they were told succeeded is still on the disk.
+//!
+//! # On-disk layout
+//!
+//! The journal reserves the tail of the device: two alternating
+//! superblock sectors followed by a sequential log. Clients see a device
+//! shrunk by the reserved region (`sectors()` reports only the data
+//! area) and cannot address into it.
+//!
+//! ```text
+//! | data sectors ... | SB0 | SB1 | log[0] | log[1] | ... | log[L-1] |
+//! ```
+//!
+//! Every log record is tagged with the current *epoch* and checksummed
+//! (FNV-1a 64). A transaction is journalled as one or more *descriptor*
+//! sectors (home sector ids), each followed by its raw payload sectors,
+//! and ends with a *commit marker* carrying a checksum over all of the
+//! transaction's payload bytes. The marker is the last sector of the
+//! transaction in log order, so a torn or missing sector anywhere in the
+//! record leaves the transaction uncommitted — the recovery scan stops
+//! at the first sector that fails validation (wrong magic, wrong epoch,
+//! bad checksum) and everything before it is the committed prefix.
+//!
+//! Truncation never rewrites the log: a checkpoint first writes every
+//! committed payload to its home location, then bumps the epoch in the
+//! inactive superblock copy. Old records instantly stop validating. The
+//! home-writes-then-epoch-bump order is load-bearing — a crash between
+//! the two replays the (idempotent) home writes at the next mount
+//! instead of losing them.
+//!
+//! # Group commit
+//!
+//! Commits are coalesced leader/rider style: a committing thread queues
+//! its transaction and, if no append is in flight, becomes the leader —
+//! it drains *every* queued transaction into a single vectorized
+//! `write_many` append (paying the driver's amortised batch cost), then
+//! wakes the riders. Threads that arrive while the leader is writing
+//! simply queue; the next leader takes them all in one more append. N
+//! concurrent small commits thus reach the platter in far fewer than N
+//! device invocations — the `journal` interface's `stats` reports both
+//! counters so tests and benches can measure the batching factor.
+//!
+//! Committed-but-unhomed payloads are served from an in-memory overlay
+//! until a checkpoint homes them, so reads through the journal always
+//! observe committed data.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use paramecium_machine::dev::disk::SECTOR_SIZE;
+use paramecium_obj::{ObjError, ObjRef, ObjResult, ObjectBuilder, TypeTag, Value};
+
+use crate::vectored::{
+    pairs_arg, parse_pairs, parse_sectors, parse_txn, parse_txn_write, sectors_arg,
+    TXN_WRITE_PARAMS,
+};
+
+/// Magic tag of a superblock sector.
+const SB_MAGIC: u64 = 0x504A_5342_4C4B_0001; // "PJSBLK" v1
+/// Magic tag of a transaction descriptor sector.
+const DESC_MAGIC: u64 = 0x504A_4445_5343_0001; // "PJDESC" v1
+/// Magic tag of a commit marker sector.
+const COMMIT_MAGIC: u64 = 0x504A_434D_5431_0001; // "PJCMT" v1
+
+/// Home sector ids one descriptor sector can carry:
+/// (payload area 504 − 32 bytes of header) / 8 bytes per id.
+const DESC_CAPACITY: usize = (SECTOR_SIZE - 8 - 32) / 8;
+
+/// Configuration for the journal layer.
+#[derive(Clone, Copy, Debug)]
+pub struct JournalConfig {
+    /// Log length in sectors (the reserved region is `log_sectors + 2`,
+    /// for the two superblock copies). Bounds the largest transaction
+    /// and how much work can accumulate between checkpoints.
+    pub log_sectors: i64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        // 126 log sectors + 2 superblocks = a 128-sector (64 KiB) region.
+        JournalConfig { log_sectors: 126 }
+    }
+}
+
+/// Resolved on-disk geometry.
+#[derive(Clone, Copy)]
+struct Geometry {
+    /// Client-visible device size; also the absolute sector of SB0.
+    data_sectors: i64,
+    /// Absolute sector of `log[0]` (= `data_sectors + 2`).
+    log_start: i64,
+    log_len: i64,
+}
+
+impl Geometry {
+    fn sb(&self, copy: u64) -> i64 {
+        self.data_sectors + (copy % 2) as i64
+    }
+}
+
+/// FNV-1a 64 over `data`, seeded so an all-zero sector never validates.
+fn fnv1a(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"))
+}
+
+/// Seals a record sector: checksum over the first 504 bytes goes into
+/// the last 8.
+fn seal(mut buf: [u8; SECTOR_SIZE]) -> [u8; SECTOR_SIZE] {
+    let sum = fnv1a(&[&buf[..SECTOR_SIZE - 8]]);
+    put_u64(&mut buf, SECTOR_SIZE - 8, sum);
+    buf
+}
+
+/// Validates a sealed record sector's trailing checksum.
+fn sealed_ok(buf: &[u8]) -> bool {
+    buf.len() == SECTOR_SIZE && get_u64(buf, SECTOR_SIZE - 8) == fnv1a(&[&buf[..SECTOR_SIZE - 8]])
+}
+
+fn sb_sector(epoch: u64) -> [u8; SECTOR_SIZE] {
+    let mut buf = [0u8; SECTOR_SIZE];
+    put_u64(&mut buf, 0, SB_MAGIC);
+    put_u64(&mut buf, 8, epoch);
+    seal(buf)
+}
+
+/// Parses a superblock copy, returning its epoch if valid.
+fn parse_sb(buf: &[u8]) -> Option<u64> {
+    (sealed_ok(buf) && get_u64(buf, 0) == SB_MAGIC).then(|| get_u64(buf, 8))
+}
+
+fn desc_sector(epoch: u64, txn: u64, sectors: &[i64]) -> [u8; SECTOR_SIZE] {
+    debug_assert!(sectors.len() <= DESC_CAPACITY);
+    let mut buf = [0u8; SECTOR_SIZE];
+    put_u64(&mut buf, 0, DESC_MAGIC);
+    put_u64(&mut buf, 8, epoch);
+    put_u64(&mut buf, 16, txn);
+    put_u64(&mut buf, 24, sectors.len() as u64);
+    for (k, &sec) in sectors.iter().enumerate() {
+        put_u64(&mut buf, 32 + 8 * k, sec as u64);
+    }
+    seal(buf)
+}
+
+fn commit_sector(epoch: u64, txn: u64, payload_sum: u64) -> [u8; SECTOR_SIZE] {
+    let mut buf = [0u8; SECTOR_SIZE];
+    put_u64(&mut buf, 0, COMMIT_MAGIC);
+    put_u64(&mut buf, 8, epoch);
+    put_u64(&mut buf, 16, txn);
+    put_u64(&mut buf, 24, payload_sum);
+    seal(buf)
+}
+
+/// Committed transactions in commit order, as recovered by a log scan.
+type CommittedTxns = Vec<(u64, Vec<(i64, Bytes)>)>;
+
+/// One transaction queued for the next group append.
+struct PendingTxn {
+    seq: u64,
+    txn: u64,
+    writes: Vec<(i64, Bytes)>,
+}
+
+/// Mutable journal state behind the single mutex. The `flushing` flag is
+/// the append/checkpoint ownership token: whoever sets it may touch the
+/// log and superblocks (with the lock *released* around backing-store
+/// invocations) until they clear it and notify the condvar.
+struct Inner {
+    epoch: u64,
+    /// Next free log slot, relative to `log_start`.
+    head: i64,
+    /// Committed, not-yet-homed payloads (read overlay).
+    overlay: HashMap<i64, Bytes>,
+    /// Open client transactions (buffered in memory until commit).
+    open: HashMap<i64, Vec<(i64, Bytes)>>,
+    next_txn: i64,
+    /// Group-commit queue and leader token.
+    pending: Vec<PendingTxn>,
+    flushing: bool,
+    next_seq: u64,
+    durable_seq: u64,
+    /// Commit outcomes for riders whose group append failed.
+    failed: HashMap<u64, String>,
+    // Stats.
+    commits: u64,
+    group_appends: u64,
+    appended_records: u64,
+    checkpoints: u64,
+    replayed: u64,
+}
+
+struct JournalShared {
+    backing: ObjRef,
+    geo: Geometry,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl JournalShared {
+    fn read_backing(&self, sector: i64) -> ObjResult<Bytes> {
+        let v = self
+            .backing
+            .invoke("blockdev", "read", &[Value::Int(sector)])?;
+        Ok(v.as_bytes()?.clone())
+    }
+
+    fn write_backing(&self, batch: Vec<(i64, Bytes)>) -> ObjResult<()> {
+        self.backing
+            .invoke("blockdev", "write_many", &[pairs_arg(batch)])?;
+        Ok(())
+    }
+
+    /// Log slots a transaction of `n` writes occupies: one descriptor
+    /// per [`DESC_CAPACITY`] chunk, the payloads, and the commit marker.
+    fn slots_needed(n: usize) -> i64 {
+        (n.div_ceil(DESC_CAPACITY) + n + 1) as i64
+    }
+
+    /// Serialises `txns` into log sectors starting at `head`, returning
+    /// the absolute `(sector, data)` batch. Each transaction ends with
+    /// its own commit marker, so a crash part-way through the batch
+    /// leaves every fully-appended transaction committed and the one at
+    /// the crash point invisible.
+    fn encode_group(&self, epoch: u64, head: i64, txns: &[PendingTxn]) -> Vec<(i64, Bytes)> {
+        let mut batch = Vec::new();
+        let mut pos = self.geo.log_start + head;
+        for t in txns {
+            let payload_sum = fnv1a(
+                &t.writes
+                    .iter()
+                    .map(|(_, data)| data.as_ref())
+                    .collect::<Vec<_>>(),
+            );
+            for chunk in t.writes.chunks(DESC_CAPACITY) {
+                let ids: Vec<i64> = chunk.iter().map(|(sec, _)| *sec).collect();
+                batch.push((
+                    pos,
+                    Bytes::copy_from_slice(&desc_sector(epoch, t.txn, &ids)),
+                ));
+                pos += 1;
+                for (_, data) in chunk {
+                    batch.push((pos, data.clone()));
+                    pos += 1;
+                }
+            }
+            batch.push((
+                pos,
+                Bytes::copy_from_slice(&commit_sector(epoch, t.txn, payload_sum)),
+            ));
+            pos += 1;
+        }
+        batch
+    }
+
+    /// Scans the log and returns the committed transactions in commit
+    /// order, plus the log head (first free slot). Read-only — safe to
+    /// run at mount and for the idempotence tests. The scan stops at the
+    /// first sector that fails validation: wrong magic or epoch, a torn
+    /// record (trailing checksum), or a commit whose payload checksum
+    /// does not match.
+    fn scan_committed(&self, epoch: u64) -> ObjResult<(CommittedTxns, i64)> {
+        let mut committed: CommittedTxns = Vec::new();
+        // Fragments of transactions whose commit marker hasn't appeared
+        // yet (multi-descriptor transactions).
+        let mut open: HashMap<u64, Vec<(i64, Bytes)>> = HashMap::new();
+        let mut pos: i64 = 0;
+        while pos < self.geo.log_len {
+            let head = self.read_backing(self.geo.log_start + pos)?;
+            if !sealed_ok(&head) || get_u64(&head, 8) != epoch {
+                break;
+            }
+            match get_u64(&head, 0) {
+                DESC_MAGIC => {
+                    let txn = get_u64(&head, 16);
+                    let n = get_u64(&head, 24) as usize;
+                    if n > DESC_CAPACITY || pos + 1 + n as i64 > self.geo.log_len {
+                        break;
+                    }
+                    let payloads = self.backing.invoke(
+                        "blockdev",
+                        "read_many",
+                        &[sectors_arg(
+                            (0..n as i64).map(|k| self.geo.log_start + pos + 1 + k),
+                        )],
+                    )?;
+                    let payloads = payloads.as_list()?;
+                    let entry = open.entry(txn).or_default();
+                    for (k, v) in payloads.iter().enumerate() {
+                        let sec = get_u64(&head, 32 + 8 * k) as i64;
+                        entry.push((sec, v.as_bytes()?.clone()));
+                    }
+                    pos += 1 + n as i64;
+                }
+                COMMIT_MAGIC => {
+                    let txn = get_u64(&head, 16);
+                    let writes = open.remove(&txn).unwrap_or_default();
+                    let sum = fnv1a(
+                        &writes
+                            .iter()
+                            .map(|(_, data)| data.as_ref())
+                            .collect::<Vec<_>>(),
+                    );
+                    if sum != get_u64(&head, 24) {
+                        break;
+                    }
+                    committed.push((txn, writes));
+                    pos += 1;
+                }
+                _ => break,
+            }
+        }
+        Ok((committed, pos))
+    }
+
+    /// Homes `writes` (last-writer-wins per sector, elevator order) and
+    /// then truncates the log by bumping the epoch in the inactive
+    /// superblock copy. The order is the checkpoint's whole correctness
+    /// argument: until the new superblock is durable, the old epoch's
+    /// records still validate and a remount replays them.
+    fn home_and_truncate(&self, epoch: u64, writes: &[(i64, Bytes)]) -> ObjResult<u64> {
+        let mut last: HashMap<i64, &Bytes> = HashMap::new();
+        for (sec, data) in writes {
+            last.insert(*sec, data);
+        }
+        let mut batch: Vec<(i64, Bytes)> =
+            last.into_iter().map(|(sec, d)| (sec, d.clone())).collect();
+        batch.sort_unstable_by_key(|(sec, _)| *sec);
+        let homed = batch.len() as u64;
+        if !batch.is_empty() {
+            self.write_backing(batch)?;
+        }
+        // Home writes are durable; only now may the records stop
+        // validating.
+        let next = epoch + 1;
+        self.write_backing(vec![(
+            self.geo.sb(next),
+            Bytes::copy_from_slice(&sb_sector(next)),
+        )])?;
+        Ok(homed)
+    }
+
+    /// Becomes the append/checkpoint owner, waiting out any current one.
+    fn acquire_flush_token(&self) {
+        let mut inner = self.inner.lock();
+        self.cv.wait_while(&mut inner, |i| i.flushing);
+        inner.flushing = true;
+    }
+
+    fn release_flush_token(&self) {
+        self.inner.lock().flushing = false;
+        self.cv.notify_all();
+    }
+
+    /// Full checkpoint: homes the overlay, truncates the log. The caller
+    /// holds the flush token (no appends in flight), so the overlay
+    /// snapshot is the complete committed state.
+    fn checkpoint_locked_out(&self) -> ObjResult<i64> {
+        let (epoch, writes) = {
+            let inner = self.inner.lock();
+            let writes: Vec<(i64, Bytes)> = inner
+                .overlay
+                .iter()
+                .map(|(sec, d)| (*sec, d.clone()))
+                .collect();
+            (inner.epoch, writes)
+        };
+        if writes.is_empty() {
+            // Nothing committed since the last checkpoint: the log may
+            // still hold stale slots, but truncating would cost two
+            // writes for nothing. Only reset the in-memory head.
+            return Ok(0);
+        }
+        let homed = self.home_and_truncate(epoch, &writes)?;
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        inner.head = 0;
+        inner.overlay.clear();
+        inner.checkpoints += 1;
+        Ok(homed as i64)
+    }
+
+    /// Commits `writes` as one atomic transaction, group-coalescing with
+    /// every other transaction queued while an append was in flight.
+    /// Returns once the commit marker is durable (or delivery of the
+    /// group's failure).
+    fn commit_writes(&self, txn: u64, writes: Vec<(i64, Bytes)>) -> ObjResult<()> {
+        let need = Self::slots_needed(writes.len());
+        if need > self.geo.log_len {
+            return Err(ObjError::failed(format!(
+                "transaction of {} sectors cannot fit a {}-sector log",
+                writes.len(),
+                self.geo.log_len
+            )));
+        }
+        let my_seq = {
+            let mut inner = self.inner.lock();
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.pending.push(PendingTxn { seq, txn, writes });
+            seq
+        };
+        loop {
+            let mut inner = self.inner.lock();
+            if inner.durable_seq >= my_seq && inner.pending.iter().all(|p| p.seq != my_seq) {
+                return match inner.failed.remove(&my_seq) {
+                    None => Ok(()),
+                    Some(msg) => Err(ObjError::failed(msg)),
+                };
+            }
+            if inner.flushing {
+                self.cv.wait(&mut inner);
+                continue;
+            }
+            // Become the leader: drain the whole queue into one append.
+            inner.flushing = true;
+            let group: Vec<PendingTxn> = std::mem::take(&mut inner.pending);
+            let epoch = inner.epoch;
+            let head = inner.head;
+            drop(inner);
+            let result = self.append_group(epoch, head, &group);
+            let mut inner = self.inner.lock();
+            let top_seq = group.iter().map(|p| p.seq).max().expect("non-empty group");
+            match &result {
+                Ok((new_head, records)) => {
+                    inner.head = *new_head;
+                    inner.commits += group.len() as u64;
+                    inner.group_appends += 1;
+                    inner.appended_records += records;
+                    for p in &group {
+                        for (sec, data) in &p.writes {
+                            inner.overlay.insert(*sec, data.clone());
+                        }
+                    }
+                }
+                Err(e) => {
+                    // The group append failed (e.g. power loss). Nothing
+                    // in this group is acknowledged; a prefix may still
+                    // have committed on disk, which recovery surfaces as
+                    // whole transactions — never partial ones.
+                    for p in &group {
+                        inner.failed.insert(p.seq, e.to_string());
+                    }
+                }
+            }
+            inner.durable_seq = inner.durable_seq.max(top_seq);
+            inner.flushing = false;
+            drop(inner);
+            self.cv.notify_all();
+            // Loop back to pick up our own outcome.
+        }
+    }
+
+    /// Appends `group` at `head` (checkpointing first if the log is
+    /// full), returning the new head and the record-sector count. The
+    /// caller holds the flush token.
+    fn append_group(&self, epoch: u64, head: i64, group: &[PendingTxn]) -> ObjResult<(i64, u64)> {
+        let need: i64 = group
+            .iter()
+            .map(|p| Self::slots_needed(p.writes.len()))
+            .sum();
+        let (epoch, head) = if head + need > self.geo.log_len {
+            // Log full: checkpoint inline. The token is already ours.
+            let (cur_epoch, writes) = {
+                let inner = self.inner.lock();
+                let writes: Vec<(i64, Bytes)> = inner
+                    .overlay
+                    .iter()
+                    .map(|(sec, d)| (*sec, d.clone()))
+                    .collect();
+                (inner.epoch, writes)
+            };
+            self.home_and_truncate(cur_epoch, &writes)?;
+            let mut inner = self.inner.lock();
+            inner.epoch += 1;
+            inner.head = 0;
+            inner.overlay.clear();
+            inner.checkpoints += 1;
+            (inner.epoch, 0)
+        } else {
+            (epoch, head)
+        };
+        let batch = self.encode_group(epoch, head, group);
+        let records = batch.len() as u64;
+        self.write_backing(batch)?;
+        Ok((head + need, records))
+    }
+}
+
+/// Builds a journal over `backing` and mounts it: reads the superblocks
+/// (formatting a fresh device), replays committed transactions to their
+/// home locations, and truncates the log. Mount is idempotent — a crash
+/// anywhere during recovery replays the same committed prefix next time.
+///
+/// Returns an object exporting `blockdev` (see the [crate docs](crate)
+/// for the full method list) plus a `journal` interface:
+/// - `stats() -> [commits, group_appends, appended_records, checkpoints,
+///   replayed, head, overlay]`,
+/// - `geometry() -> [data_sectors, log_start, log_len]`,
+/// - `scan() -> int` (read-only committed-transaction count, for tests
+///   and benches).
+pub fn mount_journal(backing: ObjRef, cfg: JournalConfig) -> ObjResult<ObjRef> {
+    let total = backing.invoke("blockdev", "sectors", &[])?.as_int()?;
+    let log_len = cfg.log_sectors;
+    if log_len < 4 || log_len + 2 >= total {
+        return Err(ObjError::failed(format!(
+            "journal of {log_len} log sectors does not fit a {total}-sector device"
+        )));
+    }
+    let geo = Geometry {
+        data_sectors: total - log_len - 2,
+        log_start: total - log_len,
+        log_len,
+    };
+    let shared = Arc::new(JournalShared {
+        backing,
+        geo,
+        inner: Mutex::new(Inner {
+            epoch: 0,
+            head: 0,
+            overlay: HashMap::new(),
+            open: HashMap::new(),
+            next_txn: 1,
+            pending: Vec::new(),
+            flushing: false,
+            next_seq: 1,
+            durable_seq: 0,
+            failed: HashMap::new(),
+            commits: 0,
+            group_appends: 0,
+            appended_records: 0,
+            checkpoints: 0,
+            replayed: 0,
+        }),
+        cv: Condvar::new(),
+    });
+
+    // Mount: pick the valid superblock with the highest epoch, or format
+    // a fresh device at epoch 1.
+    let sb0 = parse_sb(&shared.read_backing(geo.sb(0))?);
+    let sb1 = parse_sb(&shared.read_backing(geo.sb(1))?);
+    let epoch = match sb0.into_iter().chain(sb1).max() {
+        Some(e) => e,
+        None => {
+            shared.write_backing(vec![(geo.sb(1), Bytes::copy_from_slice(&sb_sector(1)))])?;
+            1
+        }
+    };
+    // Replay the committed prefix, home it, truncate. Replay order is
+    // commit order, so later transactions overwrite earlier ones — the
+    // same last-writer-wins the overlay gave live readers.
+    let (committed, _head) = shared.scan_committed(epoch)?;
+    let replayed = committed.len() as u64;
+    let epoch = if committed.is_empty() {
+        epoch
+    } else {
+        let writes: Vec<(i64, Bytes)> = committed.into_iter().flat_map(|(_, w)| w).collect();
+        shared.home_and_truncate(epoch, &writes)?;
+        epoch + 1
+    };
+    {
+        let mut inner = shared.inner.lock();
+        inner.epoch = epoch;
+        inner.replayed = replayed;
+    }
+
+    let s = shared;
+    Ok(ObjectBuilder::new("journal")
+        .interface("blockdev", |i| {
+            let s_read = s.clone();
+            let s_write = s.clone();
+            let s_read_many = s.clone();
+            let s_write_many = s.clone();
+            let s_sectors = s.clone();
+            let s_stats = s.clone();
+            let s_flush = s.clone();
+            let s_barrier = s.clone();
+            let s_begin = s.clone();
+            let s_txn_write = s.clone();
+            let s_commit = s.clone();
+            let s_abort = s.clone();
+            i.method("read", &[TypeTag::Int], TypeTag::Bytes, move |_, args| {
+                let sector = args[0].as_int()?;
+                check_data_sector(&s_read.geo, sector)?;
+                if let Some(data) = s_read.inner.lock().overlay.get(&sector) {
+                    return Ok(Value::Bytes(data.clone()));
+                }
+                s_read
+                    .backing
+                    .invoke("blockdev", "read", &[Value::Int(sector)])
+            })
+            .method(
+                "write",
+                &[TypeTag::Int, TypeTag::Bytes],
+                TypeTag::Unit,
+                move |_, args| {
+                    let sector = args[0].as_int()?;
+                    let data = args[1].as_bytes()?;
+                    check_data_sector(&s_write.geo, sector)?;
+                    if data.len() != SECTOR_SIZE {
+                        return Err(ObjError::failed(format!(
+                            "sector writes must be exactly {SECTOR_SIZE} bytes, got {}",
+                            data.len()
+                        )));
+                    }
+                    // A bare write is an implicit single-write
+                    // transaction: journalled, group-committed, durable
+                    // by return.
+                    let txn = alloc_txn(&s_write);
+                    s_write.commit_writes(txn, vec![(sector, data.clone())])?;
+                    Ok(Value::Unit)
+                },
+            )
+            .method(
+                "read_many",
+                &[TypeTag::List],
+                TypeTag::List,
+                move |_, args| {
+                    let sectors = parse_sectors(&args[0])?;
+                    for &sec in &sectors {
+                        check_data_sector(&s_read_many.geo, sec)?;
+                    }
+                    // Serve overlay hits locally, batch the rest below.
+                    let overlay_hits: Vec<Option<Bytes>> = {
+                        let inner = s_read_many.inner.lock();
+                        sectors
+                            .iter()
+                            .map(|sec| inner.overlay.get(sec).cloned())
+                            .collect()
+                    };
+                    let missing: Vec<i64> = sectors
+                        .iter()
+                        .zip(&overlay_hits)
+                        .filter_map(|(&sec, hit)| hit.is_none().then_some(sec))
+                        .collect();
+                    let mut fetched = if missing.is_empty() {
+                        Vec::new()
+                    } else {
+                        s_read_many
+                            .backing
+                            .invoke(
+                                "blockdev",
+                                "read_many",
+                                &[sectors_arg(missing.iter().copied())],
+                            )?
+                            .as_list()?
+                            .to_vec()
+                    };
+                    let mut next = fetched.drain(..);
+                    let out: Vec<Value> = overlay_hits
+                        .into_iter()
+                        .map(|hit| match hit {
+                            Some(data) => Ok(Value::Bytes(data)),
+                            None => next.next().ok_or_else(|| {
+                                ObjError::failed("backing read_many returned a short batch")
+                            }),
+                        })
+                        .collect::<ObjResult<_>>()?;
+                    Ok(Value::List(out))
+                },
+            )
+            .method(
+                "write_many",
+                &[TypeTag::List],
+                TypeTag::Int,
+                move |_, args| {
+                    let pairs = parse_pairs(&args[0])?;
+                    for (sec, _) in &pairs {
+                        check_data_sector(&s_write_many.geo, *sec)?;
+                    }
+                    if pairs.is_empty() {
+                        return Ok(Value::Int(0));
+                    }
+                    // One batch = one atomic transaction: after a crash,
+                    // either every pair is visible or none is.
+                    let n = pairs.len() as i64;
+                    let txn = alloc_txn(&s_write_many);
+                    s_write_many.commit_writes(txn, pairs)?;
+                    Ok(Value::Int(n))
+                },
+            )
+            .method("sectors", &[], TypeTag::Int, move |_, _| {
+                Ok(Value::Int(s_sectors.geo.data_sectors))
+            })
+            .method("stats", &[], TypeTag::List, move |_, _| {
+                s_stats.backing.invoke("blockdev", "stats", &[])
+            })
+            .method("flush", &[], TypeTag::Int, move |_, _| {
+                // Checkpoint: home every committed payload, truncate the
+                // log. Returns the number of sectors homed.
+                s_flush.acquire_flush_token();
+                let result = s_flush.checkpoint_locked_out();
+                s_flush.release_flush_token();
+                // Forward so lower layers (an inner journal, a write
+                // buffer) drain too.
+                let below = s_flush.backing.invoke("blockdev", "flush", &[]);
+                let homed = result?;
+                let below = match below {
+                    Ok(v) => v.as_int().unwrap_or(0),
+                    Err(_) => 0, // A bare driver may not implement flush.
+                };
+                Ok(Value::Int(homed + below))
+            })
+            .method("barrier", &[], TypeTag::Unit, move |_, _| {
+                // Every acknowledged commit is already durable (commit
+                // returns only after its group append lands), so a
+                // barrier only needs to wait out any in-flight append
+                // and order against the layer below.
+                s_barrier.acquire_flush_token();
+                s_barrier.release_flush_token();
+                s_barrier.backing.invoke("blockdev", "barrier", &[])
+            })
+            .method("begin_txn", &[], TypeTag::Int, move |_, _| {
+                let mut inner = s_begin.inner.lock();
+                let id = inner.next_txn;
+                inner.next_txn += 1;
+                inner.open.insert(id, Vec::new());
+                Ok(Value::Int(id))
+            })
+            .method(
+                "txn_write",
+                TXN_WRITE_PARAMS,
+                TypeTag::Unit,
+                move |_, args| {
+                    let (txn, sector, data) = parse_txn_write(args)?;
+                    check_data_sector(&s_txn_write.geo, sector)?;
+                    s_txn_write
+                        .inner
+                        .lock()
+                        .open
+                        .get_mut(&txn)
+                        .ok_or_else(|| ObjError::failed(format!("no open transaction {txn}")))?
+                        .push((sector, data));
+                    Ok(Value::Unit)
+                },
+            )
+            .method("commit", &[TypeTag::Int], TypeTag::Unit, move |_, args| {
+                let txn = parse_txn(&args[0])?;
+                let writes = s_commit
+                    .inner
+                    .lock()
+                    .open
+                    .remove(&txn)
+                    .ok_or_else(|| ObjError::failed(format!("no open transaction {txn}")))?;
+                if writes.is_empty() {
+                    return Ok(Value::Unit);
+                }
+                s_commit.commit_writes(txn as u64, writes)?;
+                Ok(Value::Unit)
+            })
+            .method("abort", &[TypeTag::Int], TypeTag::Unit, move |_, args| {
+                let txn = parse_txn(&args[0])?;
+                s_abort
+                    .inner
+                    .lock()
+                    .open
+                    .remove(&txn)
+                    .ok_or_else(|| ObjError::failed(format!("no open transaction {txn}")))?;
+                Ok(Value::Unit)
+            })
+        })
+        .interface("journal", |i| {
+            let s_stats = s.clone();
+            let s_geo = s.clone();
+            let s_scan = s.clone();
+            i.method("stats", &[], TypeTag::List, move |_, _| {
+                let inner = s_stats.inner.lock();
+                Ok(Value::List(vec![
+                    Value::Int(inner.commits as i64),
+                    Value::Int(inner.group_appends as i64),
+                    Value::Int(inner.appended_records as i64),
+                    Value::Int(inner.checkpoints as i64),
+                    Value::Int(inner.replayed as i64),
+                    Value::Int(inner.head),
+                    Value::Int(inner.overlay.len() as i64),
+                ]))
+            })
+            .method("geometry", &[], TypeTag::List, move |_, _| {
+                Ok(Value::List(vec![
+                    Value::Int(s_geo.geo.data_sectors),
+                    Value::Int(s_geo.geo.log_start),
+                    Value::Int(s_geo.geo.log_len),
+                ]))
+            })
+            .method("scan", &[], TypeTag::Int, move |_, _| {
+                let epoch = s_scan.inner.lock().epoch;
+                let (committed, _) = s_scan.scan_committed(epoch)?;
+                Ok(Value::Int(committed.len() as i64))
+            })
+        })
+        .build())
+}
+
+/// Allocates an internal transaction id for an implicit (bare-write)
+/// transaction.
+fn alloc_txn(s: &JournalShared) -> u64 {
+    let mut inner = s.inner.lock();
+    let id = inner.next_txn;
+    inner.next_txn += 1;
+    id as u64
+}
+
+/// Rejects sectors outside the client-visible data area (negative or
+/// inside the reserved journal region).
+fn check_data_sector(geo: &Geometry, sector: i64) -> ObjResult<()> {
+    if sector < 0 || sector >= geo.data_sectors {
+        return Err(ObjError::failed(format!(
+            "sector {sector} out of range (device has {})",
+            geo.data_sectors
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StackBuilder;
+    use paramecium_core::{domain::KERNEL_DOMAIN, memsvc::MemService};
+    use paramecium_machine::Machine;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<MemService>, ObjRef, ObjRef) {
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let mem = Arc::new(MemService::new(machine));
+        let stack = StackBuilder::disk(&mem, KERNEL_DOMAIN)
+            .journal(JournalConfig::default())
+            .build()
+            .unwrap();
+        (mem, stack.driver, stack.top)
+    }
+
+    fn sector_of(byte: u8) -> Value {
+        Value::Bytes(Bytes::from(vec![byte; SECTOR_SIZE]))
+    }
+
+    fn jstats(j: &ObjRef) -> Vec<i64> {
+        j.invoke("journal", "stats", &[])
+            .unwrap()
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn writes_are_journalled_then_homed_by_flush() {
+        let (_mem, driver, j) = setup();
+        j.invoke("blockdev", "write", &[Value::Int(3), sector_of(0xAD)])
+            .unwrap();
+        // Readable through the journal (overlay) immediately...
+        let v = j.invoke("blockdev", "read", &[Value::Int(3)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0xAD);
+        // ...but the home location is untouched until checkpoint.
+        let v = driver.invoke("blockdev", "read", &[Value::Int(3)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0);
+        let homed = j
+            .invoke("blockdev", "flush", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert_eq!(homed, 1);
+        let v = driver.invoke("blockdev", "read", &[Value::Int(3)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0xAD);
+        // Overlay drained, checkpoint counted.
+        let s = jstats(&j);
+        assert_eq!(s[6], 0, "overlay empty after checkpoint");
+        assert_eq!(s[3], 1, "one checkpoint");
+    }
+
+    #[test]
+    fn txn_invisible_until_commit_and_gone_after_abort() {
+        use crate::vectored::{txn_arg, txn_write_args};
+        let (_mem, _driver, j) = setup();
+        let txn = j
+            .invoke("blockdev", "begin_txn", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        for sec in [7i64, 9] {
+            j.invoke(
+                "blockdev",
+                "txn_write",
+                &txn_write_args(txn, sec, Bytes::from(vec![0x11; SECTOR_SIZE])),
+            )
+            .unwrap();
+        }
+        let v = j.invoke("blockdev", "read", &[Value::Int(7)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0, "uncommitted data invisible");
+        j.invoke("blockdev", "commit", &txn_arg(txn)).unwrap();
+        for sec in [7i64, 9] {
+            let v = j.invoke("blockdev", "read", &[Value::Int(sec)]).unwrap();
+            assert_eq!(v.as_bytes().unwrap()[0], 0x11);
+        }
+        // Abort drops buffered writes entirely.
+        let t2 = j
+            .invoke("blockdev", "begin_txn", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        j.invoke(
+            "blockdev",
+            "txn_write",
+            &txn_write_args(t2, 20, Bytes::from(vec![0x22; SECTOR_SIZE])),
+        )
+        .unwrap();
+        j.invoke("blockdev", "abort", &txn_arg(t2)).unwrap();
+        let v = j.invoke("blockdev", "read", &[Value::Int(20)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0);
+        assert!(j.invoke("blockdev", "commit", &txn_arg(t2)).is_err());
+    }
+
+    #[test]
+    fn remount_replays_committed_transactions() {
+        let (mem, _driver, j) = setup();
+        j.invoke("blockdev", "write", &[Value::Int(11), sector_of(0x5A)])
+            .unwrap();
+        drop(j);
+        // No flush: the data lives only in the log. A fresh mount over
+        // the same device must replay it to its home location.
+        let stack = StackBuilder::disk(&mem, KERNEL_DOMAIN)
+            .journal(JournalConfig::default())
+            .build()
+            .unwrap();
+        let j2 = stack.top;
+        assert_eq!(jstats(&j2)[4], 1, "one transaction replayed");
+        let v = j2.invoke("blockdev", "read", &[Value::Int(11)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0x5A);
+        // And the home location really holds it (not just an overlay).
+        let v = stack
+            .driver
+            .invoke("blockdev", "read", &[Value::Int(11)])
+            .unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0x5A);
+    }
+
+    #[test]
+    fn log_full_checkpoints_inline_and_keeps_going() {
+        let (_mem, driver, j) = setup();
+        // Each bare write costs 3 log slots (desc + payload + commit);
+        // 126 log sectors hold 42. Write far more than that.
+        for round in 0..100i64 {
+            j.invoke(
+                "blockdev",
+                "write",
+                &[Value::Int(round % 8), sector_of(round as u8)],
+            )
+            .unwrap();
+        }
+        let s = jstats(&j);
+        assert!(s[3] >= 2, "inline checkpoints happened: {s:?}");
+        j.invoke("blockdev", "flush", &[]).unwrap();
+        for sec in 0..8i64 {
+            // Last round that wrote this sector.
+            let expect = (99 - ((99 - sec) % 8)) as u8;
+            let v = driver
+                .invoke("blockdev", "read", &[Value::Int(sec)])
+                .unwrap();
+            assert_eq!(v.as_bytes().unwrap()[0], expect, "sector {sec}");
+        }
+    }
+
+    #[test]
+    fn journal_region_is_invisible_and_unwritable() {
+        let (_mem, _driver, j) = setup();
+        let data_sectors = j
+            .invoke("blockdev", "sectors", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let geo = j.invoke("journal", "geometry", &[]).unwrap();
+        let geo = geo.as_list().unwrap();
+        assert_eq!(geo[0].as_int().unwrap(), data_sectors);
+        // The reserved region (superblocks + log) is not addressable.
+        assert!(j
+            .invoke("blockdev", "read", &[Value::Int(data_sectors)])
+            .is_err());
+        assert!(j
+            .invoke(
+                "blockdev",
+                "write",
+                &[Value::Int(data_sectors + 1), sector_of(1)]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn oversized_transaction_is_rejected_whole() {
+        use crate::vectored::{txn_arg, txn_write_args};
+        let (_mem, driver, j) = setup();
+        let txn = j
+            .invoke("blockdev", "begin_txn", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        // 126 log sectors can hold at most ~120 payloads; 200 cannot fit.
+        for sec in 0..200i64 {
+            j.invoke(
+                "blockdev",
+                "txn_write",
+                &txn_write_args(txn, sec, Bytes::from(vec![0xFF; SECTOR_SIZE])),
+            )
+            .unwrap();
+        }
+        assert!(j.invoke("blockdev", "commit", &txn_arg(txn)).is_err());
+        // Nothing leaked to disk or overlay.
+        let v = driver.invoke("blockdev", "read", &[Value::Int(0)]).unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], 0);
+        assert_eq!(jstats(&j)[6], 0);
+    }
+}

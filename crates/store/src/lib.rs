@@ -1,27 +1,72 @@
-//! Storage components: the disk driver object and the shared block cache.
+//! Storage components: a three-layer crash-safe store stack.
 //!
 //! The paper names "shared caches" among the "certified kernel components
 //! … shared between multiple non-cooperating users" (section 4) — the
 //! canonical example of a component that *must* be trusted rather than
-//! sandboxed, because it holds other users' data in its hands. This crate
-//! provides both halves:
+//! sandboxed, because it holds other users' data in its hands. This
+//! crate grows that example into a full storage stack in which every
+//! layer is such a component, stacked by the paper's signature idiom:
+//! transparent interposition through a shared named interface.
 //!
-//! - [`driver`] — the disk driver object (`blockdev` interface, including
-//!   the vectorized `read_many`/`write_many` batch operations) over the
-//!   machine's sector-addressed disk, with per-sector transfer costs and
-//!   amortised batch-transfer charging,
-//! - [`cache`] — a sharded write-back LRU block cache exporting the
-//!   *same* `blockdev` interface, so it stacks transparently over the
-//!   driver (or over another cache) and is installed by ordinary
-//!   name-space interposition. Each shard runs an O(1) intrusive LRU,
-//!   hits are zero-copy (`bytes::Bytes` clones), and eviction/flush
-//!   coalesce dirty lines into sector-sorted vectorized writebacks,
-//! - [`vectored`] — the shared encoding of the vectorized `blockdev`
-//!   arguments, used by both components and by tests.
+//! ```text
+//! clients → [cache] → [journal] → driver → disk device
+//! ```
+//!
+//! - [`driver`] — the disk driver object over the machine's
+//!   sector-addressed disk, with per-sector transfer costs, amortised
+//!   batch charging, and crash-injection-aware write paths (a simulated
+//!   power failure mid-batch leaves a torn sector behind),
+//! - [`journal`] — a write-ahead journal: checksummed, epoch-tagged log
+//!   records in a reserved disk region, leader/rider group commit,
+//!   atomic multi-sector transactions, and idempotent mount-time
+//!   recovery with committed-prefix semantics,
+//! - [`cache`] — a sharded write-back LRU block cache: O(1) intrusive
+//!   LRU per shard, zero-copy hits, coalesced sector-sorted writeback,
+//!   per-shard locking for concurrent clients,
+//! - [`stack`] — [`StackBuilder`], the one way to assemble the layers
+//!   (each optional, fixed order),
+//! - [`vectored`] — the shared codec for vectorized and transactional
+//!   `blockdev` arguments.
+//!
+//! # The `blockdev` interface
+//!
+//! Every layer exports the same interface, which is what lets any of
+//! them interpose on any other. The full method set:
+//!
+//! | method | signature | semantics |
+//! |---|---|---|
+//! | `read` | `(sector: int) -> bytes` | one 512-byte sector |
+//! | `write` | `(sector: int, data: bytes) -> unit` | one sector; durable-by-return under a journal |
+//! | `read_many` | `(sectors: list[int]) -> list[bytes]` | one batched request, results in request order |
+//! | `write_many` | `(pairs: list[[int, bytes]]) -> int` | one batched request; atomic under a journal |
+//! | `sectors` | `() -> int` | client-visible device size |
+//! | `stats` | `() -> list` | `[reads, writes]` of the bottom driver |
+//! | `flush` | `() -> int` | push all volatile/logged state to home locations (cache writeback, journal checkpoint); returns sectors homed |
+//! | `barrier` | `() -> unit` | ordering point: everything acknowledged before the call is durable when it returns |
+//! | `begin_txn` | `() -> int` | open a transaction, returning its handle |
+//! | `txn_write` | `(txn: int, sector: int, data: bytes) -> unit` | buffer one write into an open transaction |
+//! | `commit` | `(txn: int) -> unit` | apply the transaction atomically (crash-atomic under a journal) |
+//! | `abort` | `(txn: int) -> unit` | drop an open transaction without effects |
+//!
+//! Only the journal makes `commit` atomic against power failure; the
+//! bare driver's transactions are volatile buffers (atomic against
+//! validation errors only) and the cache forwards the verbs downward.
+//! Encode/decode the arguments with [`vectored`]'s typed helpers — no
+//! hand-rolled packing at call sites.
 
 pub mod cache;
 pub mod driver;
+pub mod journal;
+pub mod stack;
 pub mod vectored;
 
-pub use cache::{make_block_cache, make_sharded_block_cache, EVICTION_WRITEBACK_BATCH};
+pub use cache::EVICTION_WRITEBACK_BATCH;
+pub use journal::{mount_journal, JournalConfig};
+pub use stack::{StackBuilder, StoreStack};
+
+// Deprecated constructors, kept as shims for downstream code mid-
+// migration. In-repo call sites all use `StackBuilder`.
+#[allow(deprecated)]
+pub use cache::{make_block_cache, make_sharded_block_cache};
+#[allow(deprecated)]
 pub use driver::make_disk_driver;

@@ -119,7 +119,10 @@ fn disk_contents_survive_across_driver_instances() {
         sector[..4].copy_from_slice(b"BOOT");
         d.write_sector(0, &sector).unwrap();
     }
-    let driver = paramecium::store::make_disk_driver(&n.mem, KERNEL_DOMAIN).unwrap();
+    let driver = paramecium::store::StackBuilder::disk(&n.mem, KERNEL_DOMAIN)
+        .build()
+        .unwrap()
+        .top;
     let v = driver.invoke("blockdev", "read", &[Value::Int(0)]).unwrap();
     assert_eq!(&v.as_bytes().unwrap()[..4], b"BOOT");
 }

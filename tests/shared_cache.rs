@@ -4,7 +4,7 @@
 
 use paramecium::machine::dev::disk::{SECTOR_SIZE, SECTOR_TRANSFER_COST};
 use paramecium::prelude::*;
-use paramecium::store::{make_block_cache, make_disk_driver};
+use paramecium::store::StackBuilder;
 
 fn sector_of(byte: u8) -> Value {
     Value::Bytes(bytes::Bytes::from(vec![byte; SECTOR_SIZE]))
@@ -19,7 +19,9 @@ fn cache_is_installed_by_interposition_and_shared_across_domains() {
     n.repository.add_native("disk-driver", "1.0", {
         let mem = n.mem.clone();
         std::sync::Arc::new(move || {
-            make_disk_driver(&mem, KERNEL_DOMAIN)
+            StackBuilder::disk(&mem, KERNEL_DOMAIN)
+                .build()
+                .map(|stack| stack.top)
                 .map_err(|e| paramecium::obj::ObjError::failed(e.to_string()))
         })
     });
@@ -35,7 +37,7 @@ fn cache_is_installed_by_interposition_and_shared_across_domains() {
 
     // The administrator interposes the shared cache over /dev/disk.
     let raw = n.bind(KERNEL_DOMAIN, "/dev/disk").unwrap();
-    let cache = make_block_cache(raw, 64);
+    let cache = StackBuilder::on(raw).cache(64).build().unwrap().top;
     n.interpose(KERNEL_DOMAIN, "/dev/disk", cache).unwrap();
 
     // Alice writes through her proxy; Bob reads the same sector through
@@ -74,7 +76,10 @@ fn cache_is_installed_by_interposition_and_shared_across_domains() {
 fn cache_hides_disk_latency_for_hot_working_sets() {
     let world = World::boot();
     let n = &world.nucleus;
-    let raw = make_disk_driver(&n.mem, KERNEL_DOMAIN).unwrap();
+    let raw = StackBuilder::disk(&n.mem, KERNEL_DOMAIN)
+        .build()
+        .unwrap()
+        .top;
 
     // Cold: 20 reads straight from disk.
     let t0 = n.now();
@@ -84,7 +89,7 @@ fn cache_hides_disk_latency_for_hot_working_sets() {
     let uncached = n.now() - t0;
 
     // Warm: the same 20 sectors through a cache, read 5 times over.
-    let cache = make_block_cache(raw, 32);
+    let cache = StackBuilder::on(raw).cache(32).build().unwrap().top;
     let t0 = n.now();
     for _ in 0..5 {
         for sec in 0..20i64 {
@@ -116,9 +121,14 @@ fn uncertified_cache_cannot_be_loaded_into_the_kernel() {
     n.repository.add_native("rogue-cache", "0.1", {
         let mem = n.mem.clone();
         std::sync::Arc::new(move || {
-            let raw = make_disk_driver(&mem, KERNEL_DOMAIN)
+            let raw = StackBuilder::disk(&mem, KERNEL_DOMAIN)
+                .build()
                 .map_err(|e| paramecium::obj::ObjError::failed(e.to_string()))?;
-            Ok(make_block_cache(raw, 8))
+            Ok(StackBuilder::on(raw.top)
+                .cache(8)
+                .build()
+                .expect("cache-only stack")
+                .top)
         })
     });
     let err = n

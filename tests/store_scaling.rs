@@ -24,7 +24,7 @@ use paramecium::machine::Machine;
 use paramecium::obj::interpose::interposer_target;
 use paramecium::prelude::*;
 use paramecium::store::vectored::{pairs_arg, sectors_arg};
-use paramecium::store::{make_disk_driver, make_sharded_block_cache};
+use paramecium::store::StackBuilder;
 use parking_lot::Mutex;
 
 /// Sector range the tests operate on: small enough that random sequences
@@ -34,7 +34,7 @@ const RANGE: i64 = 24;
 fn fresh_driver() -> (Arc<MemService>, ObjRef) {
     let machine = Arc::new(Mutex::new(Machine::new()));
     let mem = Arc::new(MemService::new(machine));
-    let driver = make_disk_driver(&mem, KERNEL_DOMAIN).unwrap();
+    let driver = StackBuilder::disk(&mem, KERNEL_DOMAIN).build().unwrap().top;
     (mem, driver)
 }
 
@@ -141,7 +141,11 @@ proptest! {
     ) {
         for shards in [1usize, 4, 8] {
             let (_mem_c, backing) = fresh_driver();
-            let cache = make_sharded_block_cache(backing.clone(), capacity, shards);
+            let cache = StackBuilder::on(backing.clone())
+                .sharded_cache(capacity, shards)
+                .build()
+                .unwrap()
+                .top;
             let (_mem_r, raw) = fresh_driver();
             for op in &ops {
                 let through_cache = apply(&cache, op, true);
@@ -194,7 +198,11 @@ fn failed_flush_loses_no_dirty_data() {
         let (_mem, driver) = fresh_driver();
         let armed = Arc::new(AtomicBool::new(false));
         let flaky = failing_backing(driver.clone(), armed.clone());
-        let cache = make_sharded_block_cache(flaky, 64, shards);
+        let cache = StackBuilder::on(flaky)
+            .sharded_cache(64, shards)
+            .build()
+            .unwrap()
+            .top;
         for sec in 0..10i64 {
             cache
                 .invoke(
@@ -241,7 +249,7 @@ fn failed_eviction_writeback_keeps_victim_and_surfaces_error() {
     let (_mem, driver) = fresh_driver();
     let armed = Arc::new(AtomicBool::new(false));
     let flaky = failing_backing(driver.clone(), armed.clone());
-    let cache = make_sharded_block_cache(flaky, 2, 1);
+    let cache = StackBuilder::on(flaky).cache(2).build().unwrap().top;
     cache
         .invoke("blockdev", "write", &[Value::Int(0), sector_of(0xAA)])
         .unwrap();
@@ -273,7 +281,7 @@ fn failed_write_many_applies_nothing() {
     let (_mem, driver) = fresh_driver();
     let armed = Arc::new(AtomicBool::new(false));
     let flaky = failing_backing(driver.clone(), armed.clone());
-    let cache = make_sharded_block_cache(flaky, 2, 1);
+    let cache = StackBuilder::on(flaky).cache(2).build().unwrap().top;
     cache
         .invoke("blockdev", "write", &[Value::Int(0), sector_of(0xAA)])
         .unwrap();
@@ -304,7 +312,11 @@ fn oversized_write_many_streams_through_in_one_backing_call() {
     // A batch larger than the cache bypasses it as one vectorized
     // write-through instead of thrashing every line.
     let (_mem, driver) = fresh_driver();
-    let cache = make_sharded_block_cache(driver.clone(), 8, 1);
+    let cache = StackBuilder::on(driver.clone())
+        .cache(8)
+        .build()
+        .unwrap()
+        .top;
     cache
         .invoke("blockdev", "write", &[Value::Int(0), sector_of(0x01)])
         .unwrap();
@@ -352,7 +364,11 @@ fn batched_flush_beats_per_sector_writes_on_invocations_and_cost() {
 
     // Batched: 256 dirty lines, one coalesced flush.
     let (mem_b, driver_b) = fresh_driver();
-    let cache = make_sharded_block_cache(driver_b.clone(), 512, 8);
+    let cache = StackBuilder::on(driver_b.clone())
+        .sharded_cache(512, 8)
+        .build()
+        .unwrap()
+        .top;
     for sec in 0..N {
         cache
             .invoke("blockdev", "write", &[Value::Int(sec), sector_of(1)])
@@ -386,7 +402,9 @@ fn multi_client_stress_through_interposition() {
     n.repository.add_native("disk-driver", "1.0", {
         let mem = n.mem.clone();
         Arc::new(move || {
-            make_disk_driver(&mem, KERNEL_DOMAIN)
+            StackBuilder::disk(&mem, KERNEL_DOMAIN)
+                .build()
+                .map(|stack| stack.top)
                 .map_err(|e| paramecium::obj::ObjError::failed(e.to_string()))
         })
     });
@@ -396,7 +414,11 @@ fn multi_client_stress_through_interposition() {
     n.load("disk-driver", &LoadOptions::kernel("/dev/disk"))
         .unwrap();
     let raw = n.bind(KERNEL_DOMAIN, "/dev/disk").unwrap();
-    let cache = make_sharded_block_cache(raw, 32, 4);
+    let cache = StackBuilder::on(raw)
+        .sharded_cache(32, 4)
+        .build()
+        .unwrap()
+        .top;
     n.interpose(KERNEL_DOMAIN, "/dev/disk", cache).unwrap();
 
     let clients: Vec<ObjRef> = (0..4)

@@ -13,7 +13,7 @@
 use paramecium::machine::dev::disk::SECTOR_SIZE;
 use paramecium::pool::WorldPool;
 use paramecium::prelude::*;
-use paramecium::store::{make_disk_driver, make_sharded_block_cache};
+use paramecium::store::StackBuilder;
 use rand::Rng;
 
 const WORLDS: usize = 8;
@@ -76,8 +76,11 @@ fn run(threads: usize) -> Vec<String> {
     let mut caches = Vec::with_capacity(WORLDS);
     let mut recorders = Vec::with_capacity(WORLDS);
     for w in pool.worlds() {
-        let driver = make_disk_driver(&w.world.nucleus.mem, KERNEL_DOMAIN).unwrap();
-        let cache = make_sharded_block_cache(driver, 32, 4);
+        let cache = StackBuilder::disk(&w.world.nucleus.mem, KERNEL_DOMAIN)
+            .sharded_cache(32, 4)
+            .build()
+            .unwrap()
+            .top;
         let rec = recorder();
         w.cross.register_handler("ring", rec.clone());
         caches.push(cache);
