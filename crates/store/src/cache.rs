@@ -335,6 +335,15 @@ struct CacheShared {
     /// Per-shard line capacity (uniform across shards), readable without
     /// any lock for batch planning.
     per_shard: usize,
+    /// Largest batch the backing store accepts as one `write_many` —
+    /// a journal below bounds it by its log capacity (its `write_limit`
+    /// method); a backing without the method is unbounded
+    /// (`usize::MAX`). Probed once at build time. Every internal
+    /// writeback path chunks to this, so a flush of more dirty lines
+    /// than one journal transaction can carry degrades into several
+    /// transactions instead of an unservable oversized one that would
+    /// leave the lines dirty forever.
+    write_limit: usize,
     /// Backing device size, fetched lazily on the first dirty write and
     /// used to reject out-of-range writes up front — an unwritable sector
     /// must never become a dirty line, or it would poison every later
@@ -381,6 +390,22 @@ impl CacheShared {
         }
         Ok(())
     }
+}
+
+/// Writes an internal writeback `batch` (sector-sorted by the caller)
+/// to the backing store, split into sub-batches no larger than the
+/// backing's atomic-write limit (see `CacheShared::write_limit`).
+/// Writeback needs every sector durable, not one atomic unit, so the
+/// split never weakens a guarantee — client-visible atomicity comes
+/// from the transaction verbs, which bypass this path entirely. Against
+/// an unbounded backing this is exactly one `write_many`.
+fn write_back_chunked(shared: &CacheShared, batch: &[(i64, Bytes)]) -> ObjResult<()> {
+    for chunk in batch.chunks(shared.write_limit) {
+        shared
+            .backing
+            .invoke("blockdev", "write_many", &[pairs_arg(chunk.to_vec())])?;
+    }
+    Ok(())
 }
 
 /// Outcome of one locked reservation attempt in [`insert_line`].
@@ -475,10 +500,7 @@ fn insert_line(
             .collect();
         batch.sort_unstable_by_key(|(sec, _)| *sec);
         let written = batch.len() as u64;
-        match shared
-            .backing
-            .invoke("blockdev", "write_many", &[pairs_arg(batch)])
-        {
+        match write_back_chunked(shared, &batch) {
             Ok(_) => {
                 let mut sh = shared.shard(sector);
                 sh.writebacks += written;
@@ -636,12 +658,11 @@ fn cache_write_many(shared: &CacheShared, pairs: &[(i64, Bytes)]) -> ObjResult<V
     if !fits {
         // Streaming write-through: one sector-sorted backing write (a
         // stable sort keeps duplicate-sector order, so last-wins is
-        // preserved), then refresh any resident lines as clean.
+        // preserved — chunks land in order, so it survives the split
+        // too), then refresh any resident lines as clean.
         let mut batch: Vec<(i64, Bytes)> = pairs.to_vec();
         batch.sort_by_key(|(sec, _)| *sec);
-        shared
-            .backing
-            .invoke("blockdev", "write_many", &[pairs_arg(batch)])?;
+        write_back_chunked(shared, &batch)?;
         let mut by_shard: Vec<Vec<&(i64, Bytes)>> = vec![Vec::new(); shared.shards.len()];
         for pair in pairs {
             by_shard[shared.shard_of(pair.0)].push(pair);
@@ -693,10 +714,7 @@ fn cache_write_many(shared: &CacheShared, pairs: &[(i64, Bytes)]) -> ObjResult<V
         }
         let mut batch = victims.clone();
         batch.sort_unstable_by_key(|(sec, _)| *sec);
-        match shared
-            .backing
-            .invoke("blockdev", "write_many", &[pairs_arg(batch)])
-        {
+        match write_back_chunked(shared, &batch) {
             Ok(_) => {
                 for (sec, _) in &victims {
                     shared.shard(*sec).writebacks += 1;
@@ -759,9 +777,7 @@ fn cache_write_many(shared: &CacheShared, pairs: &[(i64, Bytes)]) -> ObjResult<V
     }
     if !displaced.is_empty() {
         displaced.sort_unstable_by_key(|(sec, _)| *sec);
-        shared
-            .backing
-            .invoke("blockdev", "write_many", &[pairs_arg(displaced.clone())])?;
+        write_back_chunked(shared, &displaced)?;
         for (sec, _) in &displaced {
             shared.shard(*sec).writebacks += 1;
         }
@@ -779,21 +795,28 @@ fn cache_flush(shared: &CacheShared) -> ObjResult<Value> {
     if dirty.is_empty() {
         return Ok(Value::Int(0));
     }
-    // Elevator order: one sector-sorted vectorized write.
-    let mut batch: Vec<(i64, Bytes)> = dirty
-        .iter()
-        .map(|(sec, data, _)| (*sec, data.clone()))
-        .collect();
-    batch.sort_unstable_by_key(|(sec, _)| *sec);
-    shared
-        .backing
-        .invoke("blockdev", "write_many", &[pairs_arg(batch)])?;
-    for (sec, _, version) in &dirty {
-        // Clean bits only now that the write succeeded, attributing the
-        // writeback to the shard that owned the line.
-        let mut sh = shared.shard(*sec);
-        sh.mark_clean_if_unchanged(*sec, *version);
-        sh.writebacks += 1;
+    // Elevator order, chunked to the backing's atomic-write limit: a
+    // journal below takes each chunk as one log transaction, so a flush
+    // of more dirty lines than its log can hold in a single record
+    // still drains completely. Lines are marked clean per landed chunk,
+    // so a failure mid-flush leaves exactly the unwritten lines dirty
+    // for the retry.
+    dirty.sort_unstable_by_key(|(sec, _, _)| *sec);
+    for chunk in dirty.chunks(shared.write_limit) {
+        let batch: Vec<(i64, Bytes)> = chunk
+            .iter()
+            .map(|(sec, data, _)| (*sec, data.clone()))
+            .collect();
+        shared
+            .backing
+            .invoke("blockdev", "write_many", &[pairs_arg(batch)])?;
+        for (sec, _, version) in chunk {
+            // Clean bits only now that the write succeeded, attributing
+            // the writeback to the shard that owned the line.
+            let mut sh = shared.shard(*sec);
+            sh.mark_clean_if_unchanged(*sec, *version);
+            sh.writebacks += 1;
+        }
     }
     Ok(Value::Int(dirty.len() as i64))
 }
@@ -840,6 +863,16 @@ pub fn make_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize)
 pub(crate) fn build_sharded_block_cache(backing: ObjRef, capacity: usize, shards: usize) -> ObjRef {
     let nshards = shards.max(1).next_power_of_two();
     let per_shard = capacity.max(1).div_ceil(nshards);
+    // One build-time probe (not per flush, so invocation-counting tests
+    // and benches see only the writebacks themselves): a backing that
+    // does not export `write_limit` takes unbounded batches.
+    let write_limit = backing
+        .invoke("blockdev", "write_limit", &[])
+        .ok()
+        .and_then(|v| v.as_int().ok())
+        .filter(|&n| n > 0)
+        .map(|n| n as usize)
+        .unwrap_or(usize::MAX);
     let shared = Arc::new(CacheShared {
         backing,
         shards: (0..nshards)
@@ -847,6 +880,7 @@ pub(crate) fn build_sharded_block_cache(backing: ObjRef, capacity: usize, shards
             .collect(),
         shard_mask: nshards as u64 - 1,
         per_shard,
+        write_limit,
         total_sectors: OnceLock::new(),
         txn_sectors: Mutex::new(HashMap::new()),
     });
@@ -1423,6 +1457,57 @@ mod tests {
         cache.invoke("blockdev", "abort", &txn_arg(t2)).unwrap();
         let v = cache.invoke("blockdev", "read", &[Value::Int(5)]).unwrap();
         assert_eq!(v.as_bytes().unwrap()[0], 0);
+    }
+
+    #[test]
+    fn flush_chunks_to_the_backing_write_limit() {
+        // Regression: flush used to send every dirty line as ONE
+        // write_many. Under a journal that is a single log transaction,
+        // so any dirty set larger than the log's capacity failed — and
+        // since failed flushes leave lines dirty, durability wedged
+        // permanently. The cache must chunk to the probed write_limit.
+        use crate::JournalConfig;
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let mem = Arc::new(MemService::new(machine));
+        let stack = StackBuilder::disk(&mem, KERNEL_DOMAIN)
+            .journal(JournalConfig { log_sectors: 8 }) // 6-sector txn limit
+            .cache(16)
+            .build()
+            .unwrap();
+        let j = stack.journal.as_ref().unwrap();
+        assert_eq!(
+            j.invoke("blockdev", "write_limit", &[]).unwrap(),
+            Value::Int(6)
+        );
+        for sec in 0..10i64 {
+            stack
+                .top
+                .invoke(
+                    "blockdev",
+                    "write",
+                    &[Value::Int(sec), sector_of(0x90 + sec as u8)],
+                )
+                .unwrap();
+        }
+        // 10 dirty lines > the 6-sector limit: the flush must split into
+        // two journal transactions instead of failing one oversized one.
+        assert_eq!(
+            stack.top.invoke("cache", "flush", &[]).unwrap(),
+            Value::Int(10)
+        );
+        let s = j.invoke("journal", "stats", &[]).unwrap();
+        let s = s.as_list().unwrap();
+        assert_eq!(s[0], Value::Int(2), "two chunked commits");
+        // Nothing left dirty, and a full-stack flush homes everything.
+        assert_eq!(stack.top.invoke("cache", "flush", &[]).unwrap(), Value::Int(0));
+        stack.top.invoke("blockdev", "flush", &[]).unwrap();
+        for sec in 0..10i64 {
+            let v = stack
+                .driver
+                .invoke("blockdev", "read", &[Value::Int(sec)])
+                .unwrap();
+            assert_eq!(v.as_bytes().unwrap()[0], 0x90 + sec as u8);
+        }
     }
 
     #[test]

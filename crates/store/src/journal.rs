@@ -46,7 +46,11 @@
 //! simply queue; the next leader takes them all in one more append. N
 //! concurrent small commits thus reach the platter in far fewer than N
 //! device invocations — the `journal` interface's `stats` reports both
-//! counters so tests and benches can measure the batching factor.
+//! counters so tests and benches can measure the batching factor. A
+//! group whose *combined* records outgrow the log (each member fits
+//! alone — that is the commit-time admission check) is split at
+//! transaction boundaries into sequential appends, checkpointing
+//! between them when the log fills.
 //!
 //! Committed-but-unhomed payloads are served from an in-memory overlay
 //! until a checkpoint homes them, so reads through the journal always
@@ -240,6 +244,18 @@ impl JournalShared {
         (n.div_ceil(DESC_CAPACITY) + n + 1) as i64
     }
 
+    /// Most payload sectors one transaction can carry — the mirror of
+    /// [`Self::slots_needed`]: the largest `n` whose record sectors fit
+    /// an empty log. Exported as the `write_limit` blockdev method so
+    /// upper layers (the cache) can bound their writeback batches.
+    fn txn_capacity(&self) -> i64 {
+        let mut n = (self.geo.log_len - 2).max(0);
+        while n > 0 && Self::slots_needed(n as usize) > self.geo.log_len {
+            n -= 1;
+        }
+        n
+    }
+
     /// Serialises `txns` into log sectors starting at `head`, returning
     /// the absolute `(sector, data)` batch. Each transaction ends with
     /// its own commit marker, so a crash part-way through the batch
@@ -389,9 +405,15 @@ impl JournalShared {
             (inner.epoch, writes)
         };
         if writes.is_empty() {
-            // Nothing committed since the last checkpoint: the log may
-            // still hold stale slots, but truncating would cost two
-            // writes for nothing. Only reset the in-memory head.
+            // Nothing committed since the last checkpoint, so there is
+            // nothing to home and no epoch to retire. The overlay is
+            // only ever empty right after a reset (mount, checkpoint),
+            // when the head is already 0 — assert that invariant, and
+            // re-pin it in release builds so [`Self::append_group`]'s
+            // checkpoint-then-retry loop always regains log space.
+            let mut inner = self.inner.lock();
+            debug_assert_eq!(inner.head, 0, "empty overlay implies an empty log");
+            inner.head = 0;
             return Ok(0);
         }
         let homed = self.home_and_truncate(epoch, &writes)?;
@@ -408,10 +430,11 @@ impl JournalShared {
     /// Returns once the commit marker is durable (or delivery of the
     /// group's failure).
     fn commit_writes(&self, txn: u64, writes: Vec<(i64, Bytes)>) -> ObjResult<()> {
-        let need = Self::slots_needed(writes.len());
-        if need > self.geo.log_len {
+        let limit = self.txn_capacity();
+        if writes.len() as i64 > limit {
             return Err(ObjError::failed(format!(
-                "transaction of {} sectors cannot fit a {}-sector log",
+                "transaction of {} sectors exceeds the {}-sector log's \
+                 {limit}-sector transaction limit",
                 writes.len(),
                 self.geo.log_len
             )));
@@ -438,23 +461,17 @@ impl JournalShared {
             // Become the leader: drain the whole queue into one append.
             inner.flushing = true;
             let group: Vec<PendingTxn> = std::mem::take(&mut inner.pending);
-            let epoch = inner.epoch;
-            let head = inner.head;
             drop(inner);
-            let result = self.append_group(epoch, head, &group);
+            let result = self.append_group(&group);
             let mut inner = self.inner.lock();
             let top_seq = group.iter().map(|p| p.seq).max().expect("non-empty group");
             match &result {
-                Ok((new_head, records)) => {
-                    inner.head = *new_head;
+                Ok((records, appends)) => {
+                    // Head and overlay were updated per sub-batch inside
+                    // append_group; only the counters are left.
                     inner.commits += group.len() as u64;
-                    inner.group_appends += 1;
+                    inner.group_appends += appends;
                     inner.appended_records += records;
-                    for p in &group {
-                        for (sec, data) in &p.writes {
-                            inner.overlay.insert(*sec, data.clone());
-                        }
-                    }
                 }
                 Err(e) => {
                     // The group append failed (e.g. power loss). Nothing
@@ -474,39 +491,65 @@ impl JournalShared {
         }
     }
 
-    /// Appends `group` at `head` (checkpointing first if the log is
-    /// full), returning the new head and the record-sector count. The
-    /// caller holds the flush token.
-    fn append_group(&self, epoch: u64, head: i64, group: &[PendingTxn]) -> ObjResult<(i64, u64)> {
-        let need: i64 = group
-            .iter()
-            .map(|p| Self::slots_needed(p.writes.len()))
-            .sum();
-        let (epoch, head) = if head + need > self.geo.log_len {
-            // Log full: checkpoint inline. The token is already ours.
-            let (cur_epoch, writes) = {
-                let inner = self.inner.lock();
-                let writes: Vec<(i64, Bytes)> = inner
-                    .overlay
-                    .iter()
-                    .map(|(sec, d)| (*sec, d.clone()))
-                    .collect();
-                (inner.epoch, writes)
-            };
-            self.home_and_truncate(cur_epoch, &writes)?;
-            let mut inner = self.inner.lock();
-            inner.epoch += 1;
-            inner.head = 0;
-            inner.overlay.clear();
-            inner.checkpoints += 1;
-            (inner.epoch, 0)
-        } else {
-            (epoch, head)
+    /// Appends `group` to the log, returning the record-sector and
+    /// device-append counts. The caller holds the flush token.
+    ///
+    /// The group is split at transaction boundaries into sequential
+    /// sub-batches that each fit the remaining log, checkpointing inline
+    /// whenever the next transaction does not — so a coalesced group
+    /// whose *combined* size exceeds the log (every member fits alone,
+    /// per [`Self::commit_writes`]'s admission check) still commits,
+    /// just in more than one device invocation. Head and overlay are
+    /// advanced after every sub-batch lands: the inline checkpoint homes
+    /// the overlay, so the earlier sub-batches' transactions must
+    /// already be in it or the epoch bump would silently discard them.
+    fn append_group(&self, group: &[PendingTxn]) -> ObjResult<(u64, u64)> {
+        let (mut epoch, mut head) = {
+            let inner = self.inner.lock();
+            (inner.epoch, inner.head)
         };
-        let batch = self.encode_group(epoch, head, group);
-        let records = batch.len() as u64;
-        self.write_backing(batch)?;
-        Ok((head + need, records))
+        let mut records = 0u64;
+        let mut appends = 0u64;
+        let mut i = 0;
+        while i < group.len() {
+            // Longest prefix of the remaining transactions that fits.
+            let mut j = i;
+            let mut need = 0i64;
+            while j < group.len() {
+                let n = Self::slots_needed(group[j].writes.len());
+                if head + need + n > self.geo.log_len {
+                    break;
+                }
+                need += n;
+                j += 1;
+            }
+            if j == i {
+                // Not even one transaction fits the remaining log:
+                // checkpoint inline (the token is already ours) and
+                // retry. The admission check guarantees progress — every
+                // transaction fits an empty log.
+                debug_assert!(head > 0, "admitted transaction cannot fit an empty log");
+                self.checkpoint_locked_out()?;
+                let inner = self.inner.lock();
+                epoch = inner.epoch;
+                head = inner.head;
+                continue;
+            }
+            let batch = self.encode_group(epoch, head, &group[i..j]);
+            records += batch.len() as u64;
+            appends += 1;
+            self.write_backing(batch)?;
+            head += need;
+            let mut inner = self.inner.lock();
+            inner.head = head;
+            for p in &group[i..j] {
+                for (sec, data) in &p.writes {
+                    inner.overlay.insert(*sec, data.clone());
+                }
+            }
+            i = j;
+        }
+        Ok((records, appends))
     }
 }
 
@@ -523,6 +566,14 @@ impl JournalShared {
 /// - `scan() -> int` (read-only committed-transaction count, for tests
 ///   and benches).
 pub fn mount_journal(backing: ObjRef, cfg: JournalConfig) -> ObjResult<ObjRef> {
+    let s = mount_shared(backing, cfg)?;
+    Ok(build_journal_object(s))
+}
+
+/// The mount itself — geometry resolution, superblock election, replay,
+/// truncation — without the object wrapper, so unit tests can reach the
+/// internal state machine ([`JournalShared::append_group`] and friends).
+fn mount_shared(backing: ObjRef, cfg: JournalConfig) -> ObjResult<Arc<JournalShared>> {
     let total = backing.invoke("blockdev", "sectors", &[])?.as_int()?;
     let log_len = cfg.log_sectors;
     if log_len < 4 || log_len + 2 >= total {
@@ -586,15 +637,19 @@ pub fn mount_journal(backing: ObjRef, cfg: JournalConfig) -> ObjResult<ObjRef> {
         inner.epoch = epoch;
         inner.replayed = replayed;
     }
+    Ok(shared)
+}
 
-    let s = shared;
-    Ok(ObjectBuilder::new("journal")
+/// Wraps a mounted journal in its `blockdev` + `journal` object.
+fn build_journal_object(s: Arc<JournalShared>) -> ObjRef {
+    ObjectBuilder::new("journal")
         .interface("blockdev", |i| {
             let s_read = s.clone();
             let s_write = s.clone();
             let s_read_many = s.clone();
             let s_write_many = s.clone();
             let s_sectors = s.clone();
+            let s_limit = s.clone();
             let s_stats = s.clone();
             let s_flush = s.clone();
             let s_barrier = s.clone();
@@ -705,6 +760,12 @@ pub fn mount_journal(backing: ObjRef, cfg: JournalConfig) -> ObjResult<ObjRef> {
             .method("sectors", &[], TypeTag::Int, move |_, _| {
                 Ok(Value::Int(s_sectors.geo.data_sectors))
             })
+            .method("write_limit", &[], TypeTag::Int, move |_, _| {
+                // Largest write_many batch (= transaction payload) the
+                // log can hold as one atomic record. Upper layers chunk
+                // their non-atomic writeback batches to this.
+                Ok(Value::Int(s_limit.txn_capacity()))
+            })
             .method("stats", &[], TypeTag::List, move |_, _| {
                 s_stats.backing.invoke("blockdev", "stats", &[])
             })
@@ -811,7 +872,7 @@ pub fn mount_journal(backing: ObjRef, cfg: JournalConfig) -> ObjResult<ObjRef> {
                 Ok(Value::Int(committed.len() as i64))
             })
         })
-        .build())
+        .build()
 }
 
 /// Allocates an internal transaction id for an implicit (bare-write)
@@ -1006,6 +1067,140 @@ mod tests {
                 &[Value::Int(data_sectors + 1), sector_of(1)]
             )
             .is_err());
+    }
+
+    #[test]
+    fn oversized_group_splits_and_checkpoints_between_appends() {
+        // Regression: commit_writes admits each transaction alone, but a
+        // coalesced group's combined records can outgrow the log. The
+        // leader must split the group at transaction boundaries, not
+        // encode past the device end and fail every member's commit.
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let mem = Arc::new(MemService::new(machine));
+        let driver = StackBuilder::disk(&mem, KERNEL_DOMAIN)
+            .build()
+            .unwrap()
+            .top;
+        let cfg = JournalConfig { log_sectors: 16 };
+        let s = mount_shared(driver.clone(), cfg).unwrap();
+        // A 6-write transaction needs 8 slots (desc + 6 payloads +
+        // commit): two fit the 16-slot log together, three do not.
+        let group: Vec<PendingTxn> = (0..3u64)
+            .map(|t| PendingTxn {
+                seq: t + 1,
+                txn: t + 1,
+                writes: (0..6i64)
+                    .map(|k| {
+                        (
+                            t as i64 * 6 + k,
+                            Bytes::from(vec![0x60 + t as u8; SECTOR_SIZE]),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        s.inner.lock().flushing = true; // what a leader would hold
+        let (records, appends) = s.append_group(&group).unwrap();
+        s.release_flush_token();
+        assert_eq!(records, 24, "8 record sectors per transaction");
+        assert_eq!(appends, 2, "split into two sequential appends");
+        {
+            let inner = s.inner.lock();
+            assert_eq!(inner.checkpoints, 1, "inline checkpoint between them");
+            assert_eq!(inner.head, 8, "only the third transaction in the new log");
+            assert_eq!(inner.overlay.len(), 6);
+        }
+        // The checkpoint homed the first two transactions — the epoch
+        // bump must not have discarded them.
+        for sec in 0..12i64 {
+            let v = driver
+                .invoke("blockdev", "read", &[Value::Int(sec)])
+                .unwrap();
+            assert_eq!(v.as_bytes().unwrap()[0], 0x60 + (sec / 6) as u8);
+        }
+        // And the third is committed on disk: a fresh mount replays it.
+        drop(s);
+        let s2 = mount_shared(driver.clone(), cfg).unwrap();
+        assert_eq!(s2.inner.lock().replayed, 1);
+        for sec in 12..18i64 {
+            let v = driver
+                .invoke("blockdev", "read", &[Value::Int(sec)])
+                .unwrap();
+            assert_eq!(v.as_bytes().unwrap()[0], 0x62);
+        }
+    }
+
+    #[test]
+    fn concurrent_commits_that_outgrow_the_log_together_all_succeed() {
+        // The same overflow through the public interface: concurrent
+        // committers whose transactions fit individually must never see
+        // a spurious commit error just because they were coalesced.
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let mem = Arc::new(MemService::new(machine));
+        let stack = StackBuilder::disk(&mem, KERNEL_DOMAIN)
+            .journal(JournalConfig { log_sectors: 16 })
+            .build()
+            .unwrap();
+        let top = stack.top.clone();
+        let start = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4u8)
+            .map(|t| {
+                let top = top.clone();
+                let start = start.clone();
+                std::thread::spawn(move || {
+                    start.wait();
+                    for round in 0..8i64 {
+                        let pairs: Vec<(i64, Bytes)> = (0..6i64)
+                            .map(|k| {
+                                (
+                                    t as i64 * 48 + round * 6 + k,
+                                    Bytes::from(vec![0xB0 + t; SECTOR_SIZE]),
+                                )
+                            })
+                            .collect();
+                        top.invoke("blockdev", "write_many", &[pairs_arg(pairs)])
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        top.invoke("blockdev", "flush", &[]).unwrap();
+        for t in 0..4i64 {
+            for k in 0..48i64 {
+                let v = stack
+                    .driver
+                    .invoke("blockdev", "read", &[Value::Int(t * 48 + k)])
+                    .unwrap();
+                assert_eq!(v.as_bytes().unwrap()[0], 0xB0 + t as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn write_limit_reports_the_transaction_capacity() {
+        let (_mem, _driver, j) = setup();
+        let limit = j
+            .invoke("blockdev", "write_limit", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        // Default 126-slot log: 122 payloads + 3 descriptors + 1 commit.
+        assert_eq!(limit, 122);
+        // The limit is exact: a write_many of `limit` commits, one more
+        // is rejected.
+        let pairs: Vec<(i64, Bytes)> = (0..=limit)
+            .map(|sec| (sec, Bytes::from(vec![0x31; SECTOR_SIZE])))
+            .collect();
+        assert!(j
+            .invoke("blockdev", "write_many", &[pairs_arg(pairs.clone())])
+            .is_err());
+        let n = j
+            .invoke("blockdev", "write_many", &[pairs_arg(pairs[..limit as usize].to_vec())])
+            .unwrap();
+        assert_eq!(n, Value::Int(limit));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! | `read_many` | `(sectors: list[int]) -> list[bytes]` | one batched request, results in request order |
 //! | `write_many` | `(pairs: list[[int, bytes]]) -> int` | one batched request; atomic under a journal |
 //! | `sectors` | `() -> int` | client-visible device size |
+//! | `write_limit` | `() -> int` | largest `write_many` batch accepted as one atomic unit (journal only; layers without the method are unbounded) |
 //! | `stats` | `() -> list` | `[reads, writes]` of the bottom driver |
 //! | `flush` | `() -> int` | push all volatile/logged state to home locations (cache writeback, journal checkpoint); returns sectors homed |
 //! | `barrier` | `() -> unit` | ordering point: everything acknowledged before the call is durable when it returns |

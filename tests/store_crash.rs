@@ -442,6 +442,80 @@ fn flush_homes_cache_dirty_data_before_checkpoint_truncates() {
 }
 
 #[test]
+fn flush_of_more_dirty_lines_than_one_log_transaction_succeeds() {
+    // Regression: the cache used to write back every dirty line as one
+    // `write_many`, which the journal takes as a single log transaction.
+    // With the documented stack (default 126-slot log, 256-line cache)
+    // any flush of more than ~122 dirty lines failed — and because a
+    // failed flush leaves lines dirty, every retry failed too:
+    // durability was permanently wedged. The cache now probes the
+    // journal's `write_limit` and chunks.
+    let machine = Arc::new(Mutex::new(Machine::new()));
+    let mem = Arc::new(MemService::new(machine));
+    let stack = StackBuilder::disk(&mem, KERNEL_DOMAIN)
+        .journal(JournalConfig::default())
+        .sharded_cache(256, 4)
+        .build()
+        .unwrap();
+    let limit = stack
+        .journal
+        .as_ref()
+        .unwrap()
+        .invoke("blockdev", "write_limit", &[])
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert!(limit < 200, "premise: the dirty set must exceed one transaction");
+    for sec in 0..200i64 {
+        stack
+            .top
+            .invoke("blockdev", "write", &[Value::Int(sec), sector_of(sec as u8)])
+            .unwrap();
+    }
+    // Flush drains all 200 lines through several journal transactions
+    // and the checkpoint homes them.
+    stack.top.invoke("blockdev", "flush", &[]).unwrap();
+    for sec in 0..200i64 {
+        let v = stack
+            .driver
+            .invoke("blockdev", "read", &[Value::Int(sec)])
+            .unwrap();
+        assert_eq!(v.as_bytes().unwrap()[0], sec as u8, "sector {sec} homed");
+    }
+    // The barrier path chunks the same way, and everything it
+    // acknowledged survives a reboot.
+    for sec in 0..200i64 {
+        stack
+            .top
+            .invoke(
+                "blockdev",
+                "write",
+                &[Value::Int(sec), sector_of((sec as u8).wrapping_add(0x5A))],
+            )
+            .unwrap();
+    }
+    stack.top.invoke("blockdev", "barrier", &[]).unwrap();
+    drop(stack);
+    mem.machine().lock().reboot();
+    let stack = StackBuilder::disk(&mem, KERNEL_DOMAIN)
+        .journal(JournalConfig::default())
+        .sharded_cache(256, 4)
+        .build()
+        .unwrap();
+    for sec in 0..200i64 {
+        let v = stack
+            .top
+            .invoke("blockdev", "read", &[Value::Int(sec)])
+            .unwrap();
+        assert_eq!(
+            v.as_bytes().unwrap()[0],
+            (sec as u8).wrapping_add(0x5A),
+            "sector {sec} durable after the barrier"
+        );
+    }
+}
+
+#[test]
 fn group_commit_coalesces_concurrent_commits() {
     const THREADS: usize = 4;
     const WRITES_PER_THREAD: usize = 8;
