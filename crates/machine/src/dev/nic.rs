@@ -9,6 +9,8 @@
 
 use std::collections::VecDeque;
 
+use bytes::Bytes;
+
 use crate::{cost::Cycles, irq::IrqController, MachineError, MachineResult};
 
 use super::Device;
@@ -40,8 +42,9 @@ pub mod regs {
 
 /// A simulated NIC.
 pub struct Nic {
-    rx: VecDeque<Vec<u8>>,
-    tx_log: VecDeque<Vec<u8>>,
+    name: String,
+    rx: VecDeque<Bytes>,
+    tx_log: VecDeque<Bytes>,
     rx_total: u64,
     rx_dropped: u64,
     tx_total: u64,
@@ -58,9 +61,17 @@ impl Default for Nic {
 }
 
 impl Nic {
-    /// Creates an idle NIC with interrupts enabled.
+    /// Creates the machine's primary NIC (device name `"nic"`) with
+    /// interrupts enabled.
     pub fn new() -> Self {
+        Self::named("nic")
+    }
+
+    /// Creates an additional NIC under its own device name, so a machine
+    /// can model a multi-homed host (e.g. a router spanning two wires).
+    pub fn named(name: impl Into<String>) -> Self {
         Nic {
+            name: name.into(),
             rx: VecDeque::new(),
             tx_log: VecDeque::new(),
             rx_total: 0,
@@ -74,7 +85,8 @@ impl Nic {
     /// Host-side: a frame arrives from the wire.
     ///
     /// Returns `false` if the ring was full and the frame was dropped.
-    pub fn inject_rx(&mut self, frame: Vec<u8>) -> bool {
+    pub fn inject_rx(&mut self, frame: impl Into<Bytes>) -> bool {
+        let frame = frame.into();
         self.rx_total += 1;
         if frame.len() > MAX_FRAME || self.rx.len() >= RX_RING {
             self.rx_dropped += 1;
@@ -85,14 +97,15 @@ impl Nic {
         true
     }
 
-    /// Driver-side: takes the frame at the head of the RX ring (models the
-    /// DMA copy out of the on-device buffer).
-    pub fn rx_take(&mut self) -> Option<Vec<u8>> {
+    /// Driver-side: takes the frame at the head of the RX ring. Frames are
+    /// refcounted views, so this hands the buffer up without copying.
+    pub fn rx_take(&mut self) -> Option<Bytes> {
         self.rx.pop_front()
     }
 
     /// Driver-side: transmits a frame.
-    pub fn tx(&mut self, frame: Vec<u8>) -> MachineResult<()> {
+    pub fn tx(&mut self, frame: impl Into<Bytes>) -> MachineResult<()> {
+        let frame = frame.into();
         if frame.len() > MAX_FRAME {
             return Err(MachineError::Device(format!(
                 "nic: frame of {} bytes exceeds MTU",
@@ -105,7 +118,7 @@ impl Nic {
     }
 
     /// Host-side: drains one transmitted frame (the wire's view).
-    pub fn tx_take(&mut self) -> Option<Vec<u8>> {
+    pub fn tx_take(&mut self) -> Option<Bytes> {
         self.tx_log.pop_front()
     }
 
@@ -122,7 +135,7 @@ impl Nic {
 
 impl Device for Nic {
     fn name(&self) -> &str {
-        "nic"
+        &self.name
     }
 
     fn read_reg(&mut self, offset: u64) -> MachineResult<u32> {
@@ -181,7 +194,7 @@ mod tests {
         assert!(nic.inject_rx(vec![1, 2, 3]));
         nic.tick(0, &mut irq);
         assert_eq!(irq.acknowledge(), Some(NIC_IRQ));
-        assert_eq!(nic.rx_take(), Some(vec![1, 2, 3]));
+        assert_eq!(nic.rx_take().unwrap(), vec![1, 2, 3]);
         assert_eq!(nic.rx_take(), None);
     }
 
@@ -221,8 +234,8 @@ mod tests {
         let mut nic = Nic::new();
         nic.tx(vec![1]).unwrap();
         nic.tx(vec![2]).unwrap();
-        assert_eq!(nic.tx_take(), Some(vec![1]));
-        assert_eq!(nic.tx_take(), Some(vec![2]));
+        assert_eq!(nic.tx_take().unwrap(), vec![1]);
+        assert_eq!(nic.tx_take().unwrap(), vec![2]);
         assert_eq!(nic.tx_take(), None);
         assert_eq!(nic.read_reg(regs::TX_TOTAL).unwrap(), 2);
     }

@@ -1,0 +1,334 @@
+//! The ARP object: address resolution as an interposable netdev layer.
+//!
+//! [`make_arp`] wraps any `netdev`-exporting object (the NIC driver, a
+//! monitor, a [`crate::simlink`] endpoint) and exports **both** the same
+//! `netdev` interface and an `arp` interface. Protocol objects above it
+//! (`udp`, `tcp`) keep talking plain `netdev`; ARP traffic never reaches
+//! them — requests addressed to this host are answered in-line from
+//! `recv`, replies and gratuitous announcements populate the cache, and
+//! everything else passes through untouched.
+//!
+//! The `arp` interface:
+//! - `resolve(ip: int) -> bytes` — 6-byte MAC on a cache hit; on a miss
+//!   broadcasts a request and returns empty (poll again after the reply
+//!   has had time to arrive),
+//! - `lookup(ip: int) -> bytes` — cache-only probe, no traffic,
+//! - `insert(ip: int, mac: bytes) -> unit` — static entry,
+//! - `announce() -> unit` — gratuitous ARP for our own address,
+//! - `stats() -> list [requests_tx, replies_tx, replies_rx, hits, misses,
+//!   entries]`.
+
+use std::collections::HashMap;
+
+use paramecium_obj::{ObjError, ObjRef, ObjectBuilder, TypeTag, Value};
+
+use crate::wire::{self, ArpPacket, EthHeader, Mac, ARP_OP_REPLY, ARP_OP_REQUEST, ETHERTYPE_ARP};
+
+/// ARP layer state.
+struct ArpState {
+    lower: ObjRef,
+    ip: u32,
+    mac: Mac,
+    cache: HashMap<u32, Mac>,
+    requests_tx: u64,
+    replies_tx: u64,
+    replies_rx: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ArpState {
+    fn send_lower(&self, frame: Vec<u8>) -> Result<(), ObjError> {
+        self.lower
+            .invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(frame))])?;
+        Ok(())
+    }
+
+    /// Handles an inbound ARP payload. Returns `true` if it was consumed.
+    fn absorb(&mut self, payload: &[u8]) -> Result<bool, ObjError> {
+        let Ok(pkt) = ArpPacket::parse(payload) else {
+            // Malformed ARP is consumed (counted nowhere to deliver it).
+            return Ok(true);
+        };
+        // Every valid ARP packet teaches us the sender's binding.
+        self.cache.insert(pkt.sender_ip, pkt.sender_mac);
+        match pkt.op {
+            ARP_OP_REQUEST if pkt.target_ip == self.ip => {
+                let reply = ArpPacket {
+                    op: ARP_OP_REPLY,
+                    sender_mac: self.mac,
+                    sender_ip: self.ip,
+                    target_mac: pkt.sender_mac,
+                    target_ip: pkt.sender_ip,
+                }
+                .to_frame(self.mac, pkt.sender_mac);
+                self.send_lower(reply)?;
+                self.replies_tx += 1;
+            }
+            ARP_OP_REPLY => self.replies_rx += 1,
+            _ => {}
+        }
+        Ok(true)
+    }
+}
+
+/// Builds the ARP layer over `lower`, owning protocol address `ip` with
+/// hardware address `mac`.
+pub fn make_arp(lower: ObjRef, ip: u32, mac: Mac) -> ObjRef {
+    ObjectBuilder::new("arp")
+        .state(ArpState {
+            lower,
+            ip,
+            mac,
+            cache: HashMap::new(),
+            requests_tx: 0,
+            replies_tx: 0,
+            replies_rx: 0,
+            hits: 0,
+            misses: 0,
+        })
+        .interface("netdev", |i| {
+            i.method("send", &[TypeTag::Bytes], TypeTag::Unit, |this, args| {
+                let lower = this.with_state(|s: &mut ArpState| Ok(s.lower.clone()))?;
+                lower.invoke("netdev", "send", args)
+            })
+            .method("recv", &[], TypeTag::Bytes, |this, _| {
+                // Pull from below until a non-ARP frame (or nothing) shows
+                // up; ARP frames are absorbed into the cache / answered.
+                let lower = this.with_state(|s: &mut ArpState| Ok(s.lower.clone()))?;
+                loop {
+                    let frame = lower.invoke("netdev", "recv", &[])?;
+                    let bytes = frame.as_bytes()?;
+                    if bytes.is_empty() {
+                        return Ok(frame);
+                    }
+                    let is_arp = matches!(
+                        EthHeader::parse(bytes),
+                        Ok((eth, _)) if eth.ethertype == ETHERTYPE_ARP
+                    );
+                    if !is_arp {
+                        return Ok(frame);
+                    }
+                    let payload = bytes.slice(wire::ETH_HLEN..bytes.len());
+                    this.with_state(|s: &mut ArpState| s.absorb(&payload))?;
+                }
+            })
+            .method("pending", &[], TypeTag::Int, |this, _| {
+                let lower = this.with_state(|s: &mut ArpState| Ok(s.lower.clone()))?;
+                lower.invoke("netdev", "pending", &[])
+            })
+            .method("stats", &[], TypeTag::List, |this, _| {
+                let lower = this.with_state(|s: &mut ArpState| Ok(s.lower.clone()))?;
+                lower.invoke("netdev", "stats", &[])
+            })
+        })
+        .interface("arp", |i| {
+            i.method("resolve", &[TypeTag::Int], TypeTag::Bytes, |this, args| {
+                let ip = args[0].as_int()? as u32;
+                this.with_state(|s: &mut ArpState| {
+                    if let Some(mac) = s.cache.get(&ip) {
+                        s.hits += 1;
+                        return Ok(Value::Bytes(bytes::Bytes::copy_from_slice(mac)));
+                    }
+                    s.misses += 1;
+                    let req = ArpPacket {
+                        op: ARP_OP_REQUEST,
+                        sender_mac: s.mac,
+                        sender_ip: s.ip,
+                        target_mac: [0; 6],
+                        target_ip: ip,
+                    }
+                    .to_frame(s.mac, wire::MAC_BROADCAST);
+                    s.send_lower(req)?;
+                    s.requests_tx += 1;
+                    Ok(Value::Bytes(bytes::Bytes::new()))
+                })
+            })
+            .method("lookup", &[TypeTag::Int], TypeTag::Bytes, |this, args| {
+                let ip = args[0].as_int()? as u32;
+                this.with_state(|s: &mut ArpState| {
+                    Ok(match s.cache.get(&ip) {
+                        Some(mac) => Value::Bytes(bytes::Bytes::copy_from_slice(mac)),
+                        None => Value::Bytes(bytes::Bytes::new()),
+                    })
+                })
+            })
+            .method(
+                "insert",
+                &[TypeTag::Int, TypeTag::Bytes],
+                TypeTag::Unit,
+                |this, args| {
+                    let ip = args[0].as_int()? as u32;
+                    let mac_bytes = args[1].as_bytes()?;
+                    let mac: Mac = mac_bytes
+                        .as_ref()
+                        .try_into()
+                        .map_err(|_| ObjError::failed("mac must be 6 bytes"))?;
+                    this.with_state(|s: &mut ArpState| {
+                        s.cache.insert(ip, mac);
+                        Ok(Value::Unit)
+                    })
+                },
+            )
+            .method("announce", &[], TypeTag::Unit, |this, _| {
+                this.with_state(|s: &mut ArpState| {
+                    let gratuitous = ArpPacket {
+                        op: ARP_OP_REQUEST,
+                        sender_mac: s.mac,
+                        sender_ip: s.ip,
+                        target_mac: [0; 6],
+                        target_ip: s.ip,
+                    }
+                    .to_frame(s.mac, wire::MAC_BROADCAST);
+                    s.send_lower(gratuitous)?;
+                    s.requests_tx += 1;
+                    Ok(Value::Unit)
+                })
+            })
+            .method("stats", &[], TypeTag::List, |this, _| {
+                this.with_state(|s: &mut ArpState| {
+                    Ok(Value::List(vec![
+                        Value::Int(s.requests_tx as i64),
+                        Value::Int(s.replies_tx as i64),
+                        Value::Int(s.replies_rx as i64),
+                        Value::Int(s.hits as i64),
+                        Value::Int(s.misses as i64),
+                        Value::Int(s.cache.len() as i64),
+                    ]))
+                })
+            })
+        })
+        .build()
+}
+
+/// Resolves `ip` through an object exporting `arp`, returning the MAC to
+/// address a frame to: the cached binding, or broadcast while resolution
+/// is still in flight. Shared by the UDP and TCP layers.
+pub fn resolve_or_broadcast(arp: &ObjRef, ip: u32) -> Result<Mac, ObjError> {
+    let mac = arp.invoke("arp", "resolve", &[Value::Int(i64::from(ip))])?;
+    let mac = mac.as_bytes()?;
+    Ok(match mac.as_ref().try_into() {
+        Ok(mac) => mac,
+        Err(_) => wire::MAC_BROADCAST,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simlink::{make_simlink, LinkConfig};
+    use paramecium_machine::Machine;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    const IP_A: u32 = 0x0A00_0001;
+    const IP_B: u32 = 0x0A00_0002;
+    const MAC_A: Mac = [2, 0, 0, 0, 0, 1];
+    const MAC_B: Mac = [2, 0, 0, 0, 0, 2];
+
+    fn two_hosts() -> (Arc<Mutex<Machine>>, ObjRef, ObjRef) {
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let (la, lb) = make_simlink(machine.clone(), LinkConfig::perfect(3));
+        let a = make_arp(la, IP_A, MAC_A);
+        let b = make_arp(lb, IP_B, MAC_B);
+        (machine, a, b)
+    }
+
+    fn resolve(host: &ObjRef, ip: u32) -> Vec<u8> {
+        host.invoke("arp", "resolve", &[Value::Int(i64::from(ip))])
+            .unwrap()
+            .as_bytes()
+            .unwrap()
+            .to_vec()
+    }
+
+    fn pump(host: &ObjRef) {
+        // Drain the netdev until idle; ARP frames are absorbed in-line.
+        loop {
+            let f = host.invoke("netdev", "recv", &[]).unwrap();
+            if f.as_bytes().unwrap().is_empty() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn request_reply_populates_both_caches() {
+        let (machine, a, b) = two_hosts();
+        // Miss: request goes out, nothing cached yet.
+        assert!(resolve(&a, IP_B).is_empty());
+        machine.lock().tick(10);
+        pump(&b); // B absorbs the request, learns A, replies.
+        machine.lock().tick(10);
+        pump(&a); // A absorbs the reply.
+        assert_eq!(resolve(&a, IP_B), MAC_B.to_vec());
+        // B learned A's binding from the request itself.
+        assert_eq!(resolve(&b, IP_A), MAC_A.to_vec());
+        let stats = a.invoke("arp", "stats", &[]).unwrap();
+        let s = stats.as_list().unwrap().to_vec();
+        assert_eq!(s[0], Value::Int(1)); // one request sent
+        assert_eq!(s[2], Value::Int(1)); // one reply received
+        assert_eq!(s[3], Value::Int(1)); // one later hit (on A)
+        assert_eq!(s[4], Value::Int(1)); // one initial miss
+    }
+
+    #[test]
+    fn non_arp_traffic_passes_through() {
+        let (machine, a, b) = two_hosts();
+        let frame = wire::build_udp_frame(MAC_A, MAC_B, IP_A, IP_B, 1, 2, b"data");
+        a.invoke(
+            "netdev",
+            "send",
+            &[Value::Bytes(bytes::Bytes::from(frame.clone()))],
+        )
+        .unwrap();
+        machine.lock().tick(10);
+        let got = b.invoke("netdev", "recv", &[]).unwrap();
+        assert_eq!(got.as_bytes().unwrap().as_ref(), &frame[..]);
+    }
+
+    #[test]
+    fn gratuitous_announce_preloads_peers() {
+        let (machine, a, b) = two_hosts();
+        a.invoke("arp", "announce", &[]).unwrap();
+        machine.lock().tick(10);
+        pump(&b);
+        // B resolved A without any request of its own.
+        assert_eq!(resolve(&b, IP_A), MAC_A.to_vec());
+        let s = b.invoke("arp", "stats", &[]).unwrap();
+        assert_eq!(s.as_list().unwrap()[0], Value::Int(0), "no request sent");
+    }
+
+    #[test]
+    fn insert_and_lookup_are_cache_only() {
+        let (_machine, a, _b) = two_hosts();
+        assert!(a
+            .invoke("arp", "lookup", &[Value::Int(i64::from(IP_B))])
+            .unwrap()
+            .as_bytes()
+            .unwrap()
+            .is_empty());
+        a.invoke(
+            "arp",
+            "insert",
+            &[
+                Value::Int(i64::from(IP_B)),
+                Value::Bytes(bytes::Bytes::copy_from_slice(&MAC_B)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            a.invoke("arp", "lookup", &[Value::Int(i64::from(IP_B))])
+                .unwrap()
+                .as_bytes()
+                .unwrap()
+                .as_ref(),
+            &MAC_B[..]
+        );
+        assert_eq!(resolve_or_broadcast(&a, IP_B).unwrap(), MAC_B);
+        assert_eq!(
+            resolve_or_broadcast(&a, 0x0909_0909).unwrap(),
+            wire::MAC_BROADCAST
+        );
+    }
+}

@@ -31,6 +31,7 @@ struct DriverState {
     machine: Arc<Mutex<Machine>>,
     mem: Arc<MemService>,
     domain: DomainId,
+    nic: String,
     regs: IoRegionId,
     #[allow(dead_code)] // Held to model the shared buffer claim.
     buffers: IoRegionId,
@@ -55,26 +56,32 @@ impl DriverState {
     }
 }
 
-/// Builds the NIC driver object for `domain`, allocating and claiming its
-/// I/O regions.
+/// Builds the driver for the machine's primary NIC (device `"nic"`).
 pub fn make_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef> {
+    make_driver_on(mem, domain, "nic")
+}
+
+/// Builds a NIC driver object for `domain` over the named NIC device,
+/// allocating and claiming its I/O regions. Multi-homed machines register
+/// extra [`Nic`]s under their own names and run one driver per device.
+pub fn make_driver_on(mem: &Arc<MemService>, domain: DomainId, nic: &str) -> CoreResult<ObjRef> {
     // The NIC's regions exist once per device: reuse them if an earlier
     // driver instance allocated them, so exclusivity is actually contended.
     let existing: Vec<(IoRegionId, IoSharing)> = {
         let machine = mem.machine().clone();
         let m = machine.lock();
-        m.io.regions_of("nic")
+        m.io.regions_of(nic)
             .iter()
             .map(|r| (r.id, r.sharing))
             .collect()
     };
     let regs = match existing.iter().find(|(_, s)| *s == IoSharing::Exclusive) {
         Some((id, _)) => *id,
-        None => mem.io_allocate("nic", 0x20, IoSharing::Exclusive)?,
+        None => mem.io_allocate(nic, 0x20, IoSharing::Exclusive)?,
     };
     let buffers = match existing.iter().find(|(_, s)| *s == IoSharing::Shared) {
         Some((id, _)) => *id,
-        None => mem.io_allocate("nic", nic::RX_RING * nic::MAX_FRAME, IoSharing::Shared)?,
+        None => mem.io_allocate(nic, nic::RX_RING * nic::MAX_FRAME, IoSharing::Shared)?,
     };
     mem.io_claim(domain, regs)?;
     mem.io_claim(domain, buffers)?;
@@ -82,6 +89,7 @@ pub fn make_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef
         machine: mem.machine().clone(),
         mem: mem.clone(),
         domain,
+        nic: nic.to_string(),
         regs,
         buffers,
         rx_frames: 0,
@@ -94,7 +102,9 @@ pub fn make_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef
         .state(state)
         .interface("netdev", |i| {
             i.method("send", &[TypeTag::Bytes], TypeTag::Unit, |this, args| {
-                let frame = args[0].as_bytes()?.to_vec();
+                // Refcounted view: no copy of the frame body on this path
+                // (the copy *cost* below still models the DMA transfer).
+                let frame = args[0].as_bytes()?.clone();
                 this.with_state(|s: &mut DriverState| {
                     s.check_claim()?;
                     let mut m = s.machine.lock();
@@ -103,7 +113,7 @@ pub fn make_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef
                     let cost = m.cost.io_access + m.cost.copy_cost(frame.len());
                     m.charge(cost);
                     let len = frame.len();
-                    m.device_mut::<Nic>("nic")
+                    m.device_mut::<Nic>(&s.nic)
                         .ok_or_else(|| ObjError::failed("nic device missing"))?
                         .tx(frame)
                         .map_err(|e| ObjError::failed(e.to_string()))?;
@@ -119,7 +129,7 @@ pub fn make_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef
                     let cost = m.cost.io_access;
                     m.charge(cost);
                     match m
-                        .device_mut::<Nic>("nic")
+                        .device_mut::<Nic>(&s.nic)
                         .ok_or_else(|| ObjError::failed("nic device missing"))?
                         .rx_take()
                     {
@@ -128,7 +138,7 @@ pub fn make_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef
                             m.charge(cost);
                             s.rx_frames += 1;
                             s.rx_bytes += frame.len() as u64;
-                            Ok(Value::Bytes(bytes::Bytes::from(frame)))
+                            Ok(Value::Bytes(frame))
                         }
                         None => Ok(Value::Bytes(bytes::Bytes::new())),
                     }
@@ -139,7 +149,7 @@ pub fn make_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef
                     s.check_claim()?;
                     let mut m = s.machine.lock();
                     let avail = m
-                        .io_read("nic", nic::regs::RX_AVAIL)
+                        .io_read(&s.nic, nic::regs::RX_AVAIL)
                         .map_err(|e| ObjError::failed(e.to_string()))?;
                     Ok(Value::Int(i64::from(avail)))
                 })
@@ -148,7 +158,7 @@ pub fn make_driver(mem: &Arc<MemService>, domain: DomainId) -> CoreResult<ObjRef
                 this.with_state(|s: &mut DriverState| {
                     let dropped = {
                         let mut m = s.machine.lock();
-                        m.io_read("nic", nic::regs::RX_DROPPED)
+                        m.io_read(&s.nic, nic::regs::RX_DROPPED)
                             .map_err(|e| ObjError::failed(e.to_string()))?
                     };
                     Ok(Value::List(vec![
@@ -175,21 +185,15 @@ pub fn install_driver(nucleus: &Nucleus, domain: DomainId) -> CoreResult<ObjRef>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::build_udp_frame;
+    use crate::testkit::{inject_frame, test_driver, tx_take, udp_frame_to};
     use paramecium_core::domain::KERNEL_DOMAIN;
 
     fn setup() -> (Arc<MemService>, ObjRef) {
-        let machine = Arc::new(Mutex::new(Machine::new()));
-        let mem = Arc::new(MemService::new(machine));
-        let driver = make_driver(&mem, KERNEL_DOMAIN).unwrap();
-        (mem, driver)
+        test_driver()
     }
 
     fn inject(mem: &Arc<MemService>, frame: Vec<u8>) {
-        let machine = mem.machine().clone();
-        let mut m = machine.lock();
-        m.device_mut::<Nic>("nic").unwrap().inject_rx(frame);
-        m.tick(1);
+        inject_frame(mem.machine(), frame);
     }
 
     #[test]
@@ -212,7 +216,7 @@ mod tests {
     #[test]
     fn send_reaches_the_wire() {
         let (mem, driver) = setup();
-        let frame = build_udp_frame([2; 6], [4; 6], 1, 2, 10, 20, b"out");
+        let frame = udp_frame_to(20, b"out");
         driver
             .invoke(
                 "netdev",
@@ -220,9 +224,7 @@ mod tests {
                 &[Value::Bytes(bytes::Bytes::from(frame.clone()))],
             )
             .unwrap();
-        let machine = mem.machine().clone();
-        let got = machine.lock().device_mut::<Nic>("nic").unwrap().tx_take();
-        assert_eq!(got, Some(frame));
+        assert_eq!(tx_take(mem.machine()), Some(frame));
     }
 
     #[test]

@@ -62,8 +62,47 @@ pub fn make_native_port_filter(port: u16) -> ObjRef {
         .build()
 }
 
-/// Byte offset of the UDP destination port in an Ethernet/IPv4/UDP frame
-/// with no IP options.
+/// Builds a native filter accepting TCP segments *or* UDP datagrams to
+/// `port`. Like the bytecode filter it reads the headers at fixed
+/// offsets (both L4 protocols keep the destination port at the same
+/// place), so it is cheap enough to sit in front of a TCP endpoint's
+/// receive path.
+pub fn make_l4_port_filter(port: u16) -> ObjRef {
+    ObjectBuilder::new("l4-port-filter")
+        .state(FilterState {
+            port,
+            ..FilterState::default()
+        })
+        .interface("filter", |i| {
+            i.method("check", &[TypeTag::Bytes], TypeTag::Bool, |this, args| {
+                let frame = args[0].as_bytes()?.clone();
+                this.with_state(|s: &mut FilterState| {
+                    s.checked += 1;
+                    let ok = frame.len() >= DST_PORT_OFF as usize + 2
+                        && frame[12..14] == wire::ETHERTYPE_IPV4.to_be_bytes()
+                        && matches!(frame[23], wire::IPPROTO_TCP | wire::IPPROTO_UDP)
+                        && frame[DST_PORT_OFF as usize..DST_PORT_OFF as usize + 2]
+                            == s.port.to_be_bytes();
+                    if ok {
+                        s.accepted += 1;
+                    }
+                    Ok(Value::Bool(ok))
+                })
+            })
+            .method("stats", &[], TypeTag::List, |this, _| {
+                this.with_state(|s: &mut FilterState| {
+                    Ok(Value::List(vec![
+                        Value::Int(s.checked as i64),
+                        Value::Int(s.accepted as i64),
+                    ]))
+                })
+            })
+        })
+        .build()
+}
+
+/// Byte offset of the L4 destination port in an Ethernet/IPv4/{UDP,TCP}
+/// frame with no IP options (the port sits at the same offset in both).
 const DST_PORT_OFF: i64 = (wire::ETH_HLEN + wire::IPV4_HLEN + 2) as i64;
 
 /// Data-segment size for filter programs (must hold a max-size frame; a
@@ -172,13 +211,11 @@ pub fn adapt_bytecode_filter(component: ObjRef) -> ObjRef {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::build_udp_frame;
+    use crate::testkit::udp_frame_to;
     use paramecium_sfi::{interp::Interp, verifier};
 
     fn frame_to(port: u16) -> Vec<u8> {
-        build_udp_frame(
-            [2; 6], [4; 6], 0x0A000001, 0x0A000002, 9999, port, b"payload",
-        )
+        udp_frame_to(port, b"payload")
     }
 
     #[test]

@@ -142,26 +142,18 @@ pub fn make_network_monitor(target: ObjRef) -> (ObjRef, Arc<NetMonStats>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{driver::make_driver, stack::make_udp_stack, wire};
-    use paramecium_core::{domain::KERNEL_DOMAIN, memsvc::MemService};
-    use paramecium_machine::{dev::nic::Nic, Machine};
-    use parking_lot::Mutex;
+    use crate::stack::make_udp_stack;
+    use crate::testkit::{inject_frame, test_driver};
+    use paramecium_core::memsvc::MemService;
 
     fn setup() -> (Arc<MemService>, ObjRef, Arc<NetMonStats>) {
-        let machine = Arc::new(Mutex::new(Machine::new()));
-        let mem = Arc::new(MemService::new(machine));
-        let driver = make_driver(&mem, KERNEL_DOMAIN).unwrap();
+        let (mem, driver) = test_driver();
         let (agent, stats) = make_network_monitor(driver);
         (mem, agent, stats)
     }
 
     fn inject(mem: &Arc<MemService>, len: usize) {
-        let machine = mem.machine().clone();
-        let mut m = machine.lock();
-        m.device_mut::<Nic>("nic")
-            .unwrap()
-            .inject_rx(vec![0u8; len]);
-        m.tick(1);
+        inject_frame(mem.machine(), vec![0u8; len]);
     }
 
     #[test]
@@ -204,23 +196,9 @@ mod tests {
         // The stack works identically through the agent — interposition is
         // invisible to clients.
         let (mem, agent, stats) = setup();
-        let stack = make_udp_stack(agent, 0x0A00_0001, [2, 0, 0, 0, 0, 1]);
+        let stack = make_udp_stack(agent, crate::testkit::MY_IP, crate::testkit::MY_MAC);
         stack.invoke("udp", "bind", &[Value::Int(53)]).unwrap();
-        let frame = wire::build_udp_frame(
-            [9; 6],
-            [2, 0, 0, 0, 0, 1],
-            0x0A00_0002,
-            0x0A00_0001,
-            1111,
-            53,
-            b"through-monitor",
-        );
-        {
-            let machine = mem.machine().clone();
-            let mut m = machine.lock();
-            m.device_mut::<Nic>("nic").unwrap().inject_rx(frame);
-            m.tick(1);
-        }
+        crate::testkit::inject_udp(mem.machine(), 53, b"through-monitor");
         stack.invoke("udp", "pump", &[]).unwrap();
         let d = stack.invoke("udp", "recv_from", &[Value::Int(53)]).unwrap();
         assert_eq!(

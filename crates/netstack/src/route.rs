@@ -1,0 +1,574 @@
+//! The routing object: one `netdev` spanning several NIC driver
+//! instances.
+//!
+//! [`make_router`] takes N interfaces — each an ordinary `netdev` object
+//! (a NIC driver on its own device, a monitor around one, a simulated
+//! link endpoint) plus that interface's IP/MAC — and exports:
+//!
+//! - the plain `netdev` interface, so a protocol object (UDP/TCP stack)
+//!   layers on the router exactly as it layers on a single driver:
+//!   `send` picks the egress interface by longest-prefix match on the
+//!   IPv4 destination, `recv` drains the member devices round-robin;
+//! - a `route` interface for the table itself:
+//!   - `add_route(prefix: int, len: int, ifindex: int) -> unit`,
+//!   - `lookup(ip: int) -> int` — matching ifindex, `-1` if none,
+//!   - `forward() -> int` — transit forwarding: drain every member and
+//!     re-emit frames routed to a *different* interface (TTL decremented,
+//'     IP checksum recomputed, Ethernet rewritten); frames addressed to
+//!     one of the router's own IPs queue for local `recv`. Returns frames
+//!     moved,
+//!   - `stats() -> list [forwarded, local, no_route, ttl_expired,
+//!     malformed]`,
+//!   - `route_stats() -> list of [prefix, len, ifindex, packets, bytes]`.
+//!
+//! Frames a `netdev send` cannot route (no matching prefix) are counted
+//! and dropped rather than erroring: the router models a best-effort IP
+//! hop, and per-route counters are the per-route stats the experiments
+//! read.
+
+use std::collections::VecDeque;
+
+use paramecium_obj::{ObjError, ObjRef, ObjectBuilder, TypeTag, Value};
+
+use crate::wire::{self, EthHeader, Ipv4Header, Mac, ETHERTYPE_IPV4};
+
+/// One router interface: a netdev plus its L2/L3 identity.
+pub struct RouteIf {
+    /// The underlying `netdev` object.
+    pub dev: ObjRef,
+    /// IP address owned by this interface.
+    pub ip: u32,
+    /// Hardware address of this interface.
+    pub mac: Mac,
+}
+
+/// A routing-table entry.
+struct RouteEntry {
+    prefix: u32,
+    len: u8,
+    ifindex: usize,
+    packets: u64,
+    bytes: u64,
+}
+
+impl RouteEntry {
+    fn matches(&self, ip: u32) -> bool {
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(self.len))
+        };
+        (ip ^ self.prefix) & mask == 0
+    }
+}
+
+/// Router state.
+struct RouterState {
+    ifs: Vec<RouteIf>,
+    /// Sorted by prefix length, longest first — lookup is first match.
+    table: Vec<RouteEntry>,
+    /// Frames addressed to one of our own IPs, surfaced through `recv`.
+    local: VecDeque<bytes::Bytes>,
+    /// Round-robin cursor for `recv`.
+    next_if: usize,
+    forwarded: u64,
+    delivered_local: u64,
+    no_route: u64,
+    ttl_expired: u64,
+    malformed: u64,
+}
+
+impl RouterState {
+    fn lookup(&mut self, ip: u32) -> Option<usize> {
+        self.table.iter().position(|r| r.matches(ip))
+    }
+
+    fn is_local(&self, ip: u32) -> bool {
+        self.ifs.iter().any(|i| i.ip == ip)
+    }
+
+    /// Routes one egress frame: LPM on the IPv4 destination, charge the
+    /// route's counters, send out the chosen interface.
+    fn route_out(&mut self, frame: &bytes::Bytes) -> Result<bool, ObjError> {
+        let dst = match parse_ipv4_dst(frame) {
+            Some(dst) => dst,
+            None => {
+                self.malformed += 1;
+                return Ok(false);
+            }
+        };
+        match self.lookup(dst) {
+            Some(entry_idx) => {
+                let entry = &mut self.table[entry_idx];
+                entry.packets += 1;
+                entry.bytes += frame.len() as u64;
+                let ifindex = entry.ifindex;
+                self.ifs[ifindex]
+                    .dev
+                    .invoke("netdev", "send", &[Value::Bytes(frame.clone())])?;
+                Ok(true)
+            }
+            None => {
+                self.no_route += 1;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Transit path for one inbound frame on interface `rx_if`.
+    fn forward_one(&mut self, rx_if: usize, frame: bytes::Bytes) -> Result<bool, ObjError> {
+        let Ok((eth, ip_bytes)) = EthHeader::parse(&frame) else {
+            self.malformed += 1;
+            return Ok(false);
+        };
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            // Non-IP (e.g. ARP handled by a layer below) — deliver locally.
+            self.local.push_back(frame);
+            self.delivered_local += 1;
+            return Ok(false);
+        }
+        let Ok((ip, _)) = Ipv4Header::parse(ip_bytes) else {
+            self.malformed += 1;
+            return Ok(false);
+        };
+        if self.is_local(ip.dst) {
+            self.local.push_back(frame);
+            self.delivered_local += 1;
+            return Ok(false);
+        }
+        let Some(entry_idx) = self.lookup(ip.dst) else {
+            self.no_route += 1;
+            return Ok(false);
+        };
+        let out_if = self.table[entry_idx].ifindex;
+        if out_if == rx_if {
+            // Routed back where it came from: count it as no-route rather
+            // than ping-ponging on the same wire.
+            self.no_route += 1;
+            return Ok(false);
+        }
+        if ip.ttl <= 1 {
+            self.ttl_expired += 1;
+            return Ok(false);
+        }
+        // Rewrite: TTL-1, fresh IP checksum, our egress MAC as source.
+        let mut out = frame.to_vec();
+        out[wire::ETH_HLEN + 8] = ip.ttl - 1;
+        out[wire::ETH_HLEN + 10] = 0;
+        out[wire::ETH_HLEN + 11] = 0;
+        let csum = wire::internet_checksum(&out[wire::ETH_HLEN..wire::ETH_HLEN + wire::IPV4_HLEN]);
+        out[wire::ETH_HLEN + 10..wire::ETH_HLEN + 12].copy_from_slice(&csum.to_be_bytes());
+        out[0..6].copy_from_slice(&wire::MAC_BROADCAST); // Next hop resolves L2.
+        out[6..12].copy_from_slice(&self.ifs[out_if].mac);
+        let entry = &mut self.table[entry_idx];
+        entry.packets += 1;
+        entry.bytes += out.len() as u64;
+        self.ifs[out_if]
+            .dev
+            .invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(out))])?;
+        self.forwarded += 1;
+        Ok(true)
+    }
+}
+
+/// Extracts the IPv4 destination from an Ethernet frame without full
+/// validation (routing only needs the address; checksum verification
+/// happens at the receiving host).
+fn parse_ipv4_dst(frame: &[u8]) -> Option<u32> {
+    let (eth, ip_bytes) = EthHeader::parse(frame).ok()?;
+    if eth.ethertype != ETHERTYPE_IPV4 || ip_bytes.len() < wire::IPV4_HLEN {
+        return None;
+    }
+    Some(u32::from_be_bytes(
+        ip_bytes[16..20].try_into().expect("4 bytes"),
+    ))
+}
+
+/// Builds a router over the given interfaces (≥1; two NIC driver
+/// instances is the canonical gateway shape).
+pub fn make_router(ifs: Vec<RouteIf>) -> ObjRef {
+    assert!(!ifs.is_empty(), "router needs at least one interface");
+    ObjectBuilder::new("router")
+        .state(RouterState {
+            ifs,
+            table: Vec::new(),
+            local: VecDeque::new(),
+            next_if: 0,
+            forwarded: 0,
+            delivered_local: 0,
+            no_route: 0,
+            ttl_expired: 0,
+            malformed: 0,
+        })
+        .interface("netdev", |i| {
+            i.method("send", &[TypeTag::Bytes], TypeTag::Unit, |this, args| {
+                let frame = args[0].as_bytes()?.clone();
+                this.with_state(|s: &mut RouterState| {
+                    s.route_out(&frame)?;
+                    Ok(Value::Unit)
+                })
+            })
+            .method("recv", &[], TypeTag::Bytes, |this, _| {
+                this.with_state(|s: &mut RouterState| {
+                    if let Some(frame) = s.local.pop_front() {
+                        return Ok(Value::Bytes(frame));
+                    }
+                    // Round-robin over members, one full cycle.
+                    for _ in 0..s.ifs.len() {
+                        let idx = s.next_if;
+                        s.next_if = (s.next_if + 1) % s.ifs.len();
+                        let frame = s.ifs[idx].dev.invoke("netdev", "recv", &[])?;
+                        if !frame.as_bytes()?.is_empty() {
+                            return Ok(frame);
+                        }
+                    }
+                    Ok(Value::Bytes(bytes::Bytes::new()))
+                })
+            })
+            .method("pending", &[], TypeTag::Int, |this, _| {
+                this.with_state(|s: &mut RouterState| {
+                    let mut total = s.local.len() as i64;
+                    for rif in &s.ifs {
+                        total += rif.dev.invoke("netdev", "pending", &[])?.as_int()?;
+                    }
+                    Ok(Value::Int(total))
+                })
+            })
+            .method("stats", &[], TypeTag::List, |this, _| {
+                // Aggregate member stats element-wise (they share the
+                // driver's [rx, tx, rx_bytes, tx_bytes, dropped] shape).
+                this.with_state(|s: &mut RouterState| {
+                    let mut agg: Vec<i64> = Vec::new();
+                    for rif in &s.ifs {
+                        let stats = rif.dev.invoke("netdev", "stats", &[])?;
+                        for (i, v) in stats.as_list()?.iter().enumerate() {
+                            let n = v.as_int().unwrap_or(0);
+                            if i < agg.len() {
+                                agg[i] += n;
+                            } else {
+                                agg.push(n);
+                            }
+                        }
+                    }
+                    Ok(Value::List(agg.into_iter().map(Value::Int).collect()))
+                })
+            })
+        })
+        .interface("route", |i| {
+            i.method(
+                "add_route",
+                &[TypeTag::Int, TypeTag::Int, TypeTag::Int],
+                TypeTag::Unit,
+                |this, args| {
+                    let prefix = args[0].as_int()? as u32;
+                    let len = args[1].as_int()?;
+                    let ifindex = args[2].as_int()?;
+                    if !(0..=32).contains(&len) {
+                        return Err(ObjError::failed("prefix length must be 0..=32"));
+                    }
+                    this.with_state(|s: &mut RouterState| {
+                        if ifindex < 0 || ifindex as usize >= s.ifs.len() {
+                            return Err(ObjError::failed(format!(
+                                "ifindex {ifindex} out of range"
+                            )));
+                        }
+                        let len = len as u8;
+                        let entry = RouteEntry {
+                            prefix,
+                            len,
+                            ifindex: ifindex as usize,
+                            packets: 0,
+                            bytes: 0,
+                        };
+                        // Keep longest-prefix-first order; replace an
+                        // existing entry for the same prefix/len.
+                        if let Some(old) = s
+                            .table
+                            .iter_mut()
+                            .find(|r| r.prefix == prefix && r.len == len)
+                        {
+                            *old = entry;
+                        } else {
+                            let at = s.table.partition_point(|r| r.len >= len);
+                            s.table.insert(at, entry);
+                        }
+                        Ok(Value::Unit)
+                    })
+                },
+            )
+            .method("lookup", &[TypeTag::Int], TypeTag::Int, |this, args| {
+                let ip = args[0].as_int()? as u32;
+                this.with_state(|s: &mut RouterState| {
+                    Ok(Value::Int(match s.lookup(ip) {
+                        Some(idx) => s.table[idx].ifindex as i64,
+                        None => -1,
+                    }))
+                })
+            })
+            .method("forward", &[], TypeTag::Int, |this, _| {
+                this.with_state(|s: &mut RouterState| {
+                    let mut moved = 0i64;
+                    for rx_if in 0..s.ifs.len() {
+                        loop {
+                            let frame = s.ifs[rx_if].dev.invoke("netdev", "recv", &[])?;
+                            let frame = frame.as_bytes()?.clone();
+                            if frame.is_empty() {
+                                break;
+                            }
+                            if s.forward_one(rx_if, frame)? {
+                                moved += 1;
+                            }
+                        }
+                    }
+                    Ok(Value::Int(moved))
+                })
+            })
+            .method("stats", &[], TypeTag::List, |this, _| {
+                this.with_state(|s: &mut RouterState| {
+                    Ok(Value::List(vec![
+                        Value::Int(s.forwarded as i64),
+                        Value::Int(s.delivered_local as i64),
+                        Value::Int(s.no_route as i64),
+                        Value::Int(s.ttl_expired as i64),
+                        Value::Int(s.malformed as i64),
+                    ]))
+                })
+            })
+            .method("route_stats", &[], TypeTag::List, |this, _| {
+                this.with_state(|s: &mut RouterState| {
+                    Ok(Value::List(
+                        s.table
+                            .iter()
+                            .map(|r| {
+                                Value::List(vec![
+                                    Value::Int(i64::from(r.prefix)),
+                                    Value::Int(i64::from(r.len)),
+                                    Value::Int(r.ifindex as i64),
+                                    Value::Int(r.packets as i64),
+                                    Value::Int(r.bytes as i64),
+                                ])
+                            })
+                            .collect(),
+                    ))
+                })
+            })
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simlink::{make_simlink, LinkConfig};
+    use paramecium_machine::Machine;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    const IF0_IP: u32 = 0x0A00_0001; // 10.0.0.1
+    const IF1_IP: u32 = 0x0A01_0001; // 10.1.0.1
+    const NET0_HOST: u32 = 0x0A00_0002; // 10.0.0.2
+    const NET1_HOST: u32 = 0x0A01_0002; // 10.1.0.2
+
+    /// Two links, a router in the middle, the far ends returned for
+    /// observation: `(machine, router, far0, far1)`.
+    fn gateway() -> (Arc<Mutex<Machine>>, ObjRef, ObjRef, ObjRef) {
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let (near0, far0) = make_simlink(machine.clone(), LinkConfig::perfect(1));
+        let (near1, far1) = make_simlink(machine.clone(), LinkConfig::perfect(2));
+        let router = make_router(vec![
+            RouteIf {
+                dev: near0,
+                ip: IF0_IP,
+                mac: [2, 0, 0, 0, 0, 0x10],
+            },
+            RouteIf {
+                dev: near1,
+                ip: IF1_IP,
+                mac: [2, 0, 0, 0, 0, 0x11],
+            },
+        ]);
+        let add = |prefix: u32, len: i64, ifi: i64| {
+            router
+                .invoke(
+                    "route",
+                    "add_route",
+                    &[
+                        Value::Int(i64::from(prefix)),
+                        Value::Int(len),
+                        Value::Int(ifi),
+                    ],
+                )
+                .unwrap();
+        };
+        add(0x0A00_0000, 24, 0); // 10.0.0.0/24 -> if0
+        add(0x0A01_0000, 24, 1); // 10.1.0.0/24 -> if1
+        (machine, router, far0, far1)
+    }
+
+    fn send_via(dev: &ObjRef, frame: Vec<u8>) {
+        dev.invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(frame))])
+            .unwrap();
+    }
+
+    fn drain(dev: &ObjRef) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        loop {
+            let f = dev.invoke("netdev", "recv", &[]).unwrap();
+            let b = f.as_bytes().unwrap();
+            if b.is_empty() {
+                break;
+            }
+            out.push(b.to_vec());
+        }
+        out
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let (_m, router, _f0, _f1) = gateway();
+        // A /32 host route overriding the /24.
+        router
+            .invoke(
+                "route",
+                "add_route",
+                &[
+                    Value::Int(i64::from(NET0_HOST)),
+                    Value::Int(32),
+                    Value::Int(1),
+                ],
+            )
+            .unwrap();
+        let lookup = |ip: u32| {
+            router
+                .invoke("route", "lookup", &[Value::Int(i64::from(ip))])
+                .unwrap()
+                .as_int()
+                .unwrap()
+        };
+        assert_eq!(lookup(NET0_HOST), 1, "/32 beats /24");
+        assert_eq!(lookup(0x0A00_0003), 0, "rest of 10.0.0.0/24 unaffected");
+        assert_eq!(lookup(NET1_HOST), 1);
+        assert_eq!(lookup(0x0808_0808), -1, "no default route");
+    }
+
+    #[test]
+    fn egress_send_picks_interface_by_destination() {
+        let (machine, router, far0, far1) = gateway();
+        let f0 = wire::build_udp_frame([9; 6], [8; 6], IF0_IP, NET0_HOST, 1, 2, b"to-net0");
+        let f1 = wire::build_udp_frame([9; 6], [8; 6], IF1_IP, NET1_HOST, 1, 2, b"to-net1");
+        send_via(&router, f0.clone());
+        send_via(&router, f1.clone());
+        machine.lock().tick(10);
+        assert_eq!(drain(&far0), vec![f0]);
+        assert_eq!(drain(&far1), vec![f1]);
+    }
+
+    #[test]
+    fn transit_forwarding_decrements_ttl_and_rewrites() {
+        let (machine, router, far0, far1) = gateway();
+        // A host on net0 sends to a host on net1 via the gateway.
+        let frame = wire::build_udp_frame(
+            [9; 6],
+            [2, 0, 0, 0, 0, 0x10],
+            NET0_HOST,
+            NET1_HOST,
+            1111,
+            2222,
+            b"across",
+        );
+        far0.invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(frame))])
+            .unwrap();
+        machine.lock().tick(10);
+        let moved = router.invoke("route", "forward", &[]).unwrap();
+        assert_eq!(moved, Value::Int(1));
+        machine.lock().tick(10);
+        let out = drain(&far1);
+        assert_eq!(out.len(), 1);
+        let (ip, udp, payload) = wire::parse_udp_frame(&out[0]).unwrap();
+        assert_eq!(ip.ttl, 63, "TTL decremented");
+        assert_eq!(ip.dst, NET1_HOST);
+        assert_eq!(udp.dst_port, 2222);
+        assert_eq!(payload, b"across");
+        assert_eq!(&out[0][6..12], &[2, 0, 0, 0, 0, 0x11], "egress MAC");
+        let rstats = router.invoke("route", "stats", &[]).unwrap();
+        assert_eq!(rstats.as_list().unwrap()[0], Value::Int(1), "forwarded");
+    }
+
+    #[test]
+    fn local_frames_surface_through_recv() {
+        let (machine, router, far0, _f1) = gateway();
+        let frame = wire::build_udp_frame(
+            [9; 6],
+            [2, 0, 0, 0, 0, 0x10],
+            NET0_HOST,
+            IF0_IP,
+            5,
+            6,
+            b"for-router",
+        );
+        far0.invoke(
+            "netdev",
+            "send",
+            &[Value::Bytes(bytes::Bytes::from(frame.clone()))],
+        )
+        .unwrap();
+        machine.lock().tick(10);
+        router.invoke("route", "forward", &[]).unwrap();
+        assert_eq!(drain(&router), vec![frame]);
+        let rstats = router.invoke("route", "stats", &[]).unwrap();
+        assert_eq!(rstats.as_list().unwrap()[1], Value::Int(1), "local");
+    }
+
+    #[test]
+    fn ttl_expiry_and_no_route_are_counted_not_forwarded() {
+        let (machine, router, far0, far1) = gateway();
+        // TTL 1: must die at the gateway.
+        let mut dying = wire::build_udp_frame([9; 6], [2; 6], NET0_HOST, NET1_HOST, 1, 2, b"dying");
+        dying[wire::ETH_HLEN + 8] = 1;
+        let csum_off = wire::ETH_HLEN + 10;
+        dying[csum_off] = 0;
+        dying[csum_off + 1] = 0;
+        let csum =
+            wire::internet_checksum(&dying[wire::ETH_HLEN..wire::ETH_HLEN + wire::IPV4_HLEN]);
+        dying[csum_off..csum_off + 2].copy_from_slice(&csum.to_be_bytes());
+        // No route: destination outside both nets.
+        let lost = wire::build_udp_frame([9; 6], [2; 6], NET0_HOST, 0x0808_0808, 1, 2, b"lost");
+        for f in [dying, lost] {
+            far0.invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(f))])
+                .unwrap();
+        }
+        machine.lock().tick(10);
+        assert_eq!(
+            router.invoke("route", "forward", &[]).unwrap(),
+            Value::Int(0)
+        );
+        machine.lock().tick(10);
+        assert!(drain(&far1).is_empty());
+        let rstats = router.invoke("route", "stats", &[]).unwrap();
+        let s = rstats.as_list().unwrap().to_vec();
+        assert_eq!(s[2], Value::Int(1), "no_route");
+        assert_eq!(s[3], Value::Int(1), "ttl_expired");
+    }
+
+    #[test]
+    fn per_route_stats_account_traffic() {
+        let (_m, router, _f0, _f1) = gateway();
+        let f = wire::build_udp_frame([9; 6], [8; 6], IF0_IP, NET0_HOST, 1, 2, b"x");
+        let len = f.len() as i64;
+        send_via(&router, f.clone());
+        send_via(&router, f);
+        let rs = router.invoke("route", "route_stats", &[]).unwrap();
+        let rows: Vec<Vec<Value>> = rs
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(|r| r.as_list().unwrap().to_vec())
+            .collect();
+        let net0 = rows
+            .iter()
+            .find(|r| r[0] == Value::Int(0x0A00_0000))
+            .unwrap();
+        assert_eq!(net0[3], Value::Int(2), "packets");
+        assert_eq!(net0[4], Value::Int(2 * len), "bytes");
+    }
+}

@@ -21,11 +21,12 @@ use paramecium_obj::{ObjRef, ObjectBuilder, TypeTag, Value};
 
 use crate::wire;
 
-/// Queued datagram.
+/// Queued datagram. The payload is a zero-copy view into the received
+/// frame, which stays alive (refcounted) until the application reads it.
 struct Datagram {
     src_ip: u32,
     src_port: u16,
-    payload: Vec<u8>,
+    payload: bytes::Bytes,
 }
 
 /// Stack instance state.
@@ -131,10 +132,11 @@ pub fn make_udp_stack(netdev: ObjRef, ip: u32, mac: wire::Mac) -> ObjRef {
                         match wire::parse_udp_frame(&frame) {
                             Ok((ip, udp, payload)) => match s.ports.get_mut(&udp.dst_port) {
                                 Some(q) => {
+                                    let off = wire::ETH_HLEN + wire::IPV4_HLEN + wire::UDP_HLEN;
                                     q.push_back(Datagram {
                                         src_ip: ip.src,
                                         src_port: udp.src_port,
-                                        payload: payload.to_vec(),
+                                        payload: frame.slice(off..off + payload.len()),
                                     });
                                     s.delivered += 1;
                                 }
@@ -154,7 +156,7 @@ pub fn make_udp_stack(netdev: ObjRef, ip: u32, mac: wire::Mac) -> ObjRef {
                         Some(d) => Ok(Value::List(vec![
                             Value::Int(i64::from(d.src_ip)),
                             Value::Int(i64::from(d.src_port)),
-                            Value::Bytes(bytes::Bytes::from(d.payload)),
+                            Value::Bytes(d.payload),
                         ])),
                         None => Ok(Value::List(vec![])),
                     }
@@ -177,37 +179,19 @@ pub fn make_udp_stack(netdev: ObjRef, ip: u32, mac: wire::Mac) -> ObjRef {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{driver::make_driver, filter::make_native_port_filter, wire::build_udp_frame};
-    use paramecium_core::{domain::KERNEL_DOMAIN, memsvc::MemService};
-    use paramecium_machine::{dev::nic::Nic, Machine};
-    use parking_lot::Mutex;
+    use crate::filter::make_native_port_filter;
+    use crate::testkit::{self, test_driver, MY_IP, MY_MAC};
+    use paramecium_core::memsvc::MemService;
     use std::sync::Arc;
 
-    const MY_IP: u32 = 0x0A00_0001;
-    const MY_MAC: wire::Mac = [2, 0, 0, 0, 0, 1];
-
     fn setup() -> (Arc<MemService>, ObjRef) {
-        let machine = Arc::new(Mutex::new(Machine::new()));
-        let mem = Arc::new(MemService::new(machine));
-        let driver = make_driver(&mem, KERNEL_DOMAIN).unwrap();
+        let (mem, driver) = test_driver();
         let stack = make_udp_stack(driver, MY_IP, MY_MAC);
         (mem, stack)
     }
 
     fn inject_udp(mem: &Arc<MemService>, dst_port: u16, payload: &[u8]) {
-        let frame = build_udp_frame(
-            [2, 0, 0, 0, 0, 9],
-            MY_MAC,
-            0x0A00_0002,
-            MY_IP,
-            4444,
-            dst_port,
-            payload,
-        );
-        let machine = mem.machine().clone();
-        let mut m = machine.lock();
-        m.device_mut::<Nic>("nic").unwrap().inject_rx(frame);
-        m.tick(1);
+        testkit::inject_udp(mem.machine(), dst_port, payload);
     }
 
     #[test]
@@ -246,12 +230,7 @@ mod tests {
     #[test]
     fn malformed_frames_are_counted_not_fatal() {
         let (mem, stack) = setup();
-        let machine = mem.machine().clone();
-        {
-            let mut m = machine.lock();
-            m.device_mut::<Nic>("nic").unwrap().inject_rx(vec![0u8; 20]);
-            m.tick(1);
-        }
+        testkit::inject_frame(mem.machine(), vec![0u8; 20]);
         stack.invoke("udp", "bind", &[Value::Int(53)]).unwrap();
         inject_udp(&mem, 53, b"good");
         stack.invoke("udp", "pump", &[]).unwrap();
@@ -300,13 +279,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        let machine = mem.machine().clone();
-        let frame = machine
-            .lock()
-            .device_mut::<Nic>("nic")
-            .unwrap()
-            .tx_take()
-            .expect("frame sent");
+        let frame = testkit::tx_take(mem.machine()).expect("frame sent");
         let (ip, udp, payload) = wire::parse_udp_frame(&frame).unwrap();
         assert_eq!(ip.src, MY_IP);
         assert_eq!(ip.dst, 0x0A00_0002);

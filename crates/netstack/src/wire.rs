@@ -1,17 +1,30 @@
-//! Wire formats: Ethernet, IPv4, UDP, and the Internet checksum.
+//! Wire formats: Ethernet, IPv4, ARP, UDP, TCP, and the Internet
+//! checksum.
 //!
 //! Minimal but real codecs — headers are parsed from and serialised to
-//! bytes, checksums are computed and verified, so protocol-processing
-//! components in the experiments do genuine per-packet work.
+//! bytes, checksums are computed and verified (including the TCP
+//! pseudo-header checksum), so protocol-processing components in the
+//! experiments do genuine per-packet work. Every parser is total: no
+//! input, however mangled, may panic — that contract is pinned by the
+//! codec robustness property suite.
 
 /// A MAC address.
 pub type Mac = [u8; 6];
 
+/// The Ethernet broadcast address.
+pub const MAC_BROADCAST: Mac = [0xFF; 6];
+
 /// EtherType for IPv4.
 pub const ETHERTYPE_IPV4: u16 = 0x0800;
 
+/// EtherType for ARP.
+pub const ETHERTYPE_ARP: u16 = 0x0806;
+
 /// IP protocol number for UDP.
 pub const IPPROTO_UDP: u8 = 17;
+
+/// IP protocol number for TCP.
+pub const IPPROTO_TCP: u8 = 6;
 
 /// Ethernet header length.
 pub const ETH_HLEN: usize = 14;
@@ -21,6 +34,12 @@ pub const IPV4_HLEN: usize = 20;
 
 /// UDP header length.
 pub const UDP_HLEN: usize = 8;
+
+/// TCP header length (no options).
+pub const TCP_HLEN: usize = 20;
+
+/// ARP packet length (Ethernet/IPv4).
+pub const ARP_PLEN: usize = 28;
 
 /// Errors parsing packets.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -207,6 +226,212 @@ impl UdpHeader {
     }
 }
 
+/// ARP operation: request.
+pub const ARP_OP_REQUEST: u16 = 1;
+
+/// ARP operation: reply.
+pub const ARP_OP_REPLY: u16 = 2;
+
+/// An ARP packet (Ethernet/IPv4 flavour only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation: [`ARP_OP_REQUEST`] or [`ARP_OP_REPLY`].
+    pub op: u16,
+    /// Sender hardware address.
+    pub sender_mac: Mac,
+    /// Sender protocol address.
+    pub sender_ip: u32,
+    /// Target hardware address (zero in requests).
+    pub target_mac: Mac,
+    /// Target protocol address.
+    pub target_ip: u32,
+}
+
+impl ArpPacket {
+    /// Parses an ARP packet (the Ethernet payload).
+    pub fn parse(data: &[u8]) -> Result<ArpPacket, WireError> {
+        if data.len() < ARP_PLEN {
+            return Err(WireError::Truncated("arp packet"));
+        }
+        if u16::from_be_bytes([data[0], data[1]]) != 1 {
+            return Err(WireError::Invalid("arp hardware type"));
+        }
+        if u16::from_be_bytes([data[2], data[3]]) != ETHERTYPE_IPV4 {
+            return Err(WireError::Invalid("arp protocol type"));
+        }
+        if data[4] != 6 || data[5] != 4 {
+            return Err(WireError::Invalid("arp address lengths"));
+        }
+        let op = u16::from_be_bytes([data[6], data[7]]);
+        if op != ARP_OP_REQUEST && op != ARP_OP_REPLY {
+            return Err(WireError::Invalid("arp operation"));
+        }
+        Ok(ArpPacket {
+            op,
+            sender_mac: data[8..14].try_into().expect("6 bytes"),
+            sender_ip: u32::from_be_bytes(data[14..18].try_into().expect("4 bytes")),
+            target_mac: data[18..24].try_into().expect("6 bytes"),
+            target_ip: u32::from_be_bytes(data[24..28].try_into().expect("4 bytes")),
+        })
+    }
+
+    /// Serialises the packet.
+    pub fn build(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ARP_PLEN);
+        out.extend_from_slice(&1u16.to_be_bytes()); // Ethernet.
+        out.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+        out.push(6);
+        out.push(4);
+        out.extend_from_slice(&self.op.to_be_bytes());
+        out.extend_from_slice(&self.sender_mac);
+        out.extend_from_slice(&self.sender_ip.to_be_bytes());
+        out.extend_from_slice(&self.target_mac);
+        out.extend_from_slice(&self.target_ip.to_be_bytes());
+        out
+    }
+
+    /// Wraps the packet in an Ethernet frame from `src_mac` to `dst_mac`.
+    pub fn to_frame(&self, src_mac: Mac, dst_mac: Mac) -> Vec<u8> {
+        EthHeader {
+            dst: dst_mac,
+            src: src_mac,
+            ethertype: ETHERTYPE_ARP,
+        }
+        .build(&self.build())
+    }
+}
+
+/// TCP flag bits.
+pub mod tcp_flags {
+    /// No more data from sender.
+    pub const FIN: u8 = 0x01;
+    /// Synchronise sequence numbers.
+    pub const SYN: u8 = 0x02;
+    /// Reset the connection.
+    pub const RST: u8 = 0x04;
+    /// Push function (ignored; carried for realism).
+    pub const PSH: u8 = 0x08;
+    /// Acknowledgment field significant.
+    pub const ACK: u8 = 0x10;
+}
+
+/// A TCP header (no options; data offset fixed at 5 words).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or of SYN/FIN).
+    pub seq: u32,
+    /// Acknowledgment number (valid when `flags & ACK != 0`).
+    pub ack: u32,
+    /// Flag bits (see [`tcp_flags`]).
+    pub flags: u8,
+    /// Receive window the sender advertises.
+    pub window: u16,
+}
+
+/// The TCP checksum: over a pseudo-header (src/dst IP, protocol, TCP
+/// length) plus the TCP header and payload (RFC 793).
+fn tcp_checksum(src_ip: u32, dst_ip: u32, segment: &[u8]) -> u16 {
+    let mut pseudo = Vec::with_capacity(12 + segment.len());
+    pseudo.extend_from_slice(&src_ip.to_be_bytes());
+    pseudo.extend_from_slice(&dst_ip.to_be_bytes());
+    pseudo.push(0);
+    pseudo.push(IPPROTO_TCP);
+    pseudo.extend_from_slice(&(segment.len() as u16).to_be_bytes());
+    pseudo.extend_from_slice(segment);
+    internet_checksum(&pseudo)
+}
+
+impl TcpHeader {
+    /// Parses and checksum-verifies a TCP segment (needs the IP addresses
+    /// for the pseudo-header). Returns the header and the payload.
+    pub fn parse(data: &[u8], src_ip: u32, dst_ip: u32) -> Result<(TcpHeader, &[u8]), WireError> {
+        if data.len() < TCP_HLEN {
+            return Err(WireError::Truncated("tcp header"));
+        }
+        let data_off = usize::from(data[12] >> 4) * 4;
+        if data_off != TCP_HLEN {
+            return Err(WireError::Invalid("tcp options unsupported"));
+        }
+        if tcp_checksum(src_ip, dst_ip, data) != 0 {
+            return Err(WireError::Invalid("tcp checksum"));
+        }
+        Ok((
+            TcpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                seq: u32::from_be_bytes(data[4..8].try_into().expect("4 bytes")),
+                ack: u32::from_be_bytes(data[8..12].try_into().expect("4 bytes")),
+                flags: data[13] & 0x1F,
+                window: u16::from_be_bytes([data[14], data[15]]),
+            },
+            &data[TCP_HLEN..],
+        ))
+    }
+
+    /// Serialises the segment (checksum filled in) followed by `payload`.
+    pub fn build(&self, src_ip: u32, dst_ip: u32, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(TCP_HLEN + payload.len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(5 << 4); // Data offset 5 words, no options.
+        out.push(self.flags & 0x1F);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0u8; 4]); // Checksum + urgent pointer.
+        out.extend_from_slice(payload);
+        let csum = tcp_checksum(src_ip, dst_ip, &out);
+        out[16..18].copy_from_slice(&csum.to_be_bytes());
+        out
+    }
+}
+
+/// Builds a full Ethernet/IPv4/TCP segment frame.
+#[allow(clippy::too_many_arguments)]
+pub fn build_tcp_frame(
+    src_mac: Mac,
+    dst_mac: Mac,
+    src_ip: u32,
+    dst_ip: u32,
+    tcp: &TcpHeader,
+    payload: &[u8],
+) -> Vec<u8> {
+    let seg = tcp.build(src_ip, dst_ip, payload);
+    let ip = Ipv4Header {
+        src: src_ip,
+        dst: dst_ip,
+        proto: IPPROTO_TCP,
+        ttl: 64,
+        total_len: 0, // Filled by build.
+    }
+    .build(&seg);
+    EthHeader {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype: ETHERTYPE_IPV4,
+    }
+    .build(&ip)
+}
+
+/// Parses a full frame down to the TCP payload. Returns
+/// `(ip, tcp, payload)`.
+pub fn parse_tcp_frame(frame: &[u8]) -> Result<(Ipv4Header, TcpHeader, &[u8]), WireError> {
+    let (eth, ip_bytes) = EthHeader::parse(frame)?;
+    if eth.ethertype != ETHERTYPE_IPV4 {
+        return Err(WireError::Invalid("ethertype"));
+    }
+    let (ip, tcp_bytes) = Ipv4Header::parse(ip_bytes)?;
+    if ip.proto != IPPROTO_TCP {
+        return Err(WireError::Invalid("ip protocol"));
+    }
+    let (tcp, payload) = TcpHeader::parse(tcp_bytes, ip.src, ip.dst)?;
+    Ok((ip, tcp, payload))
+}
+
 /// Builds a full Ethernet/IPv4/UDP datagram — the workload generator used
 /// throughout tests and benches.
 #[allow(clippy::too_many_arguments)]
@@ -332,6 +557,51 @@ mod tests {
         assert_eq!(
             parse_udp_frame(&frame),
             Err(WireError::Invalid("ip protocol"))
+        );
+    }
+
+    #[test]
+    fn arp_roundtrip_and_validation() {
+        let req = ArpPacket {
+            op: ARP_OP_REQUEST,
+            sender_mac: MAC_A,
+            sender_ip: 0x0A00_0001,
+            target_mac: [0; 6],
+            target_ip: 0x0A00_0002,
+        };
+        let frame = req.to_frame(MAC_A, MAC_BROADCAST);
+        let (eth, payload) = EthHeader::parse(&frame).unwrap();
+        assert_eq!(eth.ethertype, ETHERTYPE_ARP);
+        assert_eq!(ArpPacket::parse(payload).unwrap(), req);
+        // A mangled hardware type is rejected.
+        let mut bad = req.build();
+        bad[0] = 9;
+        assert!(ArpPacket::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_checksum() {
+        let hdr = TcpHeader {
+            src_port: 4000,
+            dst_port: 80,
+            seq: 0xDEAD_BEEF,
+            ack: 0x0102_0304,
+            flags: tcp_flags::SYN | tcp_flags::ACK,
+            window: 8192,
+        };
+        let frame = build_tcp_frame(MAC_A, MAC_B, 1, 2, &hdr, b"hello tcp");
+        let (ip, tcp, payload) = parse_tcp_frame(&frame).unwrap();
+        assert_eq!(ip.proto, IPPROTO_TCP);
+        assert_eq!(tcp, hdr);
+        assert_eq!(payload, b"hello tcp");
+        // The TCP checksum covers the payload: corrupting one payload
+        // byte (untouched by the IP header checksum) must be caught.
+        let mut mangled = frame.clone();
+        let last = mangled.len() - 1;
+        mangled[last] ^= 0x01;
+        assert_eq!(
+            parse_tcp_frame(&mangled),
+            Err(WireError::Invalid("tcp checksum"))
         );
     }
 

@@ -1499,7 +1499,10 @@ mod tests {
         let s = s.as_list().unwrap();
         assert_eq!(s[0], Value::Int(2), "two chunked commits");
         // Nothing left dirty, and a full-stack flush homes everything.
-        assert_eq!(stack.top.invoke("cache", "flush", &[]).unwrap(), Value::Int(0));
+        assert_eq!(
+            stack.top.invoke("cache", "flush", &[]).unwrap(),
+            Value::Int(0)
+        );
         stack.top.invoke("blockdev", "flush", &[]).unwrap();
         for sec in 0..10i64 {
             let v = stack

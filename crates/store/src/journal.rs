@@ -1077,10 +1077,7 @@ mod tests {
         // encode past the device end and fail every member's commit.
         let machine = Arc::new(Mutex::new(Machine::new()));
         let mem = Arc::new(MemService::new(machine));
-        let driver = StackBuilder::disk(&mem, KERNEL_DOMAIN)
-            .build()
-            .unwrap()
-            .top;
+        let driver = StackBuilder::disk(&mem, KERNEL_DOMAIN).build().unwrap().top;
         let cfg = JournalConfig { log_sectors: 16 };
         let s = mount_shared(driver.clone(), cfg).unwrap();
         // A 6-write transaction needs 8 slots (desc + 6 payloads +
@@ -1198,7 +1195,11 @@ mod tests {
             .invoke("blockdev", "write_many", &[pairs_arg(pairs.clone())])
             .is_err());
         let n = j
-            .invoke("blockdev", "write_many", &[pairs_arg(pairs[..limit as usize].to_vec())])
+            .invoke(
+                "blockdev",
+                "write_many",
+                &[pairs_arg(pairs[..limit as usize].to_vec())],
+            )
             .unwrap();
         assert_eq!(n, Value::Int(limit));
     }

@@ -199,6 +199,54 @@ fn delegated_dispatch_has_bounded_allocations() {
 }
 
 #[test]
+fn zero_copy_frame_path_is_alloc_free_once_warm() {
+    // The netstack threads refcounted `bytes::Bytes` views from the NIC
+    // device through the driver object: `send` hands the caller's buffer
+    // to the device and `recv` hands the device's buffer to the caller,
+    // neither copying the frame body. With the dispatch path warm and the
+    // device queues grown, a full send + receive round trip must not
+    // touch the heap at all — a regression that reintroduces a per-frame
+    // `to_vec()` fails here.
+    use paramecium::core::memsvc::MemService;
+    use paramecium::machine::{dev::nic::Nic, Machine};
+    use paramecium::netstack::make_driver;
+
+    let machine = std::sync::Arc::new(parking_lot::Mutex::new(Machine::new()));
+    let mem = std::sync::Arc::new(MemService::new(machine.clone()));
+    let driver = make_driver(&mem, KERNEL_DOMAIN).unwrap();
+    let frame = bytes::Bytes::from(vec![0u8; 1024]);
+    let args = [Value::Bytes(frame.clone())];
+
+    let roundtrip = |assert_len: bool| {
+        driver.invoke("netdev", "send", &args).unwrap();
+        let mut m = machine.lock();
+        let nic = m.device_mut::<Nic>("nic").unwrap();
+        let wire_frame = nic.tx_take().unwrap();
+        nic.inject_rx(wire_frame);
+        drop(m);
+        let got = driver.invoke("netdev", "recv", &[]).unwrap();
+        if assert_len {
+            assert_eq!(got.as_bytes().unwrap().len(), 1024);
+        }
+    };
+
+    // Warm: dispatch caches publish, device queues reach steady capacity.
+    for _ in 0..8 {
+        roundtrip(true);
+    }
+    let allocs = count_allocs(|| {
+        for _ in 0..CALLS {
+            roundtrip(false);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "frame send + recv round trips must not copy or allocate \
+         ({allocs} allocs / {CALLS} round trips)"
+    );
+}
+
+#[test]
 fn arg_frame_inline_push_is_zero_alloc() {
     use paramecium::obj::value::{ArgFrame, ARG_FRAME_INLINE};
     let allocs = count_allocs(|| {

@@ -1,22 +1,16 @@
 //! Integration: the full network scenario — driver, stack, filters,
 //! interposition, placement.
 
-use paramecium::machine::dev::Nic;
 use paramecium::netstack::{
     filter::{adapt_bytecode_filter, udp_port_filter_program},
-    install_driver, make_network_monitor, make_udp_stack, wire,
+    install_driver, make_network_monitor, make_udp_stack,
+    testkit::{self, MY_IP, MY_MAC, PEER_IP, PEER_PORT},
+    wire,
 };
 use paramecium::prelude::*;
 
-const MY_IP: u32 = 0x0A00_0001;
-const MY_MAC: wire::Mac = [2, 0, 0, 0, 0, 1];
-
 fn inject_udp(n: &paramecium::core::Nucleus, dst_port: u16, payload: &[u8]) {
-    let frame = wire::build_udp_frame([9; 6], MY_MAC, 0x0A00_0002, MY_IP, 5555, dst_port, payload);
-    let machine = n.machine().clone();
-    let mut m = machine.lock();
-    m.device_mut::<Nic>("nic").unwrap().inject_rx(frame);
-    m.tick(1);
+    testkit::inject_udp(n.machine(), dst_port, payload);
 }
 
 #[test]
@@ -47,16 +41,10 @@ fn udp_echo_end_to_end() {
             ],
         )
         .unwrap();
-    let machine = n.machine().clone();
-    let reply = machine
-        .lock()
-        .device_mut::<Nic>("nic")
-        .unwrap()
-        .tx_take()
-        .expect("echo reply transmitted");
+    let reply = testkit::tx_take(n.machine()).expect("echo reply transmitted");
     let (ip, udp, payload) = wire::parse_udp_frame(&reply).unwrap();
-    assert_eq!(ip.dst, 0x0A00_0002);
-    assert_eq!(udp.dst_port, 5555);
+    assert_eq!(ip.dst, PEER_IP);
+    assert_eq!(udp.dst_port, PEER_PORT);
     assert_eq!(payload, b"ping");
 }
 

@@ -465,11 +465,18 @@ fn flush_of_more_dirty_lines_than_one_log_transaction_succeeds() {
         .unwrap()
         .as_int()
         .unwrap();
-    assert!(limit < 200, "premise: the dirty set must exceed one transaction");
+    assert!(
+        limit < 200,
+        "premise: the dirty set must exceed one transaction"
+    );
     for sec in 0..200i64 {
         stack
             .top
-            .invoke("blockdev", "write", &[Value::Int(sec), sector_of(sec as u8)])
+            .invoke(
+                "blockdev",
+                "write",
+                &[Value::Int(sec), sector_of(sec as u8)],
+            )
             .unwrap();
     }
     // Flush drains all 200 lines through several journal transactions

@@ -2,7 +2,10 @@
 //!
 //! The build environment has no crates.io access, so this vendored crate
 //! provides the subset of the real `bytes` API the workspace uses: an
-//! immutable, cheaply clonable byte buffer backed by an `Arc<[u8]>`.
+//! immutable, cheaply clonable byte buffer. Like the real crate, a
+//! `Bytes` is a *view* — `clone` bumps a refcount and [`Bytes::slice`]
+//! narrows the view without copying — so protocol stacks can carve
+//! payloads out of received frames allocation-free.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -10,38 +13,53 @@ use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// A cheaply clonable, immutable contiguous slice of memory.
+/// A cheaply clonable, immutable contiguous slice of memory: a refcounted
+/// buffer plus the window of it this value exposes.
 #[derive(Clone)]
-pub struct Bytes(Arc<[u8]>);
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
     /// Creates a new empty `Bytes`.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes::from_arc(Arc::from(&[][..]))
     }
 
     /// Creates `Bytes` from a static slice without copying semantics
     /// mattering (this implementation copies into an `Arc`).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes(Arc::from(bytes))
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Creates `Bytes` by copying the given slice.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::from_arc(Arc::from(data))
     }
 
-    /// Number of bytes in the buffer.
+    /// Number of bytes in the view.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
-    /// True when the buffer holds no bytes.
+    /// True when the view holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
-    /// Returns a slice of self for the provided range.
+    /// Returns a narrowed view of self for the provided range — shares
+    /// the backing buffer, no copy.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -52,14 +70,23 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.0.len(),
+            Bound::Unbounded => self.len(),
         };
-        Bytes(Arc::from(&self.0[start..end]))
+        assert!(start <= end && end <= self.len(), "slice out of range");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + start,
+            end: self.start + end,
+        }
     }
 
-    /// Copies the buffer into a fresh `Vec<u8>`.
+    /// Copies the view into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
     }
 }
 
@@ -72,43 +99,43 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        Bytes::from_arc(Arc::from(v.into_boxed_slice()))
     }
 }
 
 impl From<&'static [u8]> for Bytes {
     fn from(s: &'static [u8]) -> Self {
-        Bytes(Arc::from(s))
+        Bytes::from_arc(Arc::from(s))
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(s: &'static str) -> Self {
-        Bytes(Arc::from(s.as_bytes()))
+        Bytes::from_arc(Arc::from(s.as_bytes()))
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
-        Bytes(Arc::from(b))
+        Bytes::from_arc(Arc::from(b))
     }
 }
 
@@ -121,7 +148,7 @@ impl FromIterator<u8> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.as_slice() {
             if (b' '..=b'~').contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -134,7 +161,7 @@ impl fmt::Debug for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.0[..] == other.0[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -148,43 +175,43 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0[..].cmp(&other.0[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.0[..].hash(state)
+        self.as_slice().hash(state)
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.0[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Bytes> for [u8] {
     fn eq(&self, other: &Bytes) -> bool {
-        *self == other.0[..]
+        self == other.as_slice()
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.0[..] == other[..]
+        *self.as_slice() == other[..]
     }
 }
 
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self[..] == other.0[..]
+        self[..] == *other.as_slice()
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.0[..] == **other
+        self.as_slice() == *other
     }
 }
 
@@ -192,7 +219,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type Item = &'a u8;
     type IntoIter = std::slice::Iter<'a, u8>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.as_slice().iter()
     }
 }
 
@@ -209,5 +236,27 @@ mod tests {
         assert_eq!(b.slice(1..).to_vec(), vec![2, 3]);
         assert!(Bytes::new().is_empty());
         assert_eq!(format!("{:?}", Bytes::from_static(b"a\x00")), "b\"a\\x00\"");
+    }
+
+    #[test]
+    fn slice_shares_the_backing_buffer() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let view = b.slice(2..6);
+        assert_eq!(&view[..], &[2, 3, 4, 5]);
+        // Same allocation: the view's first byte lives inside b's range.
+        let base = b.as_slice().as_ptr() as usize;
+        let vp = view.as_slice().as_ptr() as usize;
+        assert_eq!(vp, base + 2);
+        // Nested slices compose offsets.
+        let inner = view.slice(1..3);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(inner.as_slice().as_ptr() as usize, base + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn slice_out_of_range_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(2..5);
     }
 }
