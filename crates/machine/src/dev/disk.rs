@@ -45,6 +45,15 @@ pub struct Disk {
     data: Vec<u8>,
     reads: u64,
     writes: u64,
+    /// Injected fault window: the next N sector transfers fail with a
+    /// *transient* error (the retryable class — a recoverable media or
+    /// bus hiccup, not a power loss or a bad address).
+    transient_errors: u64,
+    /// Injected latency spike: extra cycles per sector transfer...
+    latency_extra: Cycles,
+    /// ...for this many more transfers.
+    latency_ops: u64,
+    transient_fired: u64,
 }
 
 impl Disk {
@@ -54,7 +63,63 @@ impl Disk {
             data: vec![0; sectors * SECTOR_SIZE],
             reads: 0,
             writes: 0,
+            transient_errors: 0,
+            latency_extra: 0,
+            latency_ops: 0,
+            transient_fired: 0,
         }
+    }
+
+    /// Arms a transient-fault window: the next `n` sector reads/writes
+    /// fail with an error whose message contains `"transient"` (the class
+    /// `store::retry` retries). Torn crash writes are unaffected — a
+    /// power failure is not a transient condition.
+    pub fn inject_transient_errors(&mut self, n: u64) {
+        self.transient_errors = n;
+    }
+
+    /// Arms a latency spike: the next `ops` sector transfers each take
+    /// `extra` additional cycles (charged by the driver issuing them).
+    pub fn inject_latency(&mut self, extra: Cycles, ops: u64) {
+        self.latency_extra = extra;
+        self.latency_ops = ops;
+    }
+
+    /// Clears any armed fault windows — what a power cycle does to a
+    /// transient condition. [`crate::Machine::reboot`] does not know
+    /// about devices, so supervisors call this explicitly.
+    pub fn clear_faults(&mut self) {
+        self.transient_errors = 0;
+        self.latency_extra = 0;
+        self.latency_ops = 0;
+    }
+
+    /// Driver side: extra cycles the next sector transfer costs under the
+    /// armed latency spike (0 once the window is exhausted). Consumes one
+    /// op from the window.
+    pub fn take_op_latency(&mut self) -> Cycles {
+        if self.latency_ops == 0 {
+            return 0;
+        }
+        self.latency_ops -= 1;
+        self.latency_extra
+    }
+
+    /// Transient errors injected so far (fired, not armed).
+    pub fn transient_fired(&self) -> u64 {
+        self.transient_fired
+    }
+
+    /// Consumes one armed transient fault, if any.
+    fn fault_check(&mut self) -> MachineResult<()> {
+        if self.transient_errors > 0 {
+            self.transient_errors -= 1;
+            self.transient_fired += 1;
+            return Err(MachineError::Device(
+                "disk: transient I/O error (injected)".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Number of sectors.
@@ -64,6 +129,7 @@ impl Disk {
 
     /// Reads one sector (driver side; the driver charges transfer cost).
     pub fn read_sector(&mut self, idx: u64) -> MachineResult<[u8; SECTOR_SIZE]> {
+        self.fault_check()?;
         let start = (idx as usize)
             .checked_mul(SECTOR_SIZE)
             .filter(|s| s + SECTOR_SIZE <= self.data.len())
@@ -76,6 +142,7 @@ impl Disk {
 
     /// Writes one sector.
     pub fn write_sector(&mut self, idx: u64, buf: &[u8; SECTOR_SIZE]) -> MachineResult<()> {
+        self.fault_check()?;
         let start = (idx as usize)
             .checked_mul(SECTOR_SIZE)
             .filter(|s| s + SECTOR_SIZE <= self.data.len())
@@ -238,6 +305,28 @@ mod tests {
             batch_transfer_cost(4),
             SECTOR_TRANSFER_COST + 3 * SECTOR_STREAM_COST
         );
+    }
+
+    #[test]
+    fn injected_faults_fire_then_clear() {
+        let mut d = Disk::new(4);
+        d.inject_transient_errors(2);
+        let e = d.read_sector(0).unwrap_err();
+        assert!(e.to_string().contains("transient"), "{e}");
+        assert!(d.write_sector(0, &[0u8; SECTOR_SIZE]).is_err());
+        // Window exhausted: back to normal.
+        d.read_sector(0).unwrap();
+        assert_eq!(d.transient_fired(), 2);
+        // Torn crash writes bypass the transient window entirely.
+        d.inject_transient_errors(1);
+        d.write_sector_prefix(1, &[0xCC; SECTOR_SIZE], 8).unwrap();
+        // Latency spikes decay per consumed op, and clear_faults drops
+        // everything armed.
+        d.inject_latency(5_000, 2);
+        assert_eq!(d.take_op_latency(), 5_000);
+        d.clear_faults();
+        assert_eq!(d.take_op_latency(), 0);
+        d.read_sector(2).unwrap();
     }
 
     #[test]

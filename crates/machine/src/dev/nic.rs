@@ -52,6 +52,10 @@ pub struct Nic {
     /// Set when a frame arrived since the last tick, so the interrupt is
     /// raised from `tick` (device time), not from the host injector.
     rx_event: bool,
+    /// Carrier state. A downed link blackholes both directions — the
+    /// cable-pulled fault chaos drills inject; dropped frames count.
+    link_up: bool,
+    tx_dropped: u64,
 }
 
 impl Default for Nic {
@@ -79,7 +83,27 @@ impl Nic {
             tx_total: 0,
             irq_enable: true,
             rx_event: false,
+            link_up: true,
+            tx_dropped: 0,
         }
+    }
+
+    /// Raises or drops the carrier. While down, transmitted and injected
+    /// frames are silently blackholed (counted in the drop stats), exactly
+    /// like a pulled cable: the driver sees no error, the wire sees no
+    /// frame.
+    pub fn set_link_up(&mut self, up: bool) {
+        self.link_up = up;
+    }
+
+    /// Current carrier state.
+    pub fn link_up(&self) -> bool {
+        self.link_up
+    }
+
+    /// Frames blackholed on transmit while the link was down.
+    pub fn tx_dropped(&self) -> u64 {
+        self.tx_dropped
     }
 
     /// Host-side: a frame arrives from the wire.
@@ -88,7 +112,7 @@ impl Nic {
     pub fn inject_rx(&mut self, frame: impl Into<Bytes>) -> bool {
         let frame = frame.into();
         self.rx_total += 1;
-        if frame.len() > MAX_FRAME || self.rx.len() >= RX_RING {
+        if !self.link_up || frame.len() > MAX_FRAME || self.rx.len() >= RX_RING {
             self.rx_dropped += 1;
             return false;
         }
@@ -113,6 +137,10 @@ impl Nic {
             )));
         }
         self.tx_total += 1;
+        if !self.link_up {
+            self.tx_dropped += 1;
+            return Ok(());
+        }
         self.tx_log.push_back(frame);
         Ok(())
     }
@@ -219,6 +247,25 @@ mod tests {
         assert_eq!(nic.rx_pending(), RX_RING);
         assert_eq!(nic.dropped(), 5);
         assert_eq!(nic.read_reg(regs::RX_DROPPED).unwrap(), 5);
+    }
+
+    #[test]
+    fn downed_link_blackholes_both_directions() {
+        let mut nic = Nic::new();
+        nic.set_link_up(false);
+        assert!(!nic.link_up());
+        // Transmit succeeds from the driver's view but nothing hits the
+        // wire; injected frames never reach the ring.
+        nic.tx(vec![1u8; 8]).unwrap();
+        assert_eq!(nic.tx_take(), None);
+        assert_eq!(nic.tx_dropped(), 1);
+        assert!(!nic.inject_rx(vec![2u8; 8]));
+        assert_eq!(nic.rx_pending(), 0);
+        // Carrier restored: traffic flows again.
+        nic.set_link_up(true);
+        nic.tx(vec![3u8; 8]).unwrap();
+        assert_eq!(nic.tx_take().unwrap(), vec![3u8; 8]);
+        assert!(nic.inject_rx(vec![4u8; 8]));
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! `recv`, replies and gratuitous announcements populate the cache, and
 //! everything else passes through untouched.
 //!
+//! Outbound IPv4 frames addressed to the link-broadcast MAC — the
+//! signature of an upper layer that could not resolve its next hop —
+//! are **parked** per destination IP rather than flooded: the layer
+//! drives resolution itself and releases the queue rewritten to the
+//! learned unicast MAC when the reply lands. Each per-IP queue is
+//! bounded at [`ARP_PENDING_MAX`] frames, dropping the oldest beyond
+//! that, so an unresolvable peer costs bounded memory.
+//!
 //! The `arp` interface:
 //! - `resolve(ip: int) -> bytes` — 6-byte MAC on a cache hit; on a miss
 //!   broadcasts a request and returns empty (poll again after the reply
@@ -16,13 +24,20 @@
 //! - `insert(ip: int, mac: bytes) -> unit` — static entry,
 //! - `announce() -> unit` — gratuitous ARP for our own address,
 //! - `stats() -> list [requests_tx, replies_tx, replies_rx, hits, misses,
-//!   entries]`.
+//!   entries, pending, pending_dropped]`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use paramecium_obj::{ObjError, ObjRef, ObjectBuilder, TypeTag, Value};
 
-use crate::wire::{self, ArpPacket, EthHeader, Mac, ARP_OP_REPLY, ARP_OP_REQUEST, ETHERTYPE_ARP};
+use crate::wire::{
+    self, ArpPacket, EthHeader, Ipv4Header, Mac, ARP_OP_REPLY, ARP_OP_REQUEST, ETHERTYPE_ARP,
+    ETHERTYPE_IPV4, MAC_BROADCAST,
+};
+
+/// Cap on frames parked per unresolved IP; the oldest is dropped to
+/// admit a newer one beyond this.
+pub const ARP_PENDING_MAX: usize = 16;
 
 /// ARP layer state.
 struct ArpState {
@@ -30,11 +45,14 @@ struct ArpState {
     ip: u32,
     mac: Mac,
     cache: HashMap<u32, Mac>,
+    /// Outbound frames awaiting resolution, keyed by destination IP.
+    pending: HashMap<u32, VecDeque<bytes::Bytes>>,
     requests_tx: u64,
     replies_tx: u64,
     replies_rx: u64,
     hits: u64,
     misses: u64,
+    pending_dropped: u64,
 }
 
 impl ArpState {
@@ -44,14 +62,67 @@ impl ArpState {
         Ok(())
     }
 
+    /// Outbound frame: IPv4 going out link-broadcast is parked until
+    /// its destination resolves; everything else passes straight down.
+    fn send_out(&mut self, frame: bytes::Bytes) -> Result<(), ObjError> {
+        let dst_ip = match EthHeader::parse(&frame) {
+            Ok((eth, payload)) if eth.ethertype == ETHERTYPE_IPV4 && eth.dst == MAC_BROADCAST => {
+                match Ipv4Header::parse(payload) {
+                    // Genuine broadcast IP traffic is meant to flood.
+                    Ok((ip, _)) if ip.dst != u32::MAX => Some(ip.dst),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        let Some(dst_ip) = dst_ip else {
+            return self.send_lower(frame.to_vec());
+        };
+        if let Some(mac) = self.cache.get(&dst_ip) {
+            // Late cache hit: rewrite to unicast and send now.
+            let mut out = frame.to_vec();
+            out[0..6].copy_from_slice(mac);
+            return self.send_lower(out);
+        }
+        let queue = self.pending.entry(dst_ip).or_default();
+        if queue.len() >= ARP_PENDING_MAX {
+            queue.pop_front();
+            self.pending_dropped += 1;
+        }
+        let first = queue.is_empty();
+        queue.push_back(frame);
+        if first {
+            // Drive resolution for a queue that just became non-empty.
+            let req = ArpPacket {
+                op: ARP_OP_REQUEST,
+                sender_mac: self.mac,
+                sender_ip: self.ip,
+                target_mac: [0; 6],
+                target_ip: dst_ip,
+            }
+            .to_frame(self.mac, wire::MAC_BROADCAST);
+            self.send_lower(req)?;
+            self.requests_tx += 1;
+        }
+        Ok(())
+    }
+
     /// Handles an inbound ARP payload. Returns `true` if it was consumed.
     fn absorb(&mut self, payload: &[u8]) -> Result<bool, ObjError> {
         let Ok(pkt) = ArpPacket::parse(payload) else {
             // Malformed ARP is consumed (counted nowhere to deliver it).
             return Ok(true);
         };
-        // Every valid ARP packet teaches us the sender's binding.
+        // Every valid ARP packet teaches us the sender's binding —
+        // and releases any frames parked on it, rewritten to unicast.
         self.cache.insert(pkt.sender_ip, pkt.sender_mac);
+        if let Some(queue) = self.pending.remove(&pkt.sender_ip) {
+            for frame in queue {
+                let mut frame = frame.to_vec();
+                frame[0..6].copy_from_slice(&pkt.sender_mac);
+                self.send_lower(frame)?;
+            }
+        }
         match pkt.op {
             ARP_OP_REQUEST if pkt.target_ip == self.ip => {
                 let reply = ArpPacket {
@@ -81,16 +152,21 @@ pub fn make_arp(lower: ObjRef, ip: u32, mac: Mac) -> ObjRef {
             ip,
             mac,
             cache: HashMap::new(),
+            pending: HashMap::new(),
             requests_tx: 0,
             replies_tx: 0,
             replies_rx: 0,
             hits: 0,
             misses: 0,
+            pending_dropped: 0,
         })
         .interface("netdev", |i| {
             i.method("send", &[TypeTag::Bytes], TypeTag::Unit, |this, args| {
-                let lower = this.with_state(|s: &mut ArpState| Ok(s.lower.clone()))?;
-                lower.invoke("netdev", "send", args)
+                let frame = args[0].as_bytes()?.clone();
+                this.with_state(|s: &mut ArpState| {
+                    s.send_out(frame)?;
+                    Ok(Value::Unit)
+                })
             })
             .method("recv", &[], TypeTag::Bytes, |this, _| {
                 // Pull from below until a non-ARP frame (or nothing) shows
@@ -194,6 +270,8 @@ pub fn make_arp(lower: ObjRef, ip: u32, mac: Mac) -> ObjRef {
                         Value::Int(s.hits as i64),
                         Value::Int(s.misses as i64),
                         Value::Int(s.cache.len() as i64),
+                        Value::Int(s.pending.values().map(VecDeque::len).sum::<usize>() as i64),
+                        Value::Int(s.pending_dropped as i64),
                     ]))
                 })
             })
@@ -297,6 +375,70 @@ mod tests {
         assert_eq!(resolve(&b, IP_A), MAC_A.to_vec());
         let s = b.invoke("arp", "stats", &[]).unwrap();
         assert_eq!(s.as_list().unwrap()[0], Value::Int(0), "no request sent");
+    }
+
+    fn arp_stats(host: &ObjRef) -> Vec<i64> {
+        host.invoke("arp", "stats", &[])
+            .unwrap()
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn unresolved_frames_park_then_flush_unicast_on_reply() {
+        let (machine, a, b) = two_hosts();
+        // An upper layer that failed to resolve sends link-broadcast.
+        let frame = wire::build_udp_frame(MAC_A, wire::MAC_BROADCAST, IP_A, IP_B, 1, 2, b"held");
+        a.invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(frame))])
+            .unwrap();
+        assert_eq!(arp_stats(&a)[6], 1, "frame parked awaiting resolution");
+        machine.lock().tick(10);
+        pump(&b); // B absorbs the request and replies; no data yet.
+        machine.lock().tick(10);
+        pump(&a); // A absorbs the reply and releases the parked frame.
+        assert_eq!(arp_stats(&a)[6], 0, "queue drained on learn");
+        machine.lock().tick(10);
+        let got = b.invoke("netdev", "recv", &[]).unwrap();
+        let got = got.as_bytes().unwrap();
+        assert_eq!(&got[0..6], &MAC_B[..], "released frame went out unicast");
+        assert_eq!(&got[got.len() - 4..], b"held");
+    }
+
+    #[test]
+    fn pending_queue_is_bounded_dropping_oldest() {
+        let (machine, a, b) = two_hosts();
+        for i in 0..(ARP_PENDING_MAX as u8 + 3) {
+            let frame = wire::build_udp_frame(MAC_A, wire::MAC_BROADCAST, IP_A, IP_B, 1, 2, &[i]);
+            a.invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(frame))])
+                .unwrap();
+        }
+        let s = arp_stats(&a);
+        assert_eq!(s[6], ARP_PENDING_MAX as i64, "queue capped");
+        assert_eq!(s[7], 3, "overflow counted as dropped");
+        assert_eq!(s[0], 1, "one request per unresolved destination");
+        // Resolution releases the survivors — the oldest three are gone.
+        machine.lock().tick(10);
+        pump(&b);
+        machine.lock().tick(10);
+        pump(&a);
+        machine.lock().tick(10);
+        let mut payloads = Vec::new();
+        loop {
+            let f = b.invoke("netdev", "recv", &[]).unwrap();
+            let f = f.as_bytes().unwrap();
+            if f.is_empty() {
+                break;
+            }
+            payloads.push(f[f.len() - 1]);
+        }
+        let expect: Vec<u8> = (3..ARP_PENDING_MAX as u8 + 3).collect();
+        assert_eq!(
+            payloads, expect,
+            "drop-oldest kept the newest frames in order"
+        );
     }
 
     #[test]

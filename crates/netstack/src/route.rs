@@ -11,14 +11,21 @@
 //!   IPv4 destination, `recv` drains the member devices round-robin;
 //! - a `route` interface for the table itself:
 //!   - `add_route(prefix: int, len: int, ifindex: int) -> unit`,
+//!   - `del_route(prefix: int, len: int) -> unit` — runtime removal (the
+//!     chaos drills' route-flap primitive),
 //!   - `lookup(ip: int) -> int` — matching ifindex, `-1` if none,
+//!   - `probe_window() -> int` / `set_if_up(ifindex, up)` /
+//!     `if_health() -> list` — dead-gateway detection: an interface that
+//!     transmits for [`DEAD_AFTER_WINDOWS`] consecutive windows without
+//!     receiving anything is marked dead, traffic fails over to the next
+//!     matching route, and any received frame heals it,
 //!   - `forward() -> int` — transit forwarding: drain every member and
 //!     re-emit frames routed to a *different* interface (TTL decremented,
-//'     IP checksum recomputed, Ethernet rewritten); frames addressed to
+//!     IP checksum recomputed, Ethernet rewritten); frames addressed to
 //!     one of the router's own IPs queue for local `recv`. Returns frames
 //!     moved,
 //!   - `stats() -> list [forwarded, local, no_route, ttl_expired,
-//!     malformed]`,
+//!     malformed, failover, unreachable, dead_marks]`,
 //!   - `route_stats() -> list of [prefix, len, ifindex, packets, bytes]`.
 //!
 //! Frames a `netdev send` cannot route (no matching prefix) are counted
@@ -62,11 +69,42 @@ impl RouteEntry {
     }
 }
 
+/// Consecutive tx-without-rx probe windows before an interface's lower
+/// driver is declared dead and traffic fails over (see `probe_window`).
+pub const DEAD_AFTER_WINDOWS: u32 = 3;
+
+/// Dead-gateway health for one interface. A *window* is the span between
+/// two `probe_window` calls (the drill scheduler closes one per round or
+/// per N rounds): transmitting all window without hearing anything back
+/// is one miss; [`DEAD_AFTER_WINDOWS`] consecutive misses mark the lower
+/// driver dead. Any received frame heals it instantly — receipt is proof
+/// of life, so recovery needs no probe cycles.
+#[derive(Default)]
+struct IfHealth {
+    tx_win: u64,
+    rx_win: u64,
+    misses: u32,
+    dead: bool,
+}
+
+/// Outcome of a liveness-aware route lookup.
+enum AliveLookup {
+    /// Usable entry; `failed_over` when a better-matching route was
+    /// skipped because its interface is dead.
+    Via { entry: usize, failed_over: bool },
+    /// Routes match but every matching interface is dead.
+    AllDead,
+    /// Nothing matches.
+    NoRoute,
+}
+
 /// Router state.
 struct RouterState {
     ifs: Vec<RouteIf>,
     /// Sorted by prefix length, longest first — lookup is first match.
     table: Vec<RouteEntry>,
+    /// Per-interface dead-gateway detection state (parallel to `ifs`).
+    health: Vec<IfHealth>,
     /// Frames addressed to one of our own IPs, surfaced through `recv`.
     local: VecDeque<bytes::Bytes>,
     /// Round-robin cursor for `recv`.
@@ -76,11 +114,54 @@ struct RouterState {
     no_route: u64,
     ttl_expired: u64,
     malformed: u64,
+    /// Frames routed around a dead interface to a worse-matching route.
+    failover: u64,
+    /// Frames dropped because every matching route's interface was dead.
+    unreachable: u64,
+    /// Times an interface was marked dead.
+    dead_marks: u64,
 }
 
 impl RouterState {
     fn lookup(&mut self, ip: u32) -> Option<usize> {
         self.table.iter().position(|r| r.matches(ip))
+    }
+
+    /// Longest-prefix match that skips dead interfaces: the best route
+    /// whose lower driver is alive wins, so a dead gateway fails over to
+    /// the next matching (typically shorter-prefix) route.
+    fn lookup_alive(&self, ip: u32) -> AliveLookup {
+        let mut dead_match = false;
+        for (idx, r) in self.table.iter().enumerate() {
+            if !r.matches(ip) {
+                continue;
+            }
+            if self.health[r.ifindex].dead {
+                dead_match = true;
+                continue;
+            }
+            return AliveLookup::Via {
+                entry: idx,
+                failed_over: dead_match,
+            };
+        }
+        if dead_match {
+            AliveLookup::AllDead
+        } else {
+            AliveLookup::NoRoute
+        }
+    }
+
+    fn note_tx(&mut self, ifindex: usize) {
+        self.health[ifindex].tx_win += 1;
+    }
+
+    /// A frame arrived on `ifindex`: proof of life, heal immediately.
+    fn note_rx(&mut self, ifindex: usize) {
+        let h = &mut self.health[ifindex];
+        h.rx_win += 1;
+        h.misses = 0;
+        h.dead = false;
     }
 
     fn is_local(&self, ip: u32) -> bool {
@@ -97,18 +178,26 @@ impl RouterState {
                 return Ok(false);
             }
         };
-        match self.lookup(dst) {
-            Some(entry_idx) => {
-                let entry = &mut self.table[entry_idx];
-                entry.packets += 1;
-                entry.bytes += frame.len() as u64;
-                let ifindex = entry.ifindex;
+        match self.lookup_alive(dst) {
+            AliveLookup::Via { entry, failed_over } => {
+                if failed_over {
+                    self.failover += 1;
+                }
+                let e = &mut self.table[entry];
+                e.packets += 1;
+                e.bytes += frame.len() as u64;
+                let ifindex = e.ifindex;
+                self.note_tx(ifindex);
                 self.ifs[ifindex]
                     .dev
                     .invoke("netdev", "send", &[Value::Bytes(frame.clone())])?;
                 Ok(true)
             }
-            None => {
+            AliveLookup::AllDead => {
+                self.unreachable += 1;
+                Ok(false)
+            }
+            AliveLookup::NoRoute => {
                 self.no_route += 1;
                 Ok(false)
             }
@@ -136,9 +225,21 @@ impl RouterState {
             self.delivered_local += 1;
             return Ok(false);
         }
-        let Some(entry_idx) = self.lookup(ip.dst) else {
-            self.no_route += 1;
-            return Ok(false);
+        let entry_idx = match self.lookup_alive(ip.dst) {
+            AliveLookup::Via { entry, failed_over } => {
+                if failed_over {
+                    self.failover += 1;
+                }
+                entry
+            }
+            AliveLookup::AllDead => {
+                self.unreachable += 1;
+                return Ok(false);
+            }
+            AliveLookup::NoRoute => {
+                self.no_route += 1;
+                return Ok(false);
+            }
         };
         let out_if = self.table[entry_idx].ifindex;
         if out_if == rx_if {
@@ -163,6 +264,7 @@ impl RouterState {
         let entry = &mut self.table[entry_idx];
         entry.packets += 1;
         entry.bytes += out.len() as u64;
+        self.note_tx(out_if);
         self.ifs[out_if]
             .dev
             .invoke("netdev", "send", &[Value::Bytes(bytes::Bytes::from(out))])?;
@@ -188,10 +290,12 @@ fn parse_ipv4_dst(frame: &[u8]) -> Option<u32> {
 /// instances is the canonical gateway shape).
 pub fn make_router(ifs: Vec<RouteIf>) -> ObjRef {
     assert!(!ifs.is_empty(), "router needs at least one interface");
+    let health = ifs.iter().map(|_| IfHealth::default()).collect();
     ObjectBuilder::new("router")
         .state(RouterState {
             ifs,
             table: Vec::new(),
+            health,
             local: VecDeque::new(),
             next_if: 0,
             forwarded: 0,
@@ -199,6 +303,9 @@ pub fn make_router(ifs: Vec<RouteIf>) -> ObjRef {
             no_route: 0,
             ttl_expired: 0,
             malformed: 0,
+            failover: 0,
+            unreachable: 0,
+            dead_marks: 0,
         })
         .interface("netdev", |i| {
             i.method("send", &[TypeTag::Bytes], TypeTag::Unit, |this, args| {
@@ -219,6 +326,7 @@ pub fn make_router(ifs: Vec<RouteIf>) -> ObjRef {
                         s.next_if = (s.next_if + 1) % s.ifs.len();
                         let frame = s.ifs[idx].dev.invoke("netdev", "recv", &[])?;
                         if !frame.as_bytes()?.is_empty() {
+                            s.note_rx(idx);
                             return Ok(frame);
                         }
                     }
@@ -296,6 +404,34 @@ pub fn make_router(ifs: Vec<RouteIf>) -> ObjRef {
                     })
                 },
             )
+            .method(
+                "del_route",
+                &[TypeTag::Int, TypeTag::Int],
+                TypeTag::Unit,
+                |this, args| {
+                    let prefix = args[0].as_int()? as u32;
+                    let len = args[1].as_int()?;
+                    if !(0..=32).contains(&len) {
+                        return Err(ObjError::failed("prefix length must be 0..=32"));
+                    }
+                    this.with_state(|s: &mut RouterState| {
+                        let len = len as u8;
+                        match s
+                            .table
+                            .iter()
+                            .position(|r| r.prefix == prefix && r.len == len)
+                        {
+                            Some(at) => {
+                                s.table.remove(at);
+                                Ok(Value::Unit)
+                            }
+                            None => Err(ObjError::failed(format!(
+                                "no route {prefix:#010x}/{len} to delete"
+                            ))),
+                        }
+                    })
+                },
+            )
             .method("lookup", &[TypeTag::Int], TypeTag::Int, |this, args| {
                 let ip = args[0].as_int()? as u32;
                 this.with_state(|s: &mut RouterState| {
@@ -315,6 +451,7 @@ pub fn make_router(ifs: Vec<RouteIf>) -> ObjRef {
                             if frame.is_empty() {
                                 break;
                             }
+                            s.note_rx(rx_if);
                             if s.forward_one(rx_if, frame)? {
                                 moved += 1;
                             }
@@ -331,7 +468,83 @@ pub fn make_router(ifs: Vec<RouteIf>) -> ObjRef {
                         Value::Int(s.no_route as i64),
                         Value::Int(s.ttl_expired as i64),
                         Value::Int(s.malformed as i64),
+                        Value::Int(s.failover as i64),
+                        Value::Int(s.unreachable as i64),
+                        Value::Int(s.dead_marks as i64),
                     ]))
+                })
+            })
+            // Closes one dead-gateway probe window (see [`IfHealth`]):
+            // an interface that transmitted all window without receiving
+            // takes a miss; `DEAD_AFTER_WINDOWS` consecutive misses mark
+            // it dead. Returns how many interfaces are currently dead.
+            .method("probe_window", &[], TypeTag::Int, |this, _| {
+                this.with_state(|s: &mut RouterState| {
+                    let mut dead = 0i64;
+                    let mut marks = 0u64;
+                    for h in &mut s.health {
+                        if !h.dead && h.tx_win > 0 && h.rx_win == 0 {
+                            h.misses += 1;
+                            if h.misses >= DEAD_AFTER_WINDOWS {
+                                h.dead = true;
+                                marks += 1;
+                            }
+                        } else if h.rx_win > 0 {
+                            h.misses = 0;
+                        }
+                        h.tx_win = 0;
+                        h.rx_win = 0;
+                        dead += i64::from(h.dead);
+                    }
+                    s.dead_marks += marks;
+                    Ok(Value::Int(dead))
+                })
+            })
+            // Administrative override for drills and operators: force an
+            // interface dead (as a NIC blackout would eventually be
+            // detected) or alive (clean slate, misses cleared).
+            .method(
+                "set_if_up",
+                &[TypeTag::Int, TypeTag::Bool],
+                TypeTag::Unit,
+                |this, args| {
+                    let ifindex = args[0].as_int()?;
+                    let up = args[1].as_bool()?;
+                    this.with_state(|s: &mut RouterState| {
+                        let idx = usize::try_from(ifindex)
+                            .ok()
+                            .filter(|&i| i < s.ifs.len())
+                            .ok_or_else(|| {
+                                ObjError::failed(format!("ifindex {ifindex} out of range"))
+                            })?;
+                        let h = &mut s.health[idx];
+                        if up {
+                            h.dead = false;
+                            h.misses = 0;
+                        } else if !h.dead {
+                            h.dead = true;
+                            s.dead_marks += 1;
+                        }
+                        Ok(Value::Unit)
+                    })
+                },
+            )
+            // Per-interface health rows: `[ifindex, dead, misses]`.
+            .method("if_health", &[], TypeTag::List, |this, _| {
+                this.with_state(|s: &mut RouterState| {
+                    Ok(Value::List(
+                        s.health
+                            .iter()
+                            .enumerate()
+                            .map(|(i, h)| {
+                                Value::List(vec![
+                                    Value::Int(i as i64),
+                                    Value::Int(i64::from(h.dead)),
+                                    Value::Int(i64::from(h.misses)),
+                                ])
+                            })
+                            .collect(),
+                    ))
                 })
             })
             .method("route_stats", &[], TypeTag::List, |this, _| {
@@ -548,6 +761,133 @@ mod tests {
         let s = rstats.as_list().unwrap().to_vec();
         assert_eq!(s[2], Value::Int(1), "no_route");
         assert_eq!(s[3], Value::Int(1), "ttl_expired");
+    }
+
+    #[test]
+    fn del_route_removes_at_runtime() {
+        let (_m, router, _f0, _f1) = gateway();
+        let lookup = |ip: u32| {
+            router
+                .invoke("route", "lookup", &[Value::Int(i64::from(ip))])
+                .unwrap()
+                .as_int()
+                .unwrap()
+        };
+        assert_eq!(lookup(NET1_HOST), 1);
+        router
+            .invoke(
+                "route",
+                "del_route",
+                &[Value::Int(0x0A01_0000), Value::Int(24)],
+            )
+            .unwrap();
+        assert_eq!(lookup(NET1_HOST), -1, "flapped away");
+        // Deleting twice is an error; re-adding restores service.
+        assert!(router
+            .invoke(
+                "route",
+                "del_route",
+                &[Value::Int(0x0A01_0000), Value::Int(24)],
+            )
+            .is_err());
+        router
+            .invoke(
+                "route",
+                "add_route",
+                &[Value::Int(0x0A01_0000), Value::Int(24), Value::Int(1)],
+            )
+            .unwrap();
+        assert_eq!(lookup(NET1_HOST), 1, "flapped back");
+    }
+
+    #[test]
+    fn dead_gateway_fails_over_and_heals_on_rx() {
+        let (machine, router, far0, far1) = gateway();
+        // A default route through if1 is the failover path.
+        router
+            .invoke(
+                "route",
+                "add_route",
+                &[Value::Int(0), Value::Int(0), Value::Int(1)],
+            )
+            .unwrap();
+        let probe = || {
+            router
+                .invoke("route", "probe_window", &[])
+                .unwrap()
+                .as_int()
+                .unwrap()
+        };
+        let to_net0 = wire::build_udp_frame([9; 6], [8; 6], IF0_IP, NET0_HOST, 1, 2, b"ping");
+        // Three windows of tx-without-rx on if0 mark it dead.
+        for w in 0..DEAD_AFTER_WINDOWS {
+            send_via(&router, to_net0.clone());
+            let dead = probe();
+            assert_eq!(dead, i64::from(w + 1 == DEAD_AFTER_WINDOWS));
+        }
+        machine.lock().tick(10);
+        drain(&far0); // The pre-death transmissions did reach the wire.
+                      // Dead: the /24's traffic fails over to the default route.
+        send_via(&router, to_net0.clone());
+        machine.lock().tick(10);
+        assert!(drain(&far0).is_empty(), "if0 skipped while dead");
+        assert_eq!(drain(&far1).len(), 1, "failed over to if1");
+        let s = router.invoke("route", "stats", &[]).unwrap();
+        let s = s.as_list().unwrap().to_vec();
+        assert_eq!(s[5], Value::Int(1), "failover counted");
+        assert_eq!(s[7], Value::Int(1), "one dead mark");
+        // A frame arriving on if0 is proof of life: instant heal.
+        let inbound = wire::build_udp_frame(
+            [9; 6],
+            [2, 0, 0, 0, 0, 0x10],
+            NET0_HOST,
+            IF0_IP,
+            5,
+            6,
+            b"alive",
+        );
+        far0.invoke(
+            "netdev",
+            "send",
+            &[Value::Bytes(bytes::Bytes::from(inbound))],
+        )
+        .unwrap();
+        machine.lock().tick(10);
+        assert!(!drain(&router).is_empty());
+        assert_eq!(probe(), 0, "healed");
+        send_via(&router, to_net0);
+        machine.lock().tick(10);
+        assert_eq!(drain(&far0).len(), 1, "traffic back on the best route");
+    }
+
+    #[test]
+    fn zero_healthy_routes_is_unreachable_not_a_panic() {
+        let (machine, router, far0, far1) = gateway();
+        for ifi in [0i64, 1] {
+            router
+                .invoke("route", "set_if_up", &[Value::Int(ifi), Value::Bool(false)])
+                .unwrap();
+        }
+        let f = wire::build_udp_frame([9; 6], [8; 6], IF0_IP, NET0_HOST, 1, 2, b"void");
+        send_via(&router, f); // Must return cleanly, not panic.
+        machine.lock().tick(10);
+        assert!(drain(&far0).is_empty() && drain(&far1).is_empty());
+        let s = router.invoke("route", "stats", &[]).unwrap();
+        let s = s.as_list().unwrap().to_vec();
+        assert_eq!(s[6], Value::Int(1), "unreachable counted");
+        assert_eq!(s[2], Value::Int(0), "distinct from no_route");
+        let health = router.invoke("route", "if_health", &[]).unwrap();
+        for row in health.as_list().unwrap() {
+            assert_eq!(row.as_list().unwrap()[1], Value::Int(1), "marked dead");
+        }
+        // set_if_up(true) restores service without probe cycles.
+        router
+            .invoke("route", "set_if_up", &[Value::Int(0), Value::Bool(true)])
+            .unwrap();
+        let f = wire::build_udp_frame([9; 6], [8; 6], IF0_IP, NET0_HOST, 1, 2, b"back");
+        send_via(&router, f);
+        machine.lock().tick(10);
+        assert_eq!(drain(&far0).len(), 1);
     }
 
     #[test]

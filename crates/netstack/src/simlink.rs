@@ -72,6 +72,84 @@ impl LinkConfig {
             delay_max: 5_000,
         }
     }
+
+    /// A fully partitioned wire: every frame is dropped. Chaos drills
+    /// apply this at runtime (via `link set_config`) to cut a link
+    /// mid-stream, then restore the saved config to heal it.
+    pub fn partitioned(seed: u64) -> Self {
+        LinkConfig {
+            drop_permille: 1000,
+            ..LinkConfig::perfect(seed)
+        }
+    }
+
+    /// Checks the knobs are meaningful: permille fields are
+    /// probabilities (≤ 1000) and the delay envelope is ordered.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("drop_permille", self.drop_permille),
+            ("dup_permille", self.dup_permille),
+            ("reorder_permille", self.reorder_permille),
+            ("corrupt_permille", self.corrupt_permille),
+        ] {
+            if v > 1000 {
+                return Err(format!("{name} = {v} exceeds 1000 (permille)"));
+            }
+        }
+        if self.delay_min > self.delay_max {
+            return Err(format!(
+                "delay_min {} exceeds delay_max {}",
+                self.delay_min, self.delay_max
+            ));
+        }
+        Ok(())
+    }
+
+    /// The runtime-settable knobs as the `link config`/`set_config` wire
+    /// list: `[drop, dup, reorder, corrupt, delay_min, delay_max]`. The
+    /// seed is deliberately absent — a live link's RNG stream never
+    /// restarts, so replays stay bit-identical across reconfigs.
+    pub fn to_knobs(&self) -> Vec<Value> {
+        vec![
+            Value::Int(i64::from(self.drop_permille)),
+            Value::Int(i64::from(self.dup_permille)),
+            Value::Int(i64::from(self.reorder_permille)),
+            Value::Int(i64::from(self.corrupt_permille)),
+            Value::Int(self.delay_min as i64),
+            Value::Int(self.delay_max as i64),
+        ]
+    }
+
+    /// Parses the `set_config` knob list (see [`LinkConfig::to_knobs`])
+    /// onto `self`, validating ranges.
+    fn apply_knobs(&mut self, knobs: &[Value]) -> paramecium_obj::ObjResult<()> {
+        use paramecium_obj::ObjError;
+        if knobs.len() != 6 {
+            return Err(ObjError::failed(format!(
+                "link config takes 6 knobs, got {}",
+                knobs.len()
+            )));
+        }
+        let mut ints = [0i64; 6];
+        for (slot, v) in ints.iter_mut().zip(knobs) {
+            *slot = v.as_int()?;
+            if *slot < 0 {
+                return Err(ObjError::failed("link config knobs must be non-negative"));
+            }
+        }
+        let next = LinkConfig {
+            seed: self.seed,
+            drop_permille: ints[0].min(i64::from(u16::MAX)) as u16,
+            dup_permille: ints[1].min(i64::from(u16::MAX)) as u16,
+            reorder_permille: ints[2].min(i64::from(u16::MAX)) as u16,
+            corrupt_permille: ints[3].min(i64::from(u16::MAX)) as u16,
+            delay_min: ints[4] as u64,
+            delay_max: ints[5] as u64,
+        };
+        next.validate().map_err(ObjError::failed)?;
+        *self = next;
+        Ok(())
+    }
 }
 
 /// Per-direction counters, readable via `netdev stats` on the *sending*
@@ -93,7 +171,10 @@ pub struct LinkStats {
 }
 
 /// One direction of the wire: frames in flight keyed by delivery time.
+/// Each direction owns its impairment config, so drills can impair (or
+/// cut) one direction while the other keeps flowing.
 struct Direction {
+    cfg: LinkConfig,
     rng: StdRng,
     /// `(deliver_at, tiebreak) -> frame`; the tiebreak keeps equal-time
     /// frames in insertion order.
@@ -103,8 +184,9 @@ struct Direction {
 }
 
 impl Direction {
-    fn new(seed: u64) -> Self {
+    fn new(cfg: LinkConfig, seed: u64) -> Self {
         Direction {
+            cfg,
             rng: StdRng::seed_from_u64(seed),
             in_flight: BTreeMap::new(),
             next_tiebreak: 0,
@@ -126,7 +208,11 @@ impl Direction {
         self.in_flight.insert((deliver_at, tb), frame);
     }
 
-    fn transmit(&mut self, cfg: &LinkConfig, now: u64, frame: bytes::Bytes) {
+    fn transmit(&mut self, now: u64, frame: bytes::Bytes) {
+        // Copy out the (Copy) config so the roll closure can borrow the
+        // RNG mutably while the knobs are read.
+        let cfg = self.cfg;
+        let cfg = &cfg;
         self.stats.sent += 1;
         let roll = |rng: &mut StdRng, permille: u16| -> bool {
             permille > 0 && rng.gen_range(0u32..1000) < u32::from(permille)
@@ -178,7 +264,6 @@ impl Direction {
 
 /// The shared wire: direction 0 carries endpoint A→B, direction 1 B→A.
 struct LinkCore {
-    cfg: LinkConfig,
     dirs: [Direction; 2],
 }
 
@@ -223,8 +308,7 @@ fn make_endpoint(
                 this.with_state(|s: &mut EndpointState| {
                     let now = s.now();
                     let mut core = s.core.lock();
-                    let cfg = core.cfg;
-                    core.dirs[s.tx_dir].transmit(&cfg, now, frame);
+                    core.dirs[s.tx_dir].transmit(now, frame);
                     Ok(Value::Unit)
                 })
             })
@@ -253,6 +337,30 @@ fn make_endpoint(
                 })
             })
         })
+        // Runtime impairment control over this endpoint's *transmit*
+        // direction. The RNG stream is untouched by reconfig, so a drill
+        // that partitions and heals replays bit-identically.
+        .interface("link", |i| {
+            i.method(
+                "set_config",
+                &[TypeTag::List],
+                TypeTag::Unit,
+                |this, args| {
+                    let knobs = args[0].as_list()?.to_vec();
+                    this.with_state(|s: &mut EndpointState| {
+                        let mut core = s.core.lock();
+                        core.dirs[s.tx_dir].cfg.apply_knobs(&knobs)?;
+                        Ok(Value::Unit)
+                    })
+                },
+            )
+            .method("config", &[], TypeTag::List, |this, _| {
+                this.with_state(|s: &mut EndpointState| {
+                    let core = s.core.lock();
+                    Ok(Value::List(core.dirs[s.tx_dir].cfg.to_knobs()))
+                })
+            })
+        })
         .build()
 }
 
@@ -262,11 +370,13 @@ fn make_endpoint(
 /// virtual clock, so `recv` only yields a frame once the clock has passed
 /// its arrival time.
 pub fn make_simlink(machine: Arc<Mutex<Machine>>, cfg: LinkConfig) -> (ObjRef, ObjRef) {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid LinkConfig: {e}");
+    }
     let core = Arc::new(Mutex::new(LinkCore {
-        cfg,
         dirs: [
-            Direction::new(cfg.seed.wrapping_mul(2).wrapping_add(1)),
-            Direction::new(cfg.seed.wrapping_mul(2).wrapping_add(2)),
+            Direction::new(cfg, cfg.seed.wrapping_mul(2).wrapping_add(1)),
+            Direction::new(cfg, cfg.seed.wrapping_mul(2).wrapping_add(2)),
         ],
     }));
     let a = make_endpoint(core.clone(), machine.clone(), 0);
@@ -376,6 +486,77 @@ mod tests {
         assert_eq!(
             stats1.sent + stats1.duplicated - stats1.dropped,
             stats1.delivered
+        );
+    }
+
+    #[test]
+    fn permille_fields_validate_at_construction() {
+        let mut cfg = LinkConfig::perfect(1);
+        cfg.drop_permille = 1001;
+        assert!(cfg.validate().is_err());
+        cfg.drop_permille = 1000;
+        assert!(cfg.validate().is_ok());
+        cfg.corrupt_permille = 2000;
+        assert!(cfg.validate().is_err());
+        let mut inverted = LinkConfig::perfect(1);
+        inverted.delay_min = 10;
+        inverted.delay_max = 5;
+        assert!(inverted.validate().is_err());
+        assert!(LinkConfig::partitioned(3).validate().is_ok());
+        assert_eq!(LinkConfig::partitioned(3).drop_permille, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid LinkConfig")]
+    fn make_simlink_rejects_invalid_config() {
+        let machine = Arc::new(Mutex::new(Machine::new()));
+        let mut cfg = LinkConfig::perfect(1);
+        cfg.dup_permille = 9999;
+        let _ = make_simlink(machine, cfg);
+    }
+
+    #[test]
+    fn runtime_set_config_partitions_and_heals_one_direction() {
+        let (machine, a, b) = setup(LinkConfig::perfect(5));
+        // Save the healthy config, then cut only A→B.
+        let healthy = a.invoke("link", "config", &[]).unwrap();
+        a.invoke(
+            "link",
+            "set_config",
+            &[Value::List(LinkConfig::partitioned(5).to_knobs())],
+        )
+        .unwrap();
+        send(&a, &[1]);
+        send(&b, &[9]);
+        machine.lock().tick(10);
+        assert!(recv(&b).is_empty(), "A→B is cut");
+        assert_eq!(recv(&a), vec![9], "B→A still flows");
+        // Heal: restore the saved knobs; traffic resumes.
+        a.invoke("link", "set_config", &[healthy]).unwrap();
+        send(&a, &[2]);
+        machine.lock().tick(10);
+        assert_eq!(recv(&b), vec![2]);
+        // The partition was counted as drops on the sender's stats.
+        let stats = a.invoke("netdev", "stats", &[]).unwrap();
+        assert_eq!(stats.as_list().unwrap()[2], Value::Int(1));
+    }
+
+    #[test]
+    fn runtime_set_config_rejects_bad_knobs() {
+        let (_machine, a, _b) = setup(LinkConfig::perfect(5));
+        let mut knobs = LinkConfig::perfect(5).to_knobs();
+        knobs[0] = Value::Int(1001);
+        assert!(a
+            .invoke("link", "set_config", &[Value::List(knobs)])
+            .is_err());
+        let short = vec![Value::Int(0); 3];
+        assert!(a
+            .invoke("link", "set_config", &[Value::List(short)])
+            .is_err());
+        // The failed reconfigs left the link untouched.
+        assert_eq!(
+            a.invoke("link", "config", &[]).unwrap(),
+            Value::List(LinkConfig::perfect(5).to_knobs())
         );
     }
 

@@ -8,7 +8,19 @@
 //!   `accept(port: int) -> int` (id, `-1` when the backlog is empty),
 //! - `send(id: int, data: bytes) -> int` (bytes accepted into the send
 //!   buffer), `recv(id: int, max: int) -> bytes`, `close(id: int)`,
-//! - `state(id: int) -> str`, `stats() -> list`, `set_filter(handle)`,
+//! - `state(id: int) -> str`, `error(id: int) -> str` (why a dead
+//!   connection died: `"reset"`, `"user-timeout"`,
+//!   `"keepalive-timeout"`, `"retries-exhausted"`, or `""`),
+//! - `set_user_timeout(id: int, cycles: int)` — RFC 5482 bound on how
+//!   long data may sit unacknowledged before the connection aborts
+//!   cleanly (default [`DEFAULT_USER_TIMEOUT`], 0 disables),
+//! - `set_keepalive(id: int, interval: int)` — probe an idle
+//!   connection every `interval` cycles; [`KEEPALIVE_PROBES`]
+//!   unanswered probes abort it (0 disables),
+//! - `set_backlog(port: int, n: int)` — cap the accept queue (default
+//!   [`DEFAULT_BACKLOG`]); handshakes completing against a full queue
+//!   are refused with an RST and counted in `backlog_dropped`,
+//! - `stats() -> list`, `set_filter(handle)`,
 //! - `pump() -> int` — the engine: drains the lower netdev, runs the
 //!   retransmission timers against the machine's **virtual clock**, and
 //!   emits whatever segments are due (data within the peer's window,
@@ -51,6 +63,16 @@ pub const MAX_RTO: u64 = BASE_RTO << 8;
 pub const MAX_RETRIES: u32 = 12;
 /// TIME-WAIT linger, in machine cycles.
 pub const TIME_WAIT_CYCLES: u64 = 800_000;
+/// Default user timeout (RFC 5482), in machine cycles: a connection
+/// with data continuously unacknowledged for this long is aborted into
+/// a clean `"user-timeout"` error state. Zero disables the timer;
+/// `set_user_timeout` adjusts it per connection.
+pub const DEFAULT_USER_TIMEOUT: u64 = 100_000_000;
+/// Unanswered keepalive probes before an idle connection is aborted.
+pub const KEEPALIVE_PROBES: u32 = 3;
+/// Default cap on established-but-unaccepted connections per listening
+/// port; completions beyond it are refused with an RST.
+pub const DEFAULT_BACKLOG: usize = 64;
 
 /// Connection states (RFC 793 names).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +144,22 @@ struct Conn {
     rtx_at: Option<u64>,
     retries: u32,
     timewait_at: u64,
+    /// User timeout (RFC 5482), cycles; 0 disables.
+    user_timeout: u64,
+    /// Clock reading when data first went unacknowledged; rearmed on
+    /// every forward ack so only a *continuous* stall trips the timer.
+    stalled_since: Option<u64>,
+    /// Keepalive probe interval, cycles; 0 disables.
+    keepalive: u64,
+    /// Clock reading of the last keepalive probe sent.
+    ka_sent_at: u64,
+    /// Probes sent since the peer was last heard from.
+    ka_probes: u32,
+    /// Clock reading of the last segment received on this connection.
+    last_rx: u64,
+    /// Why the connection died, for `error(id)`; `None` while healthy
+    /// or after a clean close.
+    err: Option<&'static str>,
 }
 
 impl Conn {
@@ -151,7 +189,26 @@ impl Conn {
             rtx_at: None,
             retries: 0,
             timewait_at: 0,
+            user_timeout: DEFAULT_USER_TIMEOUT,
+            stalled_since: None,
+            keepalive: 0,
+            ka_sent_at: 0,
+            ka_probes: 0,
+            last_rx: 0,
+            err: None,
         }
+    }
+
+    /// Transition to `Closed` with a diagnostic reason. Idempotent: a
+    /// connection that already died keeps its first cause.
+    fn abort(&mut self, reason: &'static str) -> bool {
+        if self.state == State::Closed {
+            return false;
+        }
+        self.state = State::Closed;
+        self.rtx_at = None;
+        self.err = Some(reason);
+        true
     }
 
     /// Wire sequence number for stream offset `off`.
@@ -204,6 +261,7 @@ struct TcpStats {
     rst_tx: u64,
     aborted: u64,
     digest: u64,
+    backlog_dropped: u64,
 }
 
 impl TcpStats {
@@ -235,11 +293,28 @@ struct TcpState {
     conns: HashMap<i64, Conn>,
     /// (peer ip, peer port, local port) -> connection id.
     demux: HashMap<(u32, u16, u16), i64>,
-    /// Listening port -> backlog of established-but-unaccepted ids.
-    listeners: HashMap<u16, VecDeque<i64>>,
+    /// Listening port -> accept queue.
+    listeners: HashMap<u16, Listener>,
     next_id: i64,
     next_port: u16,
     stats: TcpStats,
+}
+
+/// One listening port: established-but-unaccepted connections queue
+/// here until `accept`, and completions past `cap` are refused with an
+/// RST so a slow acceptor sheds load instead of growing without bound.
+struct Listener {
+    backlog: VecDeque<i64>,
+    cap: usize,
+}
+
+impl Default for Listener {
+    fn default() -> Listener {
+        Listener {
+            backlog: VecDeque::new(),
+            cap: DEFAULT_BACKLOG,
+        }
+    }
 }
 
 /// Deterministic initial sequence number for connection `id`.
@@ -368,9 +443,10 @@ impl TcpState {
         now: u64,
     ) -> Result<(), ObjError> {
         let conn = self.conns.get_mut(&id).expect("conn exists");
+        conn.last_rx = now;
+        conn.ka_probes = 0;
         if hdr.flags & tcp_flags::RST != 0 {
-            if conn.state != State::Closed {
-                conn.state = State::Closed;
+            if conn.abort("reset") {
                 self.stats.aborted += 1;
             }
             return Ok(());
@@ -399,18 +475,31 @@ impl TcpState {
                     // Duplicate SYN: re-ack it via the SYN-ACK timer.
                     return Ok(());
                 }
-                if hdr.flags & tcp_flags::ACK != 0 && hdr.ack == conn.iss.wrapping_add(1) {
-                    conn.state = State::Established;
-                    conn.peer_wnd_edge = u64::from(hdr.window);
-                    conn.rtx_at = None;
-                    conn.rto = BASE_RTO;
-                    conn.retries = 0;
-                    let port = conn.local_port;
-                    self.listeners.entry(port).or_default().push_back(id);
-                    // Fall through to process any piggybacked payload.
-                } else {
+                if hdr.flags & tcp_flags::ACK == 0 || hdr.ack != conn.iss.wrapping_add(1) {
                     return Ok(());
                 }
+                let port = conn.local_port;
+                let key = (conn.peer_ip, conn.peer_port, port);
+                let peer_mac = conn.peer_mac.unwrap_or(MAC_BROADCAST);
+                let peer_ip = conn.peer_ip;
+                let lst = self.listeners.entry(port).or_default();
+                if lst.backlog.len() >= lst.cap {
+                    // Accept queue full: refuse the completed handshake
+                    // with an RST so the peer fails fast instead of
+                    // sitting established against a stalled acceptor.
+                    self.stats.backlog_dropped += 1;
+                    self.conns.remove(&id);
+                    self.demux.remove(&key);
+                    return self.emit_rst(peer_mac, peer_ip, hdr);
+                }
+                lst.backlog.push_back(id);
+                let conn = self.conns.get_mut(&id).expect("conn exists");
+                conn.state = State::Established;
+                conn.peer_wnd_edge = u64::from(hdr.window);
+                conn.rtx_at = None;
+                conn.rto = BASE_RTO;
+                conn.retries = 0;
+                // Fall through to process any piggybacked payload.
             }
             State::Closed => return Ok(()),
             _ => {}
@@ -435,6 +524,8 @@ impl TcpState {
                     conn.snd_una = ack_off;
                     conn.rto = BASE_RTO;
                     conn.retries = 0;
+                    // Forward progress restarts the user timeout.
+                    conn.stalled_since = None;
                     if let Some(end) = conn.stream_end {
                         if conn.fin_sent && ack_off == end + 1 {
                             fin_acked_now = true;
@@ -585,23 +676,62 @@ impl TcpState {
         Ok(handled)
     }
 
-    /// Retransmission / TIME-WAIT timer pass for one connection.
+    /// Retransmission / TIME-WAIT / user-timeout / keepalive timer pass
+    /// for one connection.
     fn pump_timer(&mut self, id: i64, now: u64) -> Result<(), ObjError> {
         let conn = self.conns.get_mut(&id).expect("conn exists");
         if conn.state == State::TimeWait && now >= conn.timewait_at {
             conn.state = State::Closed;
             return Ok(());
         }
+        if conn.state == State::Closed {
+            return Ok(());
+        }
+        // User timeout (RFC 5482): the timer runs only while data is
+        // continuously unacknowledged, so an idle-but-healthy
+        // connection is never at risk.
+        if conn.user_timeout > 0 && conn.snd_una < conn.snd_nxt {
+            let since = *conn.stalled_since.get_or_insert(now);
+            if now.saturating_sub(since) >= conn.user_timeout {
+                if conn.abort("user-timeout") {
+                    self.stats.aborted += 1;
+                }
+                return Ok(());
+            }
+        } else {
+            conn.stalled_since = None;
+        }
+        // Keepalive: probe an idle established connection; too many
+        // unanswered probes abort it into a clean error state. The
+        // probe carries one byte just below `snd_una`, which the peer
+        // discards as a duplicate but must acknowledge.
+        if conn.keepalive > 0 && conn.state == State::Established && conn.snd_una == conn.snd_nxt {
+            let due = conn.last_rx.max(conn.ka_sent_at) + conn.keepalive;
+            if now >= due {
+                if conn.ka_probes >= KEEPALIVE_PROBES {
+                    if conn.abort("keepalive-timeout") {
+                        self.stats.aborted += 1;
+                    }
+                    return Ok(());
+                }
+                conn.ka_probes += 1;
+                conn.ka_sent_at = now;
+                let seq = conn.wire_seq(conn.snd_una).wrapping_sub(1);
+                self.emit(id, tcp_flags::ACK, seq, &[0])?;
+            }
+        }
+        let conn = self.conns.get_mut(&id).expect("conn exists");
         let Some(due) = conn.rtx_at else {
             return Ok(());
         };
-        if now < due || conn.state == State::Closed {
+        if now < due {
             return Ok(());
         }
         conn.retries += 1;
         if conn.retries > MAX_RETRIES {
-            conn.state = State::Closed;
-            self.stats.aborted += 1;
+            if conn.abort("retries-exhausted") {
+                self.stats.aborted += 1;
+            }
             return Ok(());
         }
         conn.rto = (conn.rto * 2).min(MAX_RTO);
@@ -805,7 +935,7 @@ pub fn make_tcp(machine: Arc<Mutex<Machine>>, lower: ObjRef, ip: u32, mac: Mac) 
                     let id = s
                         .listeners
                         .get_mut(&port)
-                        .and_then(|q| q.pop_front())
+                        .and_then(|l| l.backlog.pop_front())
                         .unwrap_or(-1);
                     Ok(Value::Int(id))
                 })
@@ -873,6 +1003,64 @@ pub fn make_tcp(machine: Arc<Mutex<Machine>>, lower: ObjRef, ip: u32, mac: Mac) 
                     Ok(Value::Str(s.conn_mut(id)?.state.name().into()))
                 })
             })
+            .method("error", &[TypeTag::Int], TypeTag::Str, |this, args| {
+                let id = args[0].as_int()?;
+                this.with_state(|s: &mut TcpState| {
+                    Ok(Value::Str(s.conn_mut(id)?.err.unwrap_or("").into()))
+                })
+            })
+            .method(
+                "set_user_timeout",
+                &[TypeTag::Int, TypeTag::Int],
+                TypeTag::Unit,
+                |this, args| {
+                    let id = args[0].as_int()?;
+                    let cycles = u64::try_from(args[1].as_int()?)
+                        .map_err(|_| ObjError::failed("timeout must be non-negative"))?;
+                    this.with_state(|s: &mut TcpState| {
+                        let conn = s.conn_mut(id)?;
+                        conn.user_timeout = cycles;
+                        conn.stalled_since = None;
+                        Ok(Value::Unit)
+                    })
+                },
+            )
+            .method(
+                "set_keepalive",
+                &[TypeTag::Int, TypeTag::Int],
+                TypeTag::Unit,
+                |this, args| {
+                    let id = args[0].as_int()?;
+                    let interval = u64::try_from(args[1].as_int()?)
+                        .map_err(|_| ObjError::failed("interval must be non-negative"))?;
+                    this.with_state(|s: &mut TcpState| {
+                        let now = s.now();
+                        let conn = s.conn_mut(id)?;
+                        conn.keepalive = interval;
+                        conn.ka_probes = 0;
+                        // Start the idle clock here, not at connection
+                        // birth, so the first probe is one full
+                        // interval out.
+                        conn.last_rx = conn.last_rx.max(now);
+                        Ok(Value::Unit)
+                    })
+                },
+            )
+            .method(
+                "set_backlog",
+                &[TypeTag::Int, TypeTag::Int],
+                TypeTag::Unit,
+                |this, args| {
+                    let port = u16::try_from(args[0].as_int()?)
+                        .map_err(|_| ObjError::failed("port out of range"))?;
+                    let cap = usize::try_from(args[1].as_int()?)
+                        .map_err(|_| ObjError::failed("backlog must be non-negative"))?;
+                    this.with_state(|s: &mut TcpState| {
+                        s.listeners.entry(port).or_default().cap = cap;
+                        Ok(Value::Unit)
+                    })
+                },
+            )
             .method("pump", &[], TypeTag::Int, |this, _| {
                 this.with_state(|s: &mut TcpState| Ok(Value::Int(s.pump()?)))
             })
@@ -902,6 +1090,7 @@ pub fn make_tcp(machine: Arc<Mutex<Machine>>, lower: ObjRef, ip: u32, mac: Mac) 
                         Value::Int(st.rst_tx as i64),
                         Value::Int(st.aborted as i64),
                         Value::Int(st.digest as i64),
+                        Value::Int(st.backlog_dropped as i64),
                     ]))
                 })
             })
@@ -915,6 +1104,10 @@ pub const STAT_DIGEST: usize = 9;
 pub const STAT_MALFORMED: usize = 5;
 /// Position of the retransmit counter in the `stats` list.
 pub const STAT_RETRANSMITS: usize = 4;
+/// Position of the aborted-connections counter in the `stats` list.
+pub const STAT_ABORTED: usize = 8;
+/// Position of the backlog-overflow counter in the `stats` list.
+pub const STAT_BACKLOG_DROPPED: usize = 10;
 
 #[cfg(test)]
 mod tests {
@@ -927,11 +1120,65 @@ mod tests {
     const MAC_B: Mac = [2, 0, 0, 0, 0, 0xBB];
 
     fn pair(cfg: LinkConfig) -> (Arc<Mutex<Machine>>, ObjRef, ObjRef) {
+        let (machine, a, b, _, _) = pair_with_link(cfg);
+        (machine, a, b)
+    }
+
+    /// Like `pair`, but also returns the raw link endpoints so tests
+    /// can partition / heal directions at runtime via `set_config`.
+    fn pair_with_link(cfg: LinkConfig) -> (Arc<Mutex<Machine>>, ObjRef, ObjRef, ObjRef, ObjRef) {
         let machine = Arc::new(Mutex::new(Machine::new()));
         let (end_a, end_b) = make_simlink(machine.clone(), cfg);
-        let a = make_tcp(machine.clone(), end_a, IP_A, MAC_A);
-        let b = make_tcp(machine.clone(), end_b, IP_B, MAC_B);
-        (machine, a, b)
+        let a = make_tcp(machine.clone(), end_a.clone(), IP_A, MAC_A);
+        let b = make_tcp(machine.clone(), end_b.clone(), IP_B, MAC_B);
+        (machine, a, b, end_a, end_b)
+    }
+
+    /// Sets the drop rate of `end`'s transmit direction, leaving the
+    /// other knobs as configured.
+    fn set_drop(end: &ObjRef, permille: i64) {
+        let knobs = end.invoke("link", "config", &[]).unwrap();
+        let mut knobs = knobs.as_list().unwrap().to_vec();
+        knobs[0] = Value::Int(permille);
+        end.invoke("link", "set_config", &[Value::List(knobs)])
+            .unwrap();
+    }
+
+    fn establish(machine: &Arc<Mutex<Machine>>, a: &ObjRef, b: &ObjRef, port: i64) -> (i64, i64) {
+        b.invoke("tcp", "listen", &[Value::Int(port)]).unwrap();
+        let id_a = a
+            .invoke(
+                "tcp",
+                "connect",
+                &[Value::Int(IP_B as i64), Value::Int(port)],
+            )
+            .unwrap()
+            .as_int()
+            .unwrap();
+        pump_net(machine, &[a, b], 4);
+        let id_b = b
+            .invoke("tcp", "accept", &[Value::Int(port)])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(id_b >= 0, "handshake completes");
+        (id_a, id_b)
+    }
+
+    fn conn_state(ep: &ObjRef, id: i64) -> String {
+        ep.invoke("tcp", "state", &[Value::Int(id)])
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
+    }
+
+    fn conn_error(ep: &ObjRef, id: i64) -> String {
+        ep.invoke("tcp", "error", &[Value::Int(id)])
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
     }
 
     fn pump_net(machine: &Arc<Mutex<Machine>>, eps: &[&ObjRef], rounds: usize) {
@@ -1137,6 +1384,199 @@ mod tests {
             malformed > 0,
             "corrupted frames were counted, not delivered"
         );
+    }
+
+    #[test]
+    fn listen_backlog_overflow_draws_rst_and_counts() {
+        let (machine, a, b) = pair(LinkConfig::perfect(11));
+        b.invoke("tcp", "listen", &[Value::Int(80)]).unwrap();
+        b.invoke("tcp", "set_backlog", &[Value::Int(80), Value::Int(2)])
+            .unwrap();
+        let ids: Vec<i64> = (0..4)
+            .map(|_| {
+                a.invoke("tcp", "connect", &[Value::Int(IP_B as i64), Value::Int(80)])
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
+            .collect();
+        pump_net(&machine, &[&a, &b], 6);
+        assert_eq!(
+            tcp_stats(&b)[STAT_BACKLOG_DROPPED],
+            2,
+            "completions past the cap were shed"
+        );
+        let reset: Vec<i64> = ids
+            .iter()
+            .copied()
+            .filter(|&id| conn_state(&a, id) == "closed")
+            .collect();
+        assert_eq!(reset.len(), 2, "exactly the overflow was refused");
+        for id in reset {
+            assert_eq!(conn_error(&a, id), "reset", "refusal is a clean error");
+        }
+        for _ in 0..2 {
+            let id = b
+                .invoke("tcp", "accept", &[Value::Int(80)])
+                .unwrap()
+                .as_int()
+                .unwrap();
+            assert!(id >= 0, "queued connections still accept");
+        }
+        assert_eq!(
+            b.invoke("tcp", "accept", &[Value::Int(80)])
+                .unwrap()
+                .as_int()
+                .unwrap(),
+            -1,
+            "nothing beyond the cap was queued"
+        );
+    }
+
+    #[test]
+    fn user_timeout_aborts_a_partitioned_connection_cleanly() {
+        let (machine, a, b, end_a, _end_b) = pair_with_link(LinkConfig::perfect(17));
+        let (id_a, _id_b) = establish(&machine, &a, &b, 80);
+        a.invoke(
+            "tcp",
+            "set_user_timeout",
+            &[Value::Int(id_a), Value::Int(1_000_000)],
+        )
+        .unwrap();
+        // Partition the A->B direction mid-stream: B never acks again.
+        set_drop(&end_a, 1000);
+        a.invoke(
+            "tcp",
+            "send",
+            &[
+                Value::Int(id_a),
+                Value::Bytes(bytes::Bytes::from(vec![7u8; 2000])),
+            ],
+        )
+        .unwrap();
+        for _ in 0..40 {
+            pump_net(&machine, &[&a, &b], 1);
+            if conn_state(&a, id_a) == "closed" {
+                break;
+            }
+        }
+        assert_eq!(conn_state(&a, id_a), "closed");
+        assert_eq!(conn_error(&a, id_a), "user-timeout");
+        assert_eq!(tcp_stats(&a)[STAT_ABORTED], 1);
+        assert!(
+            tcp_stats(&a)[STAT_RETRANSMITS] > 0,
+            "the stall was a real retransmit stall, not instant death"
+        );
+        // Further pumps must not re-abort, and healing the link must
+        // not resurrect the dead connection.
+        set_drop(&end_a, 0);
+        pump_net(&machine, &[&a, &b], 6);
+        assert_eq!(tcp_stats(&a)[STAT_ABORTED], 1);
+        assert_eq!(conn_state(&a, id_a), "closed");
+        assert_eq!(conn_error(&a, id_a), "user-timeout");
+    }
+
+    #[test]
+    fn keepalive_probes_detect_a_dead_peer_but_spare_a_live_one() {
+        let (machine, a, b, end_a, end_b) = pair_with_link(LinkConfig::perfect(23));
+        let (id_a, _id_b) = establish(&machine, &a, &b, 80);
+        a.invoke(
+            "tcp",
+            "set_keepalive",
+            &[Value::Int(id_a), Value::Int(300_000)],
+        )
+        .unwrap();
+        // Live peer: probes are answered, the idle connection survives
+        // far past several keepalive intervals.
+        pump_net(&machine, &[&a, &b], 30);
+        assert_eq!(conn_state(&a, id_a), "established");
+        // Dead peer: full partition. Probes go unanswered and the
+        // connection aborts into a clean error state.
+        set_drop(&end_a, 1000);
+        set_drop(&end_b, 1000);
+        for _ in 0..60 {
+            pump_net(&machine, &[&a, &b], 1);
+            if conn_state(&a, id_a) == "closed" {
+                break;
+            }
+        }
+        assert_eq!(conn_state(&a, id_a), "closed");
+        assert_eq!(conn_error(&a, id_a), "keepalive-timeout");
+        assert_eq!(tcp_stats(&a)[STAT_ABORTED], 1);
+    }
+
+    #[test]
+    fn user_timeout_during_teardown_does_not_double_free_the_conn() {
+        let (machine, a, b, end_a, _end_b) = pair_with_link(LinkConfig::perfect(29));
+        let (id_a, _id_b) = establish(&machine, &a, &b, 80);
+        a.invoke(
+            "tcp",
+            "set_user_timeout",
+            &[Value::Int(id_a), Value::Int(800_000)],
+        )
+        .unwrap();
+        // Partition, then close with data still queued: the connection
+        // walks into FIN-WAIT-1 retransmitting against a dead link.
+        set_drop(&end_a, 1000);
+        a.invoke(
+            "tcp",
+            "send",
+            &[
+                Value::Int(id_a),
+                Value::Bytes(bytes::Bytes::from(vec![9u8; 1500])),
+            ],
+        )
+        .unwrap();
+        a.invoke("tcp", "close", &[Value::Int(id_a)]).unwrap();
+        for _ in 0..40 {
+            pump_net(&machine, &[&a, &b], 1);
+            if conn_state(&a, id_a) == "closed" {
+                break;
+            }
+        }
+        assert_eq!(conn_state(&a, id_a), "closed");
+        assert_eq!(conn_error(&a, id_a), "user-timeout");
+        assert_eq!(tcp_stats(&a)[STAT_ABORTED], 1);
+        // The id stays valid — state/error remain callable and extra
+        // timer passes neither re-abort nor panic.
+        pump_net(&machine, &[&a, &b], 6);
+        assert_eq!(tcp_stats(&a)[STAT_ABORTED], 1);
+        assert_eq!(conn_state(&a, id_a), "closed");
+        // Healing the link does not resurrect the dead connection.
+        set_drop(&end_a, 0);
+        pump_net(&machine, &[&a, &b], 6);
+        assert_eq!(conn_state(&a, id_a), "closed");
+        assert_eq!(conn_error(&a, id_a), "user-timeout");
+    }
+
+    #[test]
+    fn user_timeout_never_fires_in_time_wait() {
+        let (machine, a, b) = pair(LinkConfig::perfect(31));
+        let (id_a, id_b) = establish(&machine, &a, &b, 80);
+        a.invoke(
+            "tcp",
+            "set_user_timeout",
+            &[Value::Int(id_a), Value::Int(150_000)],
+        )
+        .unwrap();
+        a.invoke("tcp", "close", &[Value::Int(id_a)]).unwrap();
+        b.invoke("tcp", "close", &[Value::Int(id_b)]).unwrap();
+        pump_net(&machine, &[&a, &b], 8);
+        assert_eq!(conn_state(&a, id_a), "time-wait");
+        // Sit in TIME-WAIT for several user-timeout periods: with no
+        // data outstanding the timer must never fire.
+        pump_net(&machine, &[&a, &b], 10);
+        assert_eq!(conn_state(&a, id_a), "time-wait");
+        assert_eq!(conn_error(&a, id_a), "");
+        machine.lock().tick(TIME_WAIT_CYCLES + 1);
+        pump_net(&machine, &[&a, &b], 2);
+        assert_eq!(conn_state(&a, id_a), "closed");
+        assert_eq!(
+            conn_error(&a, id_a),
+            "",
+            "expiry is a clean close, not an abort"
+        );
+        assert_eq!(tcp_stats(&a)[STAT_ABORTED], 0);
     }
 
     #[test]

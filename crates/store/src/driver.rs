@@ -64,6 +64,13 @@ fn check_power(m: &Machine) -> ObjResult<()> {
     m.check_power().map_err(dev_err)
 }
 
+/// Extra cycles the next sector transfer costs under an injected latency
+/// spike ([`Disk::inject_latency`]); 0 in normal operation.
+fn op_latency(m: &mut Machine) -> paramecium_machine::cost::Cycles {
+    m.device_mut::<Disk>("disk")
+        .map_or(0, |d| d.take_op_latency())
+}
+
 /// Writes `batch` to the disk, charging the amortised batch cost one
 /// sector at a time (request setup for the first, streaming rate for the
 /// rest) and checking for an injected power failure between charges. On a
@@ -78,7 +85,8 @@ fn charged_batch_write(m: &mut Machine, batch: &[(i64, Bytes)]) -> ObjResult<()>
         } else {
             SECTOR_STREAM_COST
         };
-        m.charge(cost);
+        let extra = op_latency(m);
+        m.charge(cost + extra);
         let mut buf = [0u8; SECTOR_SIZE];
         buf.copy_from_slice(data);
         let crashed = m.crashed();
@@ -150,7 +158,8 @@ pub(crate) fn build_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> Core
                 this.with_state(|s: &mut DriverState| {
                     let mut m = s.machine.lock();
                     check_power(&m)?;
-                    m.charge(SECTOR_TRANSFER_COST);
+                    let extra = op_latency(&mut m);
+                    m.charge(SECTOR_TRANSFER_COST + extra);
                     check_power(&m)?;
                     let data = m
                         .device_mut::<Disk>("disk")
@@ -216,7 +225,8 @@ pub(crate) fn build_disk_driver(mem: &Arc<MemService>, domain: DomainId) -> Core
                             } else {
                                 SECTOR_STREAM_COST
                             };
-                            m.charge(cost);
+                            let extra = op_latency(&mut m);
+                            m.charge(cost + extra);
                             check_power(&m)?;
                             let data = m
                                 .device_mut::<Disk>("disk")

@@ -58,11 +58,13 @@
 pub mod cache;
 pub mod driver;
 pub mod journal;
+pub mod retry;
 pub mod stack;
 pub mod vectored;
 
 pub use cache::EVICTION_WRITEBACK_BATCH;
 pub use journal::{mount_journal, JournalConfig};
+pub use retry::{make_retry, RetryConfig};
 pub use stack::{StackBuilder, StoreStack};
 
 // Deprecated constructors, kept as shims for downstream code mid-

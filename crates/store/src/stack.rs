@@ -7,7 +7,7 @@
 //! the constructors are now a builder over the fixed layering
 //!
 //! ```text
-//! driver  →  journal (optional)  →  cache (optional)
+//! driver  →  retry (optional)  →  journal (optional)  →  cache (optional)
 //! ```
 //!
 //! where every layer exports `blockdev` and each optional layer is one
@@ -38,6 +38,7 @@ use paramecium_obj::ObjRef;
 use crate::cache::build_sharded_block_cache;
 use crate::driver::build_disk_driver;
 use crate::journal::{mount_journal, JournalConfig};
+use crate::retry::{make_retry, RetryConfig};
 
 /// What the stack stands on.
 enum Base {
@@ -55,6 +56,7 @@ enum Base {
 /// [module docs](self) for the shape and an example.
 pub struct StackBuilder {
     base: Base,
+    retry: Option<RetryConfig>,
     journal: Option<JournalConfig>,
     cache: Option<(usize, usize)>,
 }
@@ -66,6 +68,8 @@ pub struct StoreStack {
     pub top: ObjRef,
     /// The bottom `blockdev` (the disk driver, or the base object).
     pub driver: ObjRef,
+    /// The retry interposer, when one was requested.
+    pub retry: Option<ObjRef>,
     /// The journal layer, when one was requested.
     pub journal: Option<ObjRef>,
     /// The cache layer, when one was requested.
@@ -81,6 +85,7 @@ impl StackBuilder {
                 mem: mem.clone(),
                 domain,
             },
+            retry: None,
             journal: None,
             cache: None,
         }
@@ -90,9 +95,18 @@ impl StackBuilder {
     pub fn on(base: ObjRef) -> Self {
         StackBuilder {
             base: Base::Object(base),
+            retry: None,
             journal: None,
             cache: None,
         }
+    }
+
+    /// Adds the transient-fault retry interposer directly above the disk
+    /// driver (see [`crate::retry`]). Only disk-based stacks can take
+    /// one: the backoff sleeps on the machine's virtual clock.
+    pub fn retry(mut self, cfg: RetryConfig) -> Self {
+        self.retry = Some(cfg);
+        self
     }
 
     /// Adds the write-ahead journal layer (mounted — and committed
@@ -117,11 +131,27 @@ impl StackBuilder {
     /// Builds the stack bottom-up: driver, then journal (mount +
     /// recovery), then cache.
     pub fn build(self) -> CoreResult<StoreStack> {
-        let driver = match self.base {
-            Base::Disk { mem, domain } => build_disk_driver(&mem, domain)?,
-            Base::Object(obj) => obj,
+        let (driver, machine) = match self.base {
+            Base::Disk { mem, domain } => {
+                let machine = mem.machine().clone();
+                (build_disk_driver(&mem, domain)?, Some(machine))
+            }
+            Base::Object(obj) => (obj, None),
         };
         let mut top = driver.clone();
+        let retry = match self.retry {
+            Some(cfg) => {
+                let machine = machine.ok_or_else(|| {
+                    CoreError::Obj(paramecium_obj::ObjError::failed(
+                        "retry layer requires a disk-based stack (backoff uses the machine clock)",
+                    ))
+                })?;
+                let r = make_retry(machine, top.clone(), cfg);
+                top = r.clone();
+                Some(r)
+            }
+            None => None,
+        };
         let journal = match self.journal {
             Some(cfg) => {
                 let j = mount_journal(top.clone(), cfg).map_err(CoreError::Obj)?;
@@ -138,6 +168,7 @@ impl StackBuilder {
         Ok(StoreStack {
             top,
             driver,
+            retry,
             journal,
             cache,
         })

@@ -67,12 +67,14 @@ pub use paramecium_sfi as sfi;
 pub use paramecium_store as store;
 pub use paramecium_threads as threads;
 
+pub mod chaos;
 pub mod harness;
 pub mod pool;
 
 /// Commonly used items, for `use paramecium::prelude::*`.
 pub mod prelude {
     pub use crate::cert::{Certifier, CertifyOutcome, Right};
+    pub use crate::chaos::{ChaosController, ChaosPlan, Fault, Supervisor};
     pub use crate::core::{
         domain::{DomainId, KERNEL_DOMAIN},
         LoadOptions, Nucleus, Placement, Protection,
